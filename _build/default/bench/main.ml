@@ -1,0 +1,210 @@
+(* Bechamel benchmarks — one Test.make per experiment (matching the
+   experiment index in DESIGN.md) plus a microbenchmark group for the substrates.
+
+     dune exec bench/main.exe
+
+   Prints one row per benchmark with the OLS-estimated time per run. *)
+
+open Bechamel
+open Toolkit
+
+module Rng = Damd_util.Rng
+module Graph = Damd_graph.Graph
+module Gen = Damd_graph.Gen
+module Dijkstra = Damd_graph.Dijkstra
+module Sha256 = Damd_crypto.Sha256
+module Hmac = Damd_crypto.Hmac
+module Strategyproof = Damd_mech.Strategyproof
+module Leader = Damd_mech.Leader_election
+module Mechanism = Damd_mech.Mechanism
+module Traffic = Damd_fpss.Traffic
+module Pricing = Damd_fpss.Pricing
+module Game = Damd_fpss.Game
+module Distributed = Damd_fpss.Distributed
+module Adversary = Damd_faithful.Adversary
+module Node = Damd_faithful.Node
+module Bank = Damd_faithful.Bank
+module Runner = Damd_faithful.Runner
+module Replication = Damd_faithful.Replication
+
+(* Shared fixtures, built once. *)
+let fig1, _names = Gen.figure1 ()
+let fig1_traffic = Traffic.uniform ~n:6 ~rate:1.
+
+let graph16 = Gen.chordal_ring (Rng.create 1) ~n:16 ~chords:4 (Gen.Uniform_int (1, 10))
+let graph8 = Gen.chordal_ring (Rng.create 2) ~n:8 ~chords:2 (Gen.Uniform_int (1, 10))
+let traffic8 = Traffic.uniform ~n:8 ~rate:1.
+let graph64 = Gen.erdos_renyi (Rng.create 3) ~n:64 ~p:0.1 (Gen.Uniform_int (1, 10))
+let payload_64k = String.make 65536 'x'
+
+(* Nodes with converged state for the bank-checkpoint benchmark: drive the
+   construction synchronously once and keep the node array. *)
+let converged_nodes =
+  let g = graph8 in
+  let n = Graph.n g in
+  let neighbor_sets = Array.init n (Graph.neighbors g) in
+  let nodes =
+    Array.init n (fun id ->
+        Node.create ~id ~n ~neighbor_sets ~true_cost:(Graph.cost g id)
+          ~deviation:Adversary.Faithful ())
+  in
+  let inbox = Queue.create () in
+  let send_of i ~dst msg = Queue.push (i, dst, msg) inbox in
+  let drain handler =
+    while not (Queue.is_empty inbox) do
+      let src, dst, msg = Queue.pop inbox in
+      handler dst ~sender:src msg
+    done
+  in
+  Array.iteri (fun i node -> Node.announce_cost node (send_of i)) nodes;
+  drain (fun dst ~sender msg ->
+      match msg with
+      | Damd_faithful.Protocol.Update u ->
+          Node.on_cost_msg nodes.(dst) (send_of dst) ~sender u
+      | _ -> ());
+  Array.iter (fun node -> ignore (Node.finalize_costs node)) nodes;
+  Array.iteri (fun i node -> Node.start_routing node (send_of i)) nodes;
+  drain (fun dst ~sender msg -> Node.on_routing_msg nodes.(dst) (send_of dst) ~sender msg);
+  Array.iteri (fun i node -> Node.start_pricing node (send_of i)) nodes;
+  drain (fun dst ~sender msg -> Node.on_pricing_msg nodes.(dst) (send_of dst) ~sender msg);
+  nodes
+
+let experiment_tests =
+  Test.make_grouped ~name:"experiments"
+    [
+      Test.make ~name:"e1_figure1_vcg_tables"
+        (Staged.stage (fun () -> ignore (Pricing.compute fig1)));
+      Test.make ~name:"e2_example1_utility_sweep"
+        (Staged.stage (fun () ->
+             let true_costs = Graph.costs fig1 in
+             let declared = Array.copy true_costs in
+             declared.(2) <- 5.;
+             ignore
+               (Game.utilities Game.Naive_cost ~base:fig1 ~true_costs ~declared
+                  ~traffic:fig1_traffic)));
+      Test.make ~name:"e3_strategyproof_profile"
+        (Staged.stage (fun () ->
+             let rng = Rng.create 11 in
+             let m = Game.mechanism Game.Vcg ~base:graph8 ~traffic:traffic8 in
+             ignore
+               (Strategyproof.check ~rng ~profiles:1 ~lies_per_agent:1
+                  ~sample_profile:(fun rng -> Game.sample_costs rng ~n:8)
+                  ~sample_lie:Game.sample_lie m)));
+      Test.make ~name:"e4_catch_one_deviation"
+        (Staged.stage (fun () ->
+             let deviations = Array.make 6 Adversary.Faithful in
+             deviations.(2) <- Adversary.Miscompute_routing 2.;
+             ignore (Runner.run ~graph:fig1 ~traffic:fig1_traffic ~deviations ())));
+      Test.make ~name:"e5_distributed_convergence_n16"
+        (Staged.stage (fun () -> ignore (Distributed.run graph16)));
+      Test.make ~name:"e6_plain_fpss_n8"
+        (Staged.stage (fun () ->
+             let params =
+               { Runner.default_params with Runner.checking = false; copies = false }
+             in
+             ignore (Runner.run_faithful ~params ~graph:graph8 ~traffic:traffic8 ())));
+      Test.make ~name:"e6_faithful_n8"
+        (Staged.stage (fun () ->
+             ignore (Runner.run_faithful ~graph:graph8 ~traffic:traffic8 ())));
+      Test.make ~name:"e6_full_replication_n8"
+        (Staged.stage (fun () -> ignore (Replication.run graph8)));
+      Test.make ~name:"e7_deviation_gain"
+        (Staged.stage (fun () ->
+             ignore
+               (Runner.utility_gain ~graph:fig1 ~traffic:fig1_traffic ~node:2
+                  ~deviation:(Adversary.Underreport_payments 0.5) ())));
+      Test.make ~name:"e8_deferred_certification"
+        (Staged.stage (fun () ->
+             let params =
+               { Runner.default_params with Runner.deferred_certification = true }
+             in
+             let deviations = Array.make 6 Adversary.Faithful in
+             deviations.(2) <- Adversary.Inconsistent_cost (1., 8.);
+             ignore (Runner.run ~params ~graph:fig1 ~traffic:fig1_traffic ~deviations ())));
+      Test.make ~name:"e9_leader_elections_x100"
+        (Staged.stage (fun () ->
+             let rng = Rng.create 12 in
+             let m = Leader.second_score ~n:8 ~benefit:2. in
+             for _ = 1 to 100 do
+               ignore (m.Mechanism.run (Leader.sample_profile ~n:8 rng))
+             done));
+      Test.make ~name:"e10_bank_checkpoint_n8"
+        (Staged.stage (fun () ->
+             ignore (Bank.checkpoint_routing converged_nodes);
+             ignore (Bank.checkpoint_pricing converged_nodes)));
+      Test.make ~name:"e11_async_faithful_n8"
+        (Staged.stage (fun () ->
+             let params = { Runner.default_params with Runner.latency_seed = Some 5 } in
+             ignore (Runner.run_faithful ~params ~graph:graph8 ~traffic:traffic8 ())));
+      Test.make ~name:"e15_warm_start_n16"
+        (Staged.stage
+           (let cold = Distributed.run graph16 in
+            let changed = Graph.with_cost graph16 3 9. in
+            fun () ->
+              ignore (Distributed.run ~warm_start:cold.Distributed.tables changed)));
+      Test.make ~name:"e16_faithful_election_n8"
+        (Staged.stage
+           (let module Election = Damd_faithful.Election in
+            let profile = Leader.sample_profile ~n:8 (Rng.create 13) in
+            fun () ->
+              ignore
+                (Election.run ~graph:graph8 ~profile
+                   ~deviations:(Array.make 8 Election.Honest) ())));
+    ]
+
+let micro_tests =
+  Test.make_grouped ~name:"micro"
+    [
+      Test.make ~name:"sha256_64KiB"
+        (Staged.stage (fun () -> ignore (Sha256.digest payload_64k)));
+      Test.make ~name:"hmac_sha256_1KiB"
+        (Staged.stage (fun () ->
+             ignore (Hmac.mac ~key:"key" (String.sub payload_64k 0 1024))));
+      Test.make ~name:"dijkstra_all_pairs_n64"
+        (Staged.stage (fun () -> ignore (Dijkstra.all_to_dest graph64)));
+      Test.make ~name:"vcg_pricing_n16"
+        (Staged.stage (fun () -> ignore (Pricing.compute graph16)));
+      Test.make ~name:"biconnectivity_n64"
+        (Staged.stage (fun () ->
+             ignore (Damd_graph.Biconnect.articulation_points graph64)));
+      Test.make ~name:"graph_gen_er_n64"
+        (Staged.stage (fun () ->
+             ignore (Gen.erdos_renyi (Rng.create 4) ~n:64 ~p:0.1 (Gen.Uniform_int (1, 10)))));
+    ]
+
+let run_and_report tests =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let estimate =
+          match Analyze.OLS.estimates ols with Some (t :: _) -> t | _ -> nan
+        in
+        (name, estimate) :: acc)
+      results []
+    |> List.sort compare
+  in
+  let t = Damd_util.Table.create [ "benchmark"; "time/run" ] in
+  List.iter
+    (fun (name, ns) ->
+      let human =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Damd_util.Table.add_row t [ name; human ])
+    rows;
+  Damd_util.Table.print t
+
+let () =
+  print_endline "== damd benchmarks (Bechamel, OLS time-per-run estimates) ==";
+  print_newline ();
+  run_and_report experiment_tests;
+  print_newline ();
+  run_and_report micro_tests

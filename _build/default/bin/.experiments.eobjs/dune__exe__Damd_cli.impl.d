@@ -1,0 +1,1 @@
+bin/damd_cli.ml: Arg Array Cmd Cmdliner Damd_faithful Damd_fpss Damd_graph Damd_mech Damd_util Format List Printf String Term

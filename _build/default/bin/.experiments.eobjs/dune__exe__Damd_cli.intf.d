@@ -1,0 +1,1 @@
+bin/damd_cli.mli:

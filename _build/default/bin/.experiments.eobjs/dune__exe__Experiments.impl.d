@@ -1,0 +1,1 @@
+bin/experiments.ml: Arg Array Cmd Cmdliner Damd_core Damd_faithful Damd_fpss Damd_graph Damd_mech Damd_util Filename Float Format Lazy List Option Printf String Term Unix

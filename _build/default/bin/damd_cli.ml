@@ -1,0 +1,333 @@
+(* damd — run one instance of the faithful interdomain-routing protocol.
+
+   Pick a topology, optionally seat deviants, and watch the construction
+   phases certify (or not), the execution clear, and the per-node
+   accounting settle.
+
+     dune exec bin/damd_cli.exe -- --topology fig1
+     dune exec bin/damd_cli.exe -- --topology er:12:0.3 --seed 7 \
+         --deviant 3:miscompute-routing:-2 --deviant 5:underreport:0.5
+     dune exec bin/damd_cli.exe -- --topology ring:8 --no-checking \
+         --deviant 1:underreport:0
+     dune exec bin/damd_cli.exe -- --topology chordal:16:4 --loss 0.05 *)
+
+module Rng = Damd_util.Rng
+module Table = Damd_util.Table
+module Graph = Damd_graph.Graph
+module Gen = Damd_graph.Gen
+module Traffic = Damd_fpss.Traffic
+module Pricing = Damd_fpss.Pricing
+module Tables = Damd_fpss.Tables
+module Adversary = Damd_faithful.Adversary
+module Bank = Damd_faithful.Bank
+module Runner = Damd_faithful.Runner
+
+let parse_topology spec seed =
+  let rng = Rng.create seed in
+  let fail () =
+    raise
+      (Invalid_argument
+         (Printf.sprintf
+            "unknown topology %S (expected fig1 | ring:N | chordal:N:CHORDS | \
+             er:N:P | ba:N:M | waxman:N)"
+            spec))
+  in
+  match String.split_on_char ':' spec with
+  | [ "fig1" ] -> fst (Gen.figure1 ())
+  | [ "ring"; n ] ->
+      let n = int_of_string n in
+      Gen.ring ~n ~costs:(Gen.draw_costs rng (Gen.Uniform_int (1, 10)) n)
+  | [ "chordal"; n; chords ] ->
+      Gen.chordal_ring rng ~n:(int_of_string n) ~chords:(int_of_string chords)
+        (Gen.Uniform_int (1, 10))
+  | [ "er"; n; p ] ->
+      Gen.erdos_renyi rng ~n:(int_of_string n) ~p:(float_of_string p)
+        (Gen.Uniform_int (1, 10))
+  | [ "ba"; n; m ] ->
+      Gen.barabasi_albert rng ~n:(int_of_string n) ~m:(int_of_string m)
+        (Gen.Uniform_int (1, 10))
+  | [ "waxman"; n ] ->
+      Gen.waxman rng ~n:(int_of_string n) ~alpha:0.7 ~beta:0.4 (Gen.Uniform_int (1, 10))
+  | _ -> fail ()
+
+let parse_deviation spec =
+  let fail () =
+    raise
+      (Invalid_argument
+         (Printf.sprintf
+            "bad --deviant %S (expected NODE:KIND[:PARAM] with KIND one of \
+             misreport | inconsistent | corrupt-cost | drop-routing | drop-pricing | \
+             corrupt-routing | corrupt-pricing | spoof-routing | spoof-pricing | \
+             miscompute-routing | miscompute-pricing | underreport | misroute | \
+             silent | lying-checker | collude)"
+            spec))
+  in
+  match String.split_on_char ':' spec with
+  | node :: kind :: rest -> (
+      let node = int_of_string node in
+      let param default = match rest with [ p ] -> float_of_string p | _ -> default in
+      let iparam () = match rest with [ p ] -> int_of_string p | _ -> fail () in
+      let deviation =
+        match kind with
+        | "misreport" -> Adversary.Misreport_cost (param 5.)
+        | "inconsistent" -> Adversary.Inconsistent_cost (1., param 8.)
+        | "corrupt-cost" -> Adversary.Corrupt_cost_forward (param 3.)
+        | "drop-routing" -> Adversary.Drop_routing_copies
+        | "drop-pricing" -> Adversary.Drop_pricing_copies
+        | "corrupt-routing" -> Adversary.Corrupt_routing_copies (param 2.)
+        | "corrupt-pricing" -> Adversary.Corrupt_pricing_copies (param 2.)
+        | "spoof-routing" -> Adversary.Spoof_routing_update (param 3.)
+        | "spoof-pricing" -> Adversary.Spoof_pricing_update (param 3.)
+        | "miscompute-routing" -> Adversary.Miscompute_routing (param 2.)
+        | "miscompute-pricing" -> Adversary.Miscompute_pricing (param 2.)
+        | "underreport" -> Adversary.Underreport_payments (param 0.5)
+        | "misroute" -> Adversary.Misroute_packets
+        | "silent" -> Adversary.Silent_in_construction
+        | "lying-checker" -> Adversary.Lying_checker
+        | "collude" -> Adversary.Collude_with (iparam ())
+        | _ -> fail ()
+      in
+      (node, deviation))
+  | _ -> fail ()
+
+let run_routing topology seed deviants no_checking no_copies deferred latency loss
+    hotspots rate verbose =
+  let g = parse_topology topology seed in
+  let n = Graph.n g in
+  let traffic =
+    if hotspots > 0 then Traffic.hotspot (Rng.create (seed + 1)) ~n ~hotspots ~rate
+    else Traffic.uniform ~n ~rate
+  in
+  let deviations = Array.make n Adversary.Faithful in
+  List.iter
+    (fun spec ->
+      let who, d = parse_deviation spec in
+      if who < 0 || who >= n then
+        raise (Invalid_argument (Printf.sprintf "deviant node %d out of range" who));
+      deviations.(who) <- d)
+    deviants;
+  let params =
+    {
+      Runner.default_params with
+      Runner.checking = not no_checking;
+      copies = not no_copies;
+      deferred_certification = deferred;
+      latency_seed = latency;
+      channel_loss = (match loss with Some p -> Some (p, seed + 2) | None -> None);
+    }
+  in
+  Printf.printf "topology %s: %d nodes, %d edges, biconnected=%b, diameter=%d\n"
+    topology n (Graph.num_edges g)
+    (Damd_graph.Biconnect.is_biconnected g)
+    (Graph.hop_diameter g);
+  Array.iteri
+    (fun i d ->
+      if d <> Adversary.Faithful then
+        Printf.printf "deviant: node %d runs %s\n" i (Adversary.name d))
+    deviations;
+  print_newline ();
+  let r = Runner.run ~params ~graph:g ~traffic ~deviations () in
+  Printf.printf "construction: %s after %d restart(s); %d messages, %.1f KB%s\n"
+    (if r.Runner.completed then "CERTIFIED" else "STUCK")
+    r.Runner.restarts r.Runner.construction_messages
+    (float_of_int r.Runner.construction_bytes /. 1024.)
+    (match r.Runner.stuck_phase with Some p -> " (in " ^ p ^ ")" | None -> "");
+  if r.Runner.completed then
+    Printf.printf "execution: %d packet messages; bank channel %.1f KB\n"
+      r.Runner.execution_messages
+      (float_of_int r.Runner.bank_bytes /. 1024.);
+  if r.Runner.detections <> [] then begin
+    Printf.printf "\ndetections:\n";
+    List.iter
+      (fun d -> Format.printf "  %a@." Bank.pp_detection d)
+      r.Runner.detections
+  end;
+  print_newline ();
+  let t = Table.create [ "node"; "deviation"; "utility" ] in
+  Array.iteri
+    (fun i u ->
+      Table.add_row t
+        [ string_of_int i; Adversary.name deviations.(i); Table.cell_float u ])
+    r.Runner.utilities;
+  Table.print t;
+  (match r.Runner.tables with
+  | Some tables when verbose ->
+      print_newline ();
+      print_endline "certified lowest-cost paths (src -> dst: path [payments]):";
+      for src = 0 to n - 1 do
+        for dst = 0 to n - 1 do
+          if src <> dst then
+            match Tables.path tables ~src ~dst with
+            | Some path ->
+                let payments =
+                  Tables.packet_payments tables ~src ~dst
+                  |> List.map (fun (k, p) -> Printf.sprintf "%d:%g" k p)
+                  |> String.concat " "
+                in
+                Printf.printf "  %d -> %d: %s [%s]\n" src dst
+                  (String.concat "-" (List.map string_of_int path))
+                  payments
+            | None -> ()
+        done
+      done
+  | Some _ | None -> ());
+  if not r.Runner.completed then exit 1
+
+open Cmdliner
+
+let topology =
+  Arg.(
+    value
+    & opt string "fig1"
+    & info [ "t"; "topology" ] ~docv:"SPEC"
+        ~doc:"Topology: fig1 | ring:N | chordal:N:C | er:N:P | ba:N:M | waxman:N.")
+
+let seed =
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let deviants =
+  Arg.(
+    value & opt_all string []
+    & info [ "d"; "deviant" ] ~docv:"NODE:KIND[:PARAM]"
+        ~doc:"Seat a deviant (repeatable), e.g. 3:miscompute-routing:-2.")
+
+let no_checking =
+  Arg.(value & flag & info [ "no-checking" ] ~doc:"Disable checkers and the bank.")
+
+let no_copies =
+  Arg.(value & flag & info [ "no-copies" ] ~doc:"Plain FPSS: no checker copies.")
+
+let deferred =
+  Arg.(
+    value & flag
+    & info [ "deferred-certification" ]
+        ~doc:"Certify only once, at the end of construction (E8 ablation).")
+
+let latency =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "latency-seed" ] ~docv:"SEED" ~doc:"Heterogeneous per-link latencies.")
+
+let loss =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "loss" ] ~docv:"P" ~doc:"Drop construction messages with probability P.")
+
+let hotspots =
+  Arg.(
+    value & opt int 0
+    & info [ "hotspots" ] ~docv:"K" ~doc:"Hotspot traffic toward K destinations.")
+
+let rate =
+  Arg.(value & opt float 1. & info [ "rate" ] ~docv:"R" ~doc:"Traffic rate per pair.")
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the certified tables.")
+
+(* --- the election protocol --- *)
+
+let parse_election_deviation spec =
+  let fail () =
+    raise
+      (Invalid_argument
+         (Printf.sprintf
+            "bad --deviant %S (expected NODE:KIND[:PARAM] with KIND one of \
+             underbid | overbid | misreport-cost | inconsistent | corrupt-forward | \
+             miscompute-winner | refuse)"
+            spec))
+  in
+  let module Election = Damd_faithful.Election in
+  match String.split_on_char ':' spec with
+  | node :: kind :: rest -> (
+      let node = int_of_string node in
+      let param default = match rest with [ p ] -> float_of_string p | _ -> default in
+      let deviation =
+        match kind with
+        | "underbid" -> Election.Underbid_power
+        | "overbid" -> Election.Overbid_power (param 3.)
+        | "misreport-cost" -> Election.Misreport_cost (param 0.)
+        | "inconsistent" -> Election.Inconsistent_bid (param 3.)
+        | "corrupt-forward" -> Election.Corrupt_bid_forward (param 2.)
+        | "miscompute-winner" -> Election.Miscompute_winner
+        | "refuse" -> Election.Refuse_to_serve
+        | _ -> fail ()
+      in
+      (node, deviation))
+  | _ -> fail ()
+
+let run_election topology seed deviants no_checking benefit =
+  let module Election = Damd_faithful.Election in
+  let module Leader = Damd_mech.Leader_election in
+  let g = parse_topology topology seed in
+  let n = Graph.n g in
+  let profile = Leader.sample_profile ~n (Rng.create (seed + 10)) in
+  let deviations = Array.make n Election.Honest in
+  List.iter
+    (fun spec ->
+      let who, d = parse_election_deviation spec in
+      if who < 0 || who >= n then
+        raise (Invalid_argument (Printf.sprintf "deviant node %d out of range" who));
+      deviations.(who) <- d)
+    deviants;
+  let params =
+    { Election.default_params with Election.checking = not no_checking; benefit }
+  in
+  Printf.printf "topology %s: %d nodes; benefit=%g\n" topology n benefit;
+  Array.iteri
+    (fun i d ->
+      if d <> Election.Honest then
+        Printf.printf "deviant: node %d runs %s\n" i (Election.deviation_name d))
+    deviations;
+  let r = Election.run ~params ~graph:g ~profile ~deviations () in
+  Printf.printf "\nelection: %s after %d restart(s); %d messages\n"
+    (if r.Election.completed then "CERTIFIED" else "STUCK")
+    r.Election.restarts r.Election.messages;
+  (match r.Election.leader with
+  | Some l ->
+      Printf.printf "leader: node %d (power %.2f, cost %.2f)\n" l
+        profile.(l).Leader.power profile.(l).Leader.cost
+  | None -> print_endline "no leader elected");
+  List.iter (fun d -> Printf.printf "detection: %s\n" d) r.Election.detections;
+  print_newline ();
+  let t = Table.create [ "node"; "power"; "cost"; "deviation"; "utility" ] in
+  Array.iteri
+    (fun i u ->
+      Table.add_row t
+        [
+          string_of_int i;
+          Table.cell_float profile.(i).Leader.power;
+          Table.cell_float profile.(i).Leader.cost;
+          Election.deviation_name deviations.(i);
+          Table.cell_float u;
+        ])
+    r.Election.utilities;
+  Table.print t;
+  if not r.Election.completed then exit 1
+
+let benefit_arg =
+  Arg.(value & opt float 2. & info [ "benefit" ] ~docv:"B" ~doc:"Per-unit-power benefit.")
+
+let routing_cmd =
+  let doc = "run the faithful interdomain-routing protocol (the FPSS case study)" in
+  Cmd.v (Cmd.info "routing" ~doc)
+    Term.(
+      const run_routing $ topology $ seed $ deviants $ no_checking $ no_copies
+      $ deferred $ latency $ loss $ hotspots $ rate $ verbose)
+
+let election_cmd =
+  let doc = "run the faithful distributed leader election (the section-3 toy)" in
+  Cmd.v (Cmd.info "election" ~doc)
+    Term.(const run_election $ topology $ seed $ deviants $ no_checking $ benefit_arg)
+
+let cmd =
+  let doc = "faithful distributed mechanisms, end to end" in
+  let default =
+    Term.(
+      const run_routing $ topology $ seed $ deviants $ no_checking $ no_copies
+      $ deferred $ latency $ loss $ hotspots $ rate $ verbose)
+  in
+  Cmd.group ~default (Cmd.info "damd" ~doc) [ routing_cmd; election_cmd ]
+
+let () = exit (Cmd.eval cmd)

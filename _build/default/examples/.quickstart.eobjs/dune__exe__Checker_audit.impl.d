@@ -1,0 +1,1 @@
+examples/checker_audit.ml: Array Damd_faithful Damd_fpss Damd_graph Damd_util List Option Printf String

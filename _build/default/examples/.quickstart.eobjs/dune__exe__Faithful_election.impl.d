@@ -1,0 +1,1 @@
+examples/faithful_election.ml: Array Damd Faithful Graph List Mech Printf Util

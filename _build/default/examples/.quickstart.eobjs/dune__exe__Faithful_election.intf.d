@@ -1,0 +1,1 @@
+examples/faithful_election.mli:

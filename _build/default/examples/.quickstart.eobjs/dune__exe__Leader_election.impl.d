@@ -1,0 +1,1 @@
+examples/leader_election.ml: Array Damd_mech Damd_util Printf

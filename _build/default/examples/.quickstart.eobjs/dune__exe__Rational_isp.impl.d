@@ -1,0 +1,1 @@
+examples/rational_isp.ml: Array Damd_fpss Damd_graph Damd_util Float List Printf String

@@ -1,0 +1,1 @@
+examples/rational_isp.mli:

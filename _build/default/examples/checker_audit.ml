@@ -1,0 +1,69 @@
+(* Figure 2 in action: inject each manipulation from §4.3 into one node of
+   the Figure 1 network and watch the checker/bank machinery catch it.
+
+   For every deviation in the adversary library this prints whether the
+   construction certified, which bank rule fired, and the deviant's
+   utility change relative to faithful play — the last column is the
+   faithfulness claim (never positive).
+
+     dune exec examples/checker_audit.exe *)
+
+module Graph = Damd_graph.Graph
+module Gen = Damd_graph.Gen
+module Traffic = Damd_fpss.Traffic
+module Adversary = Damd_faithful.Adversary
+module Bank = Damd_faithful.Bank
+module Runner = Damd_faithful.Runner
+module Table = Damd_util.Table
+
+let () =
+  let g, names = Gen.figure1 () in
+  let deviant = List.assoc "C" names in
+  let n = Graph.n g in
+  let traffic = Traffic.uniform ~n ~rate:1. in
+  let faithful = Runner.run_faithful ~graph:g ~traffic () in
+
+  print_endline "== Catch-and-punish audit: node C runs each deviation ==";
+  Printf.printf "faithful baseline: completed=%b, u(C)=%g\n\n" faithful.Runner.completed
+    faithful.Runner.utilities.(deviant);
+
+  let t =
+    Table.create ~aligns:[ Table.Left; Table.Left; Table.Left; Table.Right ]
+      [ "deviation"; "outcome"; "caught by"; "utility gain" ]
+  in
+  List.iter
+    (fun d ->
+      let deviations = Array.make n Adversary.Faithful in
+      deviations.(deviant) <- d;
+      let r = Runner.run ~graph:g ~traffic ~deviations () in
+      let outcome =
+        if r.Runner.completed then "certified"
+        else
+          Printf.sprintf "stuck in %s" (Option.value ~default:"?" r.Runner.stuck_phase)
+      in
+      let rules =
+        r.Runner.detections
+        |> List.map (fun det -> det.Bank.rule)
+        |> List.sort_uniq compare
+        |> String.concat ","
+      in
+      let gain = r.Runner.utilities.(deviant) -. faithful.Runner.utilities.(deviant) in
+      Table.add_row t
+        [
+          Adversary.name d;
+          outcome;
+          (if rules = "" then "-" else rules);
+          Table.cell_float gain;
+        ])
+    Adversary.library;
+  Table.print t;
+  print_newline ();
+  print_endline
+    "Reading the table: construction-phase manipulations stall the mechanism";
+  print_endline
+    "(BANK1/BANK2/DATA1 refuse to green-light), execution-phase ones are fined";
+  print_endline
+    "epsilon-above the attempted gain (EXEC). The consistent cost misreport is";
+  print_endline
+    "not 'caught' -- it is neutralized by VCG strategyproofness instead. No row";
+  print_endline "has a positive utility gain: the specification is faithful."

@@ -1,0 +1,93 @@
+(* Example 1 of the paper, played out: a rational ISP (node C of Figure 1)
+   considers lying about its transit cost.
+
+   Under a naive pricing scheme (pay each transit node its declared cost),
+   declaring 5 instead of its true cost 1 loses C the X-Z traffic but more
+   than makes up for it on the D-Z traffic — and routes packets over a
+   path whose true cost is higher, damaging network efficiency. Under the
+   FPSS VCG payments the same lie strictly loses. This example sweeps C's
+   declaration under both schemes.
+
+     dune exec examples/rational_isp.exe *)
+
+module Graph = Damd_graph.Graph
+module Gen = Damd_graph.Gen
+module Dijkstra = Damd_graph.Dijkstra
+module Traffic = Damd_fpss.Traffic
+module Tables = Damd_fpss.Tables
+module Game = Damd_fpss.Game
+module Pricing = Damd_fpss.Pricing
+module Table = Damd_util.Table
+
+let () =
+  let g, names = Gen.figure1 () in
+  let name_of i = fst (List.find (fun (_, id) -> id = i) names) in
+  let c = List.assoc "C" names in
+  let n = Graph.n g in
+  let traffic = Traffic.uniform ~n ~rate:1. in
+  let true_costs = Graph.costs g in
+
+  let utility_of scheme declared_c =
+    let declared = Array.copy true_costs in
+    declared.(c) <- declared_c;
+    (Game.utilities scheme ~base:g ~true_costs ~declared ~traffic).(c)
+  in
+  let xz_path declared_c =
+    let g' = Graph.with_cost g c declared_c in
+    match Tables.path (Pricing.compute g') ~src:(List.assoc "X" names) ~dst:(List.assoc "Z" names) with
+    | Some p -> String.concat "-" (List.map name_of p)
+    | None -> "(none)"
+  in
+
+  print_endline "== Example 1: node C sweeps its declared transit cost (true cost = 1) ==";
+  print_endline "   (uniform all-pairs traffic, rate 1)";
+  print_newline ();
+  let t =
+    Table.create
+      [ "declared"; "u(C) naive"; "u(C) VCG"; "X-Z route" ]
+  in
+  let truthful_naive = utility_of Game.Naive_cost 1. in
+  let truthful_vcg = utility_of Game.Vcg 1. in
+  List.iter
+    (fun declared ->
+      let naive = utility_of Game.Naive_cost declared in
+      let vcg = utility_of Game.Vcg declared in
+      let mark u base = if u > base +. 1e-9 then " (gain!)" else "" in
+      Table.add_row t
+        [
+          Table.cell_float declared;
+          Table.cell_float naive ^ mark naive truthful_naive;
+          Table.cell_float vcg ^ mark vcg truthful_vcg;
+          xz_path declared;
+        ])
+    [ 0.; 1.; 2.; 3.; 4.; 5.; 6.; 8.; 10. ];
+  Table.print t;
+  print_newline ();
+
+  let naive_best =
+    List.fold_left
+      (fun acc d -> Float.max acc (utility_of Game.Naive_cost d))
+      neg_infinity
+      [ 0.; 1.; 2.; 3.; 4.; 5.; 6.; 8.; 10. ]
+  in
+  Printf.printf
+    "naive pricing: lying pays (best sweep utility %g > truthful %g) -- Example 1.\n"
+    naive_best truthful_naive;
+  Printf.printf
+    "VCG pricing:   every lie weakly loses (truthful utility %g is the sweep maximum).\n"
+    truthful_vcg;
+  print_newline ();
+
+  (* Efficiency damage: true cost of the X->Z route under the naive-scheme
+     best response. *)
+  let x = List.assoc "X" names and z = List.assoc "Z" names in
+  let route_true_cost declared_c =
+    let g' = Graph.with_cost g c declared_c in
+    match Tables.path (Pricing.compute g') ~src:x ~dst:z with
+    | Some p ->
+        List.fold_left (fun acc v -> acc +. Graph.cost g v) 0. (Dijkstra.transit_nodes p)
+    | None -> nan
+  in
+  Printf.printf
+    "efficiency: X->Z true path cost is %g when C is truthful, %g when C declares 5.\n"
+    (route_true_cost 1.) (route_true_cost 5.)

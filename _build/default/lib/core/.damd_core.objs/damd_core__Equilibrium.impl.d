@@ -1,0 +1,1 @@
+lib/core/equilibrium.ml: Action Array Dmech Format List Printf

@@ -1,0 +1,1 @@
+lib/core/equilibrium.mli: Action Damd_util Dmech Format

@@ -1,0 +1,1 @@
+lib/core/faithfulness.ml: Equilibrium Format List Printf

@@ -1,0 +1,1 @@
+lib/core/faithfulness.mli: Equilibrium Format

@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Action List State_machine

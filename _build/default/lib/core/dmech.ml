@@ -1,0 +1,20 @@
+type ('theta, 'strategy, 'outcome) t = {
+  n : int;
+  suggested : int -> 'strategy;
+  outcome : 'strategy array -> 'theta array -> 'outcome;
+  utility : int -> 'theta -> 'outcome -> float;
+}
+
+let suggested_profile dm = Array.init dm.n dm.suggested
+
+let suggested_outcome dm types = dm.outcome (suggested_profile dm) types
+
+let unilateral dm i strategy =
+  let profile = suggested_profile dm in
+  profile.(i) <- strategy;
+  profile
+
+let deviation_gain dm types i strategy =
+  let faithful = dm.utility i types.(i) (suggested_outcome dm types) in
+  let deviant = dm.utility i types.(i) (dm.outcome (unilateral dm i strategy) types) in
+  deviant -. faithful

@@ -1,0 +1,42 @@
+(** Distributed mechanism specifications — Definition 1 of the paper:
+    [dM = (g, Sigma, s^m)].
+
+    The outcome rule [g] maps the strategies nodes actually run (plus
+    their private types) to an outcome; the suggested strategy [s^m] is
+    what the designer wants each node to run. Strategies are abstract
+    here — for the faithful-FPSS instantiation a strategy is a node
+    implementation for the network simulator; for the toy examples it is a
+    state-machine policy.
+
+    A strategy is tagged with the action classes in which it deviates from
+    the suggested strategy, so the equilibrium layer can separate IC / CC /
+    AC and check the paper's strong-CC / strong-AC conditions. *)
+
+type ('theta, 'strategy, 'outcome) t = {
+  n : int;
+  suggested : int -> 'strategy;
+      (** [s^m_i]; the strategy is conditioned on the node's type at
+          outcome-evaluation time, so it needs only the node index here *)
+  outcome : 'strategy array -> 'theta array -> 'outcome;
+      (** the outcome rule [g(s(theta))]: run the distributed system with
+          these per-node strategies and private types *)
+  utility : int -> 'theta -> 'outcome -> float;
+      (** [u_i(o; theta_i)], quasilinear *)
+}
+
+val suggested_profile : ('theta, 'strategy, 'outcome) t -> 'strategy array
+
+val suggested_outcome : ('theta, 'strategy, 'outcome) t -> 'theta array -> 'outcome
+(** [g(s^m(theta))] — the outcome the designer intends. *)
+
+val unilateral :
+  ('theta, 'strategy, 'outcome) t -> int -> 'strategy -> 'strategy array
+(** The profile where node [i] plays the given strategy and everyone else
+    follows the suggested specification — the profile every ex post Nash
+    comparison is made against. *)
+
+val deviation_gain :
+  ('theta, 'strategy, 'outcome) t -> 'theta array -> int -> 'strategy -> float
+(** [u_i] under the unilateral deviation minus [u_i] under the suggested
+    profile, for true types [theta]. Faithfulness (Def. 8) demands this is
+    never positive. *)

@@ -1,0 +1,42 @@
+type evidence = {
+  centralized_strategyproof : bool;
+  centralized_trials : int;
+  strong_cc : Equilibrium.report;
+  strong_ac : Equilibrium.report;
+  revelation_consistent : bool;
+}
+
+type verdict = {
+  faithful : bool;
+  failures : string list;
+}
+
+let certify e =
+  let failures =
+    List.filter_map
+      (fun (ok, reason) -> if ok then None else Some reason)
+      [
+        (e.centralized_strategyproof, "centralized mechanism not strategyproof");
+        ( Equilibrium.holds e.strong_cc,
+          Printf.sprintf "strong-CC violated (max gain %g)" e.strong_cc.Equilibrium.max_gain
+        );
+        ( Equilibrium.holds e.strong_ac,
+          Printf.sprintf "strong-AC violated (max gain %g)" e.strong_ac.Equilibrium.max_gain
+        );
+        (e.revelation_consistent, "information revelation not consistent");
+      ]
+  in
+  { faithful = failures = []; failures }
+
+let pp_verdict ppf v =
+  if v.faithful then Format.fprintf ppf "FAITHFUL (ex post Nash)"
+  else
+    Format.fprintf ppf "@[<v>NOT FAITHFUL:@,%a@]"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut Format.pp_print_string)
+      v.failures
+
+let pp_evidence ppf e =
+  Format.fprintf ppf
+    "@[<v>centralized strategyproof: %b (%d trials)@,%a@,%a@,revelation consistent: %b@]"
+    e.centralized_strategyproof e.centralized_trials Equilibrium.pp_report e.strong_cc
+    Equilibrium.pp_report e.strong_ac e.revelation_consistent

@@ -1,0 +1,36 @@
+(** The faithfulness certificate — Propositions 1 and 2 as executable
+    checks.
+
+    Proposition 2 reduces faithfulness of a distributed mechanism
+    specification to three pieces of evidence:
+
+    + the corresponding centralized mechanism is strategyproof,
+    + the specification is strong-CC,
+    + the specification is strong-AC,
+
+    plus the technical side condition that labelled information-revelation
+    actions are *consistent* (Remark 4). This module assembles empirical
+    versions of those pieces into a verdict, which the experiment harness
+    prints as the reproduction of Theorem 1. *)
+
+type evidence = {
+  centralized_strategyproof : bool;
+  centralized_trials : int;
+  strong_cc : Equilibrium.report;
+  strong_ac : Equilibrium.report;
+  revelation_consistent : bool;
+      (** checked structurally by the instantiation (e.g. the bank's
+          cross-validation of announced costs in the faithful FPSS) *)
+}
+
+type verdict = {
+  faithful : bool;
+  failures : string list;  (** human-readable reasons when not faithful *)
+}
+
+val certify : evidence -> verdict
+(** Proposition 2: all four pieces must hold. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val pp_evidence : Format.formatter -> evidence -> unit

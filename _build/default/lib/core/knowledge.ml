@@ -1,0 +1,19 @@
+type t = Dominant_strategy | Ex_post_Nash | Nash
+
+let to_string = function
+  | Dominant_strategy -> "dominant strategy"
+  | Ex_post_Nash -> "ex post Nash"
+  | Nash -> "Nash"
+
+let knowledge_assumption = function
+  | Dominant_strategy ->
+      "nothing: a node need not know others' types nor believe them rational"
+  | Ex_post_Nash ->
+      "common knowledge of rationality only: no knowledge of others' private types"
+  | Nash -> "knowledge of other nodes' private types (usually unrealistic)"
+
+let rank = function Dominant_strategy -> 0 | Ex_post_Nash -> 1 | Nash -> 2
+
+let weaker_assumption_than a b = rank a < rank b
+
+let strongest_feasible ~center = if center then Dominant_strategy else Ex_post_Nash

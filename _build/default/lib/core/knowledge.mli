@@ -1,0 +1,42 @@
+(** Solution concepts and their knowledge assumptions — §3.5 of the paper.
+
+    Every compatibility statement (IC/CC/AC) is made relative to an
+    equilibrium concept, which is itself justified by an assumption about
+    what nodes know. The paper's argument for ex post Nash:
+
+    - dominant strategies need no assumptions about others at all, but are
+      unattainable once self-interested nodes run the mechanism's own
+      rules (Remark 3: the solution concept must adopt the "lowest common
+      denominator");
+    - Bayes–Nash / Nash require knowledge of others' private types
+      (unrealistic in open networks);
+    - ex post Nash sits between: no knowledge of others' *types*, only
+      common knowledge of *rationality*.
+
+    This module encodes that hierarchy so reports and documentation can
+    speak about it precisely; [Equilibrium] implements the ex post checks
+    themselves. *)
+
+type t =
+  | Dominant_strategy
+      (** best response whatever others do — strategyproofness's concept *)
+  | Ex_post_Nash
+      (** best response whatever others' types, provided others follow the
+          suggested strategies — the paper's concept *)
+  | Nash
+      (** best response given others' actual strategies and types *)
+
+val to_string : t -> string
+
+val knowledge_assumption : t -> string
+(** Prose statement of what nodes must know, per §3.5. *)
+
+val weaker_assumption_than : t -> t -> bool
+(** [weaker_assumption_than a b] is true when concept [a] demands strictly
+    less knowledge of other nodes than [b]: dominant < ex post < Nash. *)
+
+val strongest_feasible : center:bool -> t
+(** The paper's Remark 3 as a decision rule: with a trusted center
+    executing the rules ([center = true]) dominant-strategy implementation
+    is attainable; once nodes run the mechanism themselves the lowest
+    common denominator is ex post Nash. *)

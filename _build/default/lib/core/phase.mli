@@ -1,0 +1,42 @@
+(** Phase decomposition with certified checkpoints — §3.8–3.9 of the paper.
+
+    "A distributed mechanism can be decomposed into disjoint phases, each
+    of which is proven strong-CC and strong-AC without worrying about
+    joint deviations involving actions in other phases. Phases are
+    separated during runtime with checkpoints where some node(s) certify a
+    phase outcome and start a subsequent phase."
+
+    A phase transforms a state and a checkpoint certifies the result; a
+    failed certificate restarts the phase (the paper's construction-phase
+    penalty: the mechanism does not progress). The ablation experiment E8
+    runs the same protocol with certification disabled to show that the
+    checkpoints are load-bearing. *)
+
+type 'state t = {
+  name : string;
+  run : 'state -> 'state;
+  certify : 'state -> (unit, string) result;
+      (** [Ok ()] green-lights the next phase; [Error reason] restarts this
+          one. The checkpointing node in the FPSS extension is the bank. *)
+}
+
+type 'state progress = {
+  state : 'state;
+  restarts : (string * string) list;
+      (** (phase name, reason) for every restart that occurred, in order *)
+}
+
+type 'state outcome =
+  | Completed of 'state progress
+  | Stuck of { phase : string; reason : string; progress : 'state progress }
+      (** a phase kept failing certification [max_restarts] times — with a
+          persistent deviant this is the paper's "penalty of no progress" *)
+
+val execute : ?max_restarts:int -> 'state -> 'state t list -> 'state outcome
+(** Run phases in order; each must certify before the next begins
+    ([max_restarts] per phase, default 3). *)
+
+val total_restarts : 'state progress -> int
+
+val uncertified : 'state t -> 'state t
+(** The ablation: same phase, certificate always accepts. *)

@@ -1,0 +1,55 @@
+type ('state, 'action) t = {
+  initial : 'state;
+  transition : 'state -> 'action -> 'state;
+  suggested : 'state -> 'action option;
+  classify : 'action -> Action.t;
+}
+
+type ('state, 'action) step = {
+  before : 'state;
+  action : 'action;
+  cls : Action.t;
+  after : 'state;
+}
+
+let trace ?strategy ~max_steps m =
+  let strategy = match strategy with Some s -> s | None -> m.suggested in
+  let rec go state steps acc =
+    if steps >= max_steps then List.rev acc
+    else
+      match strategy state with
+      | None -> List.rev acc
+      | Some action ->
+          let after = m.transition state action in
+          let step = { before = state; action; cls = m.classify action; after } in
+          go after (steps + 1) (step :: acc)
+  in
+  go m.initial 0 []
+
+let final_state ?strategy ~max_steps m =
+  match List.rev (trace ?strategy ~max_steps m) with
+  | [] -> m.initial
+  | last :: _ -> last.after
+
+let external_actions steps =
+  List.filter_map
+    (fun s -> if Action.is_external s.cls then Some (s.action, s.cls) else None)
+    steps
+
+let follows_specification ~max_steps ~strategy m =
+  let suggested = trace ~max_steps m in
+  let actual = trace ~strategy ~max_steps m in
+  List.length suggested = List.length actual
+  && List.for_all2 (fun a b -> a.action = b.action) suggested actual
+
+let deviation_point ~max_steps ~strategy m =
+  let suggested = trace ~max_steps m in
+  let actual = trace ~strategy ~max_steps m in
+  let rec scan i s a =
+    match (s, a) with
+    | [], [] -> None
+    | sh :: st, ah :: at ->
+        if sh.action = ah.action then scan (i + 1) st at else Some (i, Some sh.cls)
+    | _ :: _, [] | [], _ :: _ -> Some (i, None)
+  in
+  scan 0 suggested actual

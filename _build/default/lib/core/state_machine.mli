@@ -1,0 +1,62 @@
+(** Mechanism specifications as state machines — §3.1 of the paper.
+
+    A specification assigns to each state the action the designer wants
+    taken; a strategy is any (feasible) alternative assignment. This module
+    gives the paper's vocabulary an executable form: machines can be
+    stepped under the suggested specification or under a deviating
+    strategy, producing traces whose external actions are classified by
+    [Action.t]. The faithful-FPSS implementation uses handler closures for
+    efficiency, but the tests exercise this layer on small protocol
+    machines to pin down the definitions. *)
+
+type ('state, 'action) t = {
+  initial : 'state;
+  transition : 'state -> 'action -> 'state;
+      (** the (deterministic) transition relation *)
+  suggested : 'state -> 'action option;
+      (** the specification [s : L -> A]; [None] once the machine halts *)
+  classify : 'action -> Action.t;
+}
+
+type ('state, 'action) step = {
+  before : 'state;
+  action : 'action;
+  cls : Action.t;
+  after : 'state;
+}
+
+val trace :
+  ?strategy:('state -> 'action option) ->
+  max_steps:int ->
+  ('state, 'action) t ->
+  ('state, 'action) step list
+(** Run the machine from its initial state under [strategy] (default: the
+    suggested specification) until it halts or [max_steps] is reached. *)
+
+val final_state :
+  ?strategy:('state -> 'action option) ->
+  max_steps:int ->
+  ('state, 'action) t ->
+  'state
+
+val external_actions : ('state, 'action) step list -> ('action * Action.t) list
+(** The externally visible behaviour of a trace (internal steps dropped) —
+    what other nodes, and a checker, can observe. *)
+
+val follows_specification :
+  max_steps:int ->
+  strategy:('state -> 'action option) ->
+  ('state, 'action) t ->
+  bool
+(** Does [strategy] generate exactly the suggested trace? (Faithfulness of
+    a single implementation run, not of the equilibrium.) *)
+
+val deviation_point :
+  max_steps:int ->
+  strategy:('state -> 'action option) ->
+  ('state, 'action) t ->
+  (int * Action.t option) option
+(** First step index at which [strategy] departs from the suggested
+    specification, with the class of the suggested action at that point
+    ([None] when the deviation is halting early / running long). [None]
+    when the strategy is faithful. *)

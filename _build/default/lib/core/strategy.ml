@@ -1,0 +1,40 @@
+type ('state, 'action) sub = {
+  cls : Action.t;
+  act : 'state -> 'action option;
+}
+
+let project m ~strategy cls =
+  let act state =
+    match strategy state with
+    | None -> None
+    | Some action ->
+        let owner = m.State_machine.classify action in
+        let owner =
+          (* internal actions ride with the computational strategy *)
+          if owner = Action.Internal then Action.Computation else owner
+        in
+        if owner = cls then Some action else None
+  in
+  { cls; act }
+
+let decompose m ~strategy =
+  ( project m ~strategy Action.Information_revelation,
+    project m ~strategy Action.Message_passing,
+    project m ~strategy Action.Computation )
+
+let compose _m subs state =
+  let claims = List.filter_map (fun sub -> sub.act state) subs in
+  match claims with
+  | [] -> None
+  | [ action ] -> Some action
+  | _ :: _ :: _ ->
+      invalid_arg
+        "Strategy.compose: two sub-strategies act in the same state (the \
+         specification demands one action per state)"
+
+let trace_of_class m ~strategy ~max_steps cls =
+  State_machine.trace ~strategy ~max_steps m
+  |> List.filter_map (fun step ->
+         let owner = step.State_machine.cls in
+         let owner = if owner = Action.Internal then Action.Computation else owner in
+         if owner = cls then Some step.State_machine.action else None)

@@ -1,0 +1,62 @@
+(** Strategy decomposition — §3.3 of the paper.
+
+    A suggested strategy decomposes as [s^m_i = (r^m_i, p^m_i, c^m_i)]:
+    an information-revelation strategy, a message-passing strategy and a
+    computational strategy. "Formally, we can model this as each strategy
+    simulating the entire specification but only performing its
+    corresponding external actions."
+
+    This module makes that construction executable over
+    [State_machine]: [project] builds the sub-strategy for one action
+    class (it simulates the full machine, emitting only the actions of
+    its class and skipping the rest as if performed by the other
+    sub-strategies), and [compose] reassembles a full strategy from three
+    sub-strategies. The round-trip law [compose (project IR s) (project MP
+    s) (project C s) = s] on generated traces is property-tested in
+    [test/test_core.ml] — the formal content of the paper's remark that
+    "no pair of sub-strategies will engage in multiple external actions
+    simultaneously" (each state demands exactly one action, owned by
+    exactly one class). *)
+
+type ('state, 'action) sub = {
+  cls : Action.t;
+  act : 'state -> 'action option;
+      (** the action this sub-strategy performs in a state: [Some a] when
+          the full strategy's action at that state belongs to [cls],
+          [None] when it is another class's turn (or the machine halted) *)
+}
+
+val project :
+  ('state, 'action) State_machine.t ->
+  strategy:('state -> 'action option) ->
+  Action.t ->
+  ('state, 'action) sub
+(** The [cls]-component of [strategy]. *)
+
+val decompose :
+  ('state, 'action) State_machine.t ->
+  strategy:('state -> 'action option) ->
+  ('state, 'action) sub * ('state, 'action) sub * ('state, 'action) sub
+(** [(r, p, c)] — the paper's triple (internal actions are attributed to
+    the computational strategy, which may always act without external
+    effect). *)
+
+val compose :
+  ('state, 'action) State_machine.t ->
+  ('state, 'action) sub list ->
+  'state ->
+  'action option
+(** Reassemble a full strategy: in each state, the unique sub-strategy
+    whose class owns the suggested action acts. Raises [Invalid_argument]
+    if two subs claim the same state (they would "engage in multiple
+    external actions simultaneously"). *)
+
+val trace_of_class :
+  ('state, 'action) State_machine.t ->
+  strategy:('state -> 'action option) ->
+  max_steps:int ->
+  Action.t ->
+  'action list
+(** The externally visible actions of one class along the strategy's
+    trace — e.g. exactly the messages a checker of this node would see
+    forwarded. *)

@@ -1,0 +1,1 @@
+lib/crypto/signer.ml: Hashtbl Hmac Printf Sha256

@@ -1,0 +1,15 @@
+(** HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+
+    Message authentication for the bank channel: §4.2 of the paper requires
+    that "all communication between the bank and a node is signed with
+    acknowledgments to ensure communication compatibility of these
+    messages". Verified against RFC 4231 test vectors. *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] is the 32-byte raw HMAC-SHA-256 tag. *)
+
+val mac_hex : key:string -> string -> string
+(** Hex-encoded tag. *)
+
+val verify : key:string -> string -> tag:string -> bool
+(** Constant-time comparison of [tag] against the recomputed MAC. *)

@@ -1,0 +1,32 @@
+(** Pure-OCaml SHA-256 (FIPS 180-4).
+
+    The faithful-FPSS bank compares digests of routing ([DATA2]) and pricing
+    ([DATA3*]) tables rather than whole tables, and the signed bank channel
+    is HMAC-SHA-256; this module is the hash primitive underneath both.
+    Verified against the FIPS test vectors in [test/test_crypto.ml]. *)
+
+type ctx
+(** Streaming hash context. *)
+
+val init : unit -> ctx
+
+val feed : ctx -> string -> unit
+(** Absorb bytes. May be called repeatedly. *)
+
+val finalize : ctx -> string
+(** Finish and return the 32-byte raw digest. The context must not be used
+    afterwards. *)
+
+val digest : string -> string
+(** One-shot: 32-byte raw digest of the input. *)
+
+val hex : string -> string
+(** Lowercase hex encoding of a raw byte string. *)
+
+val digest_hex : string -> string
+(** [hex (digest s)]. *)
+
+val digest_list : string list -> string
+(** Digest of the concatenation, with each element length-prefixed so that
+    list boundaries are unambiguous ([digest_list ["ab";"c"]] differs from
+    [digest_list ["a";"bc"]]). *)

@@ -1,0 +1,24 @@
+type registry = { seed : int; keys : (int, string) Hashtbl.t }
+
+type signed = { signer : int; payload : string; tag : string }
+
+let create_registry ~seed = { seed; keys = Hashtbl.create 64 }
+
+let key_of reg id =
+  match Hashtbl.find_opt reg.keys id with
+  | Some k -> k
+  | None ->
+      (* Deterministic per-identity key: hash of the registry seed and id. *)
+      let k = Sha256.digest (Printf.sprintf "damd-key:%d:%d" reg.seed id) in
+      Hashtbl.add reg.keys id k;
+      k
+
+let sign ~key ~signer payload =
+  let tag = Hmac.mac ~key (Printf.sprintf "%d|%s" signer payload) in
+  { signer; payload; tag }
+
+let verify reg s =
+  let key = key_of reg s.signer in
+  Hmac.verify ~key (Printf.sprintf "%d|%s" s.signer s.payload) ~tag:s.tag
+
+let tamper s ~payload = { s with payload }

@@ -1,0 +1,38 @@
+(** Toy signature scheme over a trusted key registry.
+
+    The paper's faithful-FPSS extension needs exactly one cryptographic
+    property: messages between a node and the bank cannot be forged or
+    altered undetected by intermediate rational nodes. We model this with a
+    per-identity secret key shared with the registry (think: keys provisioned
+    by the bank) and HMAC-SHA-256 tags. Inside the simulation only the owner
+    and the verifier (the bank, which owns the registry) hold the key, so
+    unforgeability holds in-model.
+
+    This is a deliberate substitution for public-key signatures — documented
+    in DESIGN.md §3 — preserving the behaviour the proofs rely on (tampering
+    is detected) without an RSA/EC dependency. *)
+
+type registry
+(** The verifier's key store, indexed by integer identity. *)
+
+type signed = { signer : int; payload : string; tag : string }
+(** A payload signed by [signer]. *)
+
+val create_registry : seed:int -> registry
+(** Fresh registry; keys are derived deterministically from [seed] so runs
+    are reproducible. *)
+
+val key_of : registry -> int -> string
+(** [key_of reg id] is [id]'s secret key, provisioning it on first use.
+    Handing this to a node models the out-of-band key exchange with the
+    bank. *)
+
+val sign : key:string -> signer:int -> string -> signed
+
+val verify : registry -> signed -> bool
+(** True iff the tag matches under the registered key of [signed.signer].
+    A payload altered in flight, or a tag produced under another node's key
+    (spoofed [signer]), fails verification. *)
+
+val tamper : signed -> payload:string -> signed
+(** Adversary helper: replace the payload, keeping the (now-stale) tag. *)

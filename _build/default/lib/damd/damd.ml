@@ -1,0 +1,23 @@
+(** Umbrella entry point: one [open Damd] (or [Damd.] prefix) reaches the
+    whole library. The sub-libraries remain independently usable; this
+    module only re-exports them under short names.
+
+    - {!Util}: RNG, statistics, priority queue, tables
+    - {!Crypto}: SHA-256, HMAC, the signing registry
+    - {!Graph}: node-cost graphs, LCPs, biconnectivity, generators, metrics
+    - {!Mech}: mechanism-design core (VCG, strategyproofness, properties)
+    - {!Sim}: the discrete-event network simulator
+    - {!Fpss}: the FPSS routing mechanism, centralized and distributed
+    - {!Core}: the paper's faithfulness framework (actions, specs,
+      equilibria, phases, certificates)
+    - {!Faithful}: the extended-FPSS protocol, adversaries, bank, audit,
+      and the faithful distributed election *)
+
+module Util = Damd_util
+module Crypto = Damd_crypto
+module Graph = Damd_graph
+module Mech = Damd_mech
+module Sim = Damd_sim
+module Fpss = Damd_fpss
+module Core = Damd_core
+module Faithful = Damd_faithful

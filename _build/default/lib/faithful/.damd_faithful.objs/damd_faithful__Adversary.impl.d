@@ -1,0 +1,1 @@
+lib/faithful/adversary.ml: Damd_core Printf

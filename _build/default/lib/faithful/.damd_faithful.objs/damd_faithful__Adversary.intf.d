@@ -1,0 +1,1 @@
+lib/faithful/adversary.mli: Damd_core

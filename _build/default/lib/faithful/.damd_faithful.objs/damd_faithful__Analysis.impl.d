@@ -1,0 +1,1 @@
+lib/faithful/analysis.ml: Adversary Array Bank Damd_core Damd_fpss Damd_graph Damd_mech Damd_util List Runner

@@ -1,0 +1,1 @@
+lib/faithful/analysis.mli: Adversary Damd_core Damd_fpss Damd_graph Damd_util Runner

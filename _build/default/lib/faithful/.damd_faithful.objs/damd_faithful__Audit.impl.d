@@ -1,0 +1,1 @@
+lib/faithful/audit.ml: Adversary Array Bank Damd_fpss Damd_graph List Runner String

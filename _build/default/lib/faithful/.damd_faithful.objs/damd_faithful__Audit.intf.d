@@ -1,0 +1,1 @@
+lib/faithful/audit.mli: Adversary Damd_fpss Damd_graph Runner

@@ -1,0 +1,1 @@
+lib/faithful/bank.ml: Array Damd_crypto Damd_graph Float Format Hashtbl List Node Option Printf Protocol String

@@ -1,0 +1,1 @@
+lib/faithful/bank.mli: Damd_crypto Damd_fpss Format Node

@@ -1,0 +1,1 @@
+lib/faithful/committee.ml: Bank List

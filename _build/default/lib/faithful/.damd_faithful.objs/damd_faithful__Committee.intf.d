@@ -1,0 +1,1 @@
+lib/faithful/committee.mli: Bank Node

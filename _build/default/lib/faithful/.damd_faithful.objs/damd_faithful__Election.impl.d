@@ -1,0 +1,1 @@
+lib/faithful/election.ml: Array Damd_core Damd_crypto Damd_graph Damd_mech Damd_sim Float List Option Printf String

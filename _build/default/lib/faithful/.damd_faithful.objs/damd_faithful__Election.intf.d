@@ -1,0 +1,1 @@
+lib/faithful/election.mli: Damd_core Damd_graph Damd_mech

@@ -1,0 +1,1 @@
+lib/faithful/node.ml: Adversary Array Damd_graph Float Hashtbl List Option Protocol

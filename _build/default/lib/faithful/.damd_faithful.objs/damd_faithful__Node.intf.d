@@ -1,0 +1,1 @@
+lib/faithful/node.mli: Adversary Damd_fpss Hashtbl Protocol

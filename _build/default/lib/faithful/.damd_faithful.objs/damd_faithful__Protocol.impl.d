@@ -1,0 +1,1 @@
+lib/faithful/protocol.ml: Array Buffer Damd_crypto Damd_graph Float List Printf

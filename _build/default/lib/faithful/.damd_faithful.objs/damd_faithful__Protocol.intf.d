@@ -1,0 +1,1 @@
+lib/faithful/protocol.mli: Damd_graph

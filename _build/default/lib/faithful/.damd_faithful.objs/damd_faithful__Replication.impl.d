@@ -1,0 +1,1 @@
+lib/faithful/replication.ml: Array Damd_fpss Damd_graph Damd_sim List Option Protocol

@@ -1,0 +1,1 @@
+lib/faithful/replication.mli: Damd_graph

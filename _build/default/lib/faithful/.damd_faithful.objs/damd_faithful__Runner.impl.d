@@ -1,0 +1,1 @@
+lib/faithful/runner.ml: Adversary Array Bank Damd_core Damd_crypto Damd_fpss Damd_graph Damd_sim Damd_util List Node Printf Protocol

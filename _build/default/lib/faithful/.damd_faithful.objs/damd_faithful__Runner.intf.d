@@ -1,0 +1,1 @@
+lib/faithful/runner.mli: Adversary Bank Damd_fpss Damd_graph

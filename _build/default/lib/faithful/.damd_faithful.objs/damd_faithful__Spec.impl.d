@@ -1,0 +1,1 @@
+lib/faithful/spec.ml: Damd_core List

@@ -1,0 +1,1 @@
+lib/faithful/spec.mli: Damd_core

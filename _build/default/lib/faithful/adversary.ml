@@ -1,0 +1,108 @@
+module Action = Damd_core.Action
+
+type t =
+  | Faithful
+  | Misreport_cost of float
+  | Inconsistent_cost of float * float
+  | Corrupt_cost_forward of float
+  | Drop_routing_copies
+  | Drop_pricing_copies
+  | Corrupt_routing_copies of float
+  | Corrupt_pricing_copies of float
+  | Spoof_routing_update of float
+  | Spoof_pricing_update of float
+  | Miscompute_routing of float
+  | Miscompute_pricing of float
+  | Underreport_payments of float
+  | Misroute_packets
+  | Misattribute_payments
+  | Silent_in_construction
+  | Combined_routing_attack of float
+  | Combined_pricing_attack of float
+  | Lying_checker
+  | Collude_with of int
+
+let name = function
+  | Faithful -> "faithful"
+  | Misreport_cost c -> Printf.sprintf "misreport-cost(%g)" c
+  | Inconsistent_cost (a, b) -> Printf.sprintf "inconsistent-cost(%g|%g)" a b
+  | Corrupt_cost_forward d -> Printf.sprintf "corrupt-cost-forward(+%g)" d
+  | Drop_routing_copies -> "drop-routing-copies"
+  | Drop_pricing_copies -> "drop-pricing-copies"
+  | Corrupt_routing_copies d -> Printf.sprintf "corrupt-routing-copies(+%g)" d
+  | Corrupt_pricing_copies d -> Printf.sprintf "corrupt-pricing-copies(+%g)" d
+  | Spoof_routing_update d -> Printf.sprintf "spoof-routing-update(+%g)" d
+  | Spoof_pricing_update d -> Printf.sprintf "spoof-pricing-update(+%g)" d
+  | Miscompute_routing d -> Printf.sprintf "miscompute-routing(%+g)" d
+  | Miscompute_pricing d -> Printf.sprintf "miscompute-pricing(%+g)" d
+  | Underreport_payments f -> Printf.sprintf "underreport-payments(x%g)" f
+  | Misroute_packets -> "misroute-packets"
+  | Misattribute_payments -> "misattribute-payments"
+  | Silent_in_construction -> "silent-in-construction"
+  | Combined_routing_attack d -> Printf.sprintf "combined-routing-attack(%g)" d
+  | Combined_pricing_attack d -> Printf.sprintf "combined-pricing-attack(%g)" d
+  | Lying_checker -> "lying-checker"
+  | Collude_with p -> Printf.sprintf "collude-with(%d)" p
+
+let classify = function
+  | Faithful -> []
+  | Misreport_cost _ | Inconsistent_cost _ -> [ Action.Information_revelation ]
+  | Corrupt_cost_forward _ -> [ Action.Message_passing ]
+  | Drop_routing_copies | Drop_pricing_copies -> [ Action.Message_passing ]
+  | Corrupt_routing_copies _ | Corrupt_pricing_copies _ -> [ Action.Message_passing ]
+  | Spoof_routing_update _ | Spoof_pricing_update _ -> [ Action.Message_passing ]
+  | Miscompute_routing _ | Miscompute_pricing _ -> [ Action.Computation ]
+  | Underreport_payments _ -> [ Action.Computation ]
+  | Misroute_packets -> [ Action.Message_passing ]
+  | Misattribute_payments -> [ Action.Computation ]
+  | Silent_in_construction -> [ Action.Message_passing; Action.Computation ]
+  | Combined_routing_attack _ | Combined_pricing_attack _ ->
+      [ Action.Message_passing; Action.Computation ]
+  | Lying_checker | Collude_with _ -> [ Action.Computation ]
+
+let is_construction = function
+  | Inconsistent_cost _ | Corrupt_cost_forward _ | Drop_routing_copies
+  | Drop_pricing_copies | Corrupt_routing_copies _ | Corrupt_pricing_copies _
+  | Spoof_routing_update _ | Spoof_pricing_update _ | Miscompute_routing _
+  | Miscompute_pricing _ | Silent_in_construction | Lying_checker | Collude_with _
+  | Combined_routing_attack _ | Combined_pricing_attack _ ->
+      true
+  | Faithful | Misreport_cost _ | Underreport_payments _ | Misroute_packets
+  | Misattribute_payments ->
+      false
+
+let is_execution = function
+  | Underreport_payments _ | Misroute_packets | Misattribute_payments -> true
+  | _ -> false
+
+let library =
+  [
+    Misreport_cost 5.;
+    Inconsistent_cost (1., 8.);
+    Corrupt_cost_forward 3.;
+    Drop_routing_copies;
+    Drop_pricing_copies;
+    Corrupt_routing_copies 2.;
+    Corrupt_pricing_copies 2.;
+    Spoof_routing_update 3.;
+    Spoof_pricing_update 3.;
+    Miscompute_routing (-2.);
+    Miscompute_routing 2.;
+    Miscompute_pricing 2.;
+    Underreport_payments 0.5;
+    Misroute_packets;
+    Misattribute_payments;
+    Silent_in_construction;
+    Combined_routing_attack 2.;
+    Combined_pricing_attack 2.;
+    Lying_checker;
+  ]
+
+let detectable = function
+  | Faithful | Misreport_cost _ -> false
+  (* a lying checker alone changes nothing the bank compares unless some
+     principal actually deviates; colluders are only caught when the
+     coalition does not cover a full neighborhood *)
+  | Lying_checker -> false
+  | Collude_with _ -> false
+  | _ -> true

@@ -1,0 +1,101 @@
+(** The rational-manipulation library — §4.3's manipulation catalogue made
+    executable.
+
+    Each constructor is a complete deviating node implementation for the
+    extended-FPSS protocol (a "rational node" that replaced the suggested
+    code with its own). The catalogue covers:
+
+    - the paper's manipulations 1–4 (drop / change / spoof forwarded
+      routing and pricing updates; miscompute either table),
+    - information-revelation deviations (consistent misreport — allowed
+      and unprofitable under VCG; inconsistent announcement — caught by
+      the phase-1 certificate),
+    - execution-phase deviations (payment under-reporting, packet
+      misrouting),
+    - omission (silence), which the catch-and-punish machinery also flags.
+
+    [classify] maps each deviation to the external-action classes it
+    touches, which is what routes it into the strong-CC / strong-AC /
+    IC sweeps of [Damd_core.Equilibrium]. *)
+
+type t =
+  | Faithful
+  | Misreport_cost of float
+      (** declare this transit cost to everyone (consistent lie) *)
+  | Inconsistent_cost of float * float
+      (** declare the first cost to even-indexed neighbors, the second to
+          odd — inconsistent information revelation (Remark 4) *)
+  | Corrupt_cost_forward of float
+      (** add this delta to every transit-cost fact forwarded for others *)
+  | Drop_routing_copies
+      (** [PRINC1] message-passing deviation: never forward routing copies
+          to checkers *)
+  | Drop_pricing_copies  (** same for [PRINC2] *)
+  | Corrupt_routing_copies of float
+      (** inflate path costs inside forwarded routing copies *)
+  | Corrupt_pricing_copies of float
+      (** inflate prices inside forwarded pricing copies *)
+  | Spoof_routing_update of float
+      (** fabricate a copy claiming a neighbor announced costs inflated by
+          this delta *)
+  | Spoof_pricing_update of float
+      (** fabricate a copy claiming a neighbor announced prices inflated
+          by this delta *)
+  | Miscompute_routing of float
+      (** announce own routing entries with costs shifted by this delta
+          (negative = understate downstream costs to attract traffic and
+          inflate the VCG premium — the profitable manipulation when
+          checking is disabled) *)
+  | Miscompute_pricing of float
+      (** announce own pricing entries inflated by this delta *)
+  | Underreport_payments of float
+      (** report this fraction of the true [DATA4] payment total *)
+  | Misroute_packets
+      (** forward execution packets to the lowest-numbered neighbor
+          instead of the certified next hop *)
+  | Misattribute_payments
+      (** report the correct DATA4 *total* but shift every payment onto
+          the lowest-numbered owed transit — caught only because the bank
+          compares per-transit entries, not just totals *)
+  | Silent_in_construction
+      (** never announce own tables (omission) *)
+  | Combined_routing_attack of float
+      (** a *joint* deviation within phase 2a, exercising the "any
+          combination" quantifier of Defs. 12-13: corrupt forwarded
+          routing copies by +delta, announce own tables distorted by
+          -delta, and spoof an extra update — all at once *)
+  | Combined_pricing_attack of float
+      (** the phase-2b analogue: corrupt pricing copies, inflate own
+          announced prices and spoof, simultaneously *)
+  | Lying_checker
+      (** checker-role deviation: report to the bank, for every principal
+          it checks, whatever digest the principal self-reports (instead of
+          its honestly recomputed mirror) — the "checker lets a deviation
+          through" case the partitioning argument of §4.2 covers *)
+  | Collude_with of int
+      (** full collusion with the named principal: behave as
+          [Lying_checker] toward it AND suppress any checker evidence about
+          it. Two-node (and neighborhood) collusion is outside the paper's
+          ex post Nash (without collusion) guarantee; experiment E14 maps
+          where detection survives and where it falls *)
+
+val name : t -> string
+
+val classify : t -> Damd_core.Action.t list
+(** External action classes the deviation touches ([Faithful] -> []). *)
+
+val is_construction : t -> bool
+(** Deviates during the construction phases (detected by bank
+    checkpoints, i.e. punished by restart). *)
+
+val is_execution : t -> bool
+(** Deviates during the execution phase (punished by monetary penalty). *)
+
+val library : t list
+(** The standard sweep: every deviation with representative parameters.
+    Excludes [Faithful]. *)
+
+val detectable : t -> bool
+(** Whether the extended specification is expected to catch it.
+    [Misreport_cost] is *not* detectable — it is a consistent revelation
+    action, neutralized by strategyproofness rather than by checking. *)

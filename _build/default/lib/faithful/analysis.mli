@@ -1,0 +1,48 @@
+(** Theorem 1, executable: the extended-FPSS specification as a
+    distributed mechanism specification, wired into the equilibrium
+    checkers of [Damd_core].
+
+    Types are true per-packet transit costs; strategies are
+    [Adversary.t] node implementations; the outcome rule runs the full
+    protocol ([Runner.run]); utilities are the runner's quasilinear
+    utilities. [evidence] assembles the Proposition 2 certificate:
+    strategyproofness of centralized FPSS, strong-CC, strong-AC, and
+    revelation consistency (the DATA1 certificate). *)
+
+val dmech :
+  ?params:Runner.params ->
+  base:Damd_graph.Graph.t ->
+  traffic:Damd_fpss.Traffic.t ->
+  unit ->
+  (float, Adversary.t, Runner.result) Damd_core.Dmech.t
+(** The distributed mechanism specification dM = (g, Sigma, s^m) induced
+    by a topology and traffic matrix. The type vector replaces the
+    graph's transit costs at outcome-evaluation time. *)
+
+val deviation_library : (float, Adversary.t) Damd_core.Equilibrium.deviation list
+(** [Adversary.library] tagged with the paper's action classes. *)
+
+val sample_costs : Damd_util.Rng.t -> n:int -> float array
+(** Integer costs in [1, 10] (min 1 keeps zero-cost corner cases out of
+    equilibrium sweeps; zero costs are covered by dedicated tests). *)
+
+val evidence :
+  ?params:Runner.params ->
+  rng:Damd_util.Rng.t ->
+  profiles:int ->
+  base:Damd_graph.Graph.t ->
+  traffic:Damd_fpss.Traffic.t ->
+  unit ->
+  Damd_core.Faithfulness.evidence
+(** The full empirical Proposition-2 certificate on one topology. *)
+
+val ex_post_nash_report :
+  ?params:Runner.params ->
+  rng:Damd_util.Rng.t ->
+  profiles:int ->
+  base:Damd_graph.Graph.t ->
+  traffic:Damd_fpss.Traffic.t ->
+  unit ->
+  Damd_core.Equilibrium.report
+(** The headline check: no deviation in the library profits against the
+    faithful profile (Definition 8 relative to the library). *)

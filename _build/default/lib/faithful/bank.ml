@@ -1,0 +1,282 @@
+module Dijkstra = Damd_graph.Dijkstra
+module Signer = Damd_crypto.Signer
+
+type detection = {
+  rule : string;
+  culprit : int option;
+  detail : string;
+}
+
+let pp_detection ppf d =
+  Format.fprintf ppf "[%s]%s %s" d.rule
+    (match d.culprit with Some c -> Printf.sprintf " node %d:" c | None -> "")
+    d.detail
+
+let all_equal = function
+  | [] -> true
+  | x :: rest -> List.for_all (String.equal x) rest
+
+let checkpoint_costs nodes =
+  let digests = Array.to_list (Array.map Node.costs_digest nodes) in
+  if all_equal digests then []
+  else
+    [
+      {
+        rule = "DATA1";
+        culprit = None;
+        detail = "transit-cost tables disagree across nodes (inconsistent revelation)";
+      };
+    ]
+
+let checkpoint_for ~rule ~self_digest ~mirror_digest ~announced_digest nodes =
+  let detections = ref [] in
+  Array.iter
+    (fun (node : Node.t) ->
+      let p = node.Node.id in
+      let expected = self_digest node in
+      let problems = ref [] in
+      List.iter
+        (fun c ->
+          let checker = nodes.(c) in
+          if Node.colludes_with checker ~principal:p then
+            (* A coordinated lie: the checker echoes the principal's
+               self-report for both of its digests, so it contributes no
+               evidence. Honest checkers (if any remain) still catch the
+               deviation; a full-neighborhood coalition escapes — the
+               paper's "without collusion" boundary (experiment E14). *)
+            ()
+          else begin
+            let mirror = mirror_digest checker ~principal:p in
+            if not (String.equal mirror expected) then
+              problems := Printf.sprintf "checker %d mirror disagrees" c :: !problems;
+            match announced_digest checker ~principal:p with
+            | None -> problems := Printf.sprintf "no announcement seen by %d" c :: !problems
+            | Some announced ->
+                if not (String.equal announced expected) then
+                  problems :=
+                    Printf.sprintf "announcement to %d disagrees with internal state" c
+                    :: !problems
+          end)
+        node.Node.neighbors;
+      if !problems <> [] then
+        detections :=
+          { rule; culprit = Some p; detail = String.concat "; " (List.rev !problems) }
+          :: !detections)
+    nodes;
+  List.rev !detections
+
+let checkpoint_routing nodes =
+  checkpoint_for ~rule:"BANK1" ~self_digest:Node.self_routing_digest
+    ~mirror_digest:(fun c ~principal ->
+      Protocol.routing_digest (Node.mirror_routing c ~principal))
+    ~announced_digest:Node.announced_routing_digest_of nodes
+
+let checkpoint_pricing nodes =
+  checkpoint_for ~rule:"BANK2" ~self_digest:Node.self_pricing_digest
+    ~mirror_digest:(fun c ~principal ->
+      Protocol.pricing_digest (Node.mirror_pricing c ~principal))
+    ~announced_digest:Node.announced_pricing_digest_of nodes
+
+let collect_flags nodes =
+  Array.to_list nodes
+  |> List.concat_map (fun (node : Node.t) ->
+         List.rev_map
+           (fun (rule, detail) ->
+             {
+               rule;
+               culprit = None;
+               detail = Printf.sprintf "%s (flagged by node %d)" detail node.Node.id;
+             })
+           node.Node.check_flags)
+
+let checkpoint_bytes nodes =
+  (* DATA1: one digest per node; BANK1 and BANK2: per principal one
+     self-digest plus two digests (mirror + announced) per checker. Each
+     digest is 32 bytes plus a 64-byte signed envelope. *)
+  let per_digest = 32 + 64 in
+  Array.fold_left
+    (fun acc (node : Node.t) ->
+      let deg = List.length node.Node.neighbors in
+      acc + per_digest (* DATA1 *) + (2 * per_digest * (1 + (2 * deg))))
+    0 nodes
+
+let serialize_report entries =
+  entries
+  |> List.sort compare
+  |> List.map (fun (k, v) -> Printf.sprintf "%d=%h" k v)
+  |> String.concat ";"
+
+type settlement = {
+  outlays : float array;
+  incomes : float array;
+  penalties : float array;
+  delivered : float array;
+  detections : detection list;
+}
+
+(* The certified view: node s's own tables (which, after a clean
+   checkpoint, equal every checker's mirror). *)
+let certified_prices (nodes : Node.t array) s dst =
+  List.map
+    (fun (pe : Protocol.price_entry) -> (pe.Protocol.transit, pe.Protocol.price))
+    nodes.(s).Node.pricing.(dst)
+
+let certified_path (nodes : Node.t array) s dst =
+  match nodes.(s).Node.routing.(dst) with
+  | Some e -> Some e.Dijkstra.path
+  | None -> None
+
+let deliveries_for (nodes : Node.t array) ~src ~dst =
+  List.filter_map
+    (fun (s, rate, trace) -> if s = src then Some (rate, trace) else None)
+    nodes.(dst).Node.deliveries
+
+let settle ~checking ~epsilon ~registry ~nodes ~traffic =
+  let n = Array.length nodes in
+  let outlays = Array.make n 0. in
+  let incomes = Array.make n 0. in
+  let penalties = Array.make n 0. in
+  let delivered = Array.make n 0. in
+  let detections = ref [] in
+  let detect rule culprit detail = detections := { rule; culprit; detail } :: !detections in
+  (* Signed DATA4 reports. The signature is produced with the node's own
+     key; deviations lie inside the payload, which signing cannot (and
+     should not) prevent — it prevents third-party tampering. *)
+  let reports =
+    Array.init n (fun i ->
+        let entries = Node.payment_report nodes.(i) traffic in
+        let key = Signer.key_of registry i in
+        let signed = Signer.sign ~key ~signer:i (serialize_report entries) in
+        if not (Signer.verify registry signed) then
+          detect "EXEC" (Some i) "payment report signature invalid";
+        entries)
+  in
+  (* Delivery accounting, shared by both modes. *)
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst && traffic.(src).(dst) > 0. then
+        List.iter (fun (rate, _) -> delivered.(src) <- delivered.(src) +. rate)
+          (deliveries_for nodes ~src ~dst)
+    done
+  done;
+  if not checking then begin
+    (* Naive clearing: believe every report. *)
+    Array.iteri
+      (fun s entries ->
+        List.iter
+          (fun (k, amount) ->
+            outlays.(s) <- outlays.(s) +. amount;
+            if k >= 0 && k < n then incomes.(k) <- incomes.(k) +. amount)
+          entries)
+      reports
+  end
+  else begin
+    (* Verified clearing at certified prices. *)
+    let expected_total = Array.make n 0. in
+    for s = 0 to n - 1 do
+      for dst = 0 to n - 1 do
+        let rate = traffic.(s).(dst) in
+        if s <> dst && rate > 0. then
+          List.iter
+            (fun (k, price) ->
+              expected_total.(s) <- expected_total.(s) +. (price *. rate);
+              incomes.(k) <- incomes.(k) +. (price *. rate))
+            (certified_prices nodes s dst)
+      done
+    done;
+    for s = 0 to n - 1 do
+      let reported = List.fold_left (fun acc (_, v) -> acc +. v) 0. reports.(s) in
+      outlays.(s) <- expected_total.(s);
+      let delta = Float.abs (reported -. expected_total.(s)) in
+      if delta > 1e-6 then begin
+        detect "EXEC" (Some s)
+          (Printf.sprintf "payment report off by %g (reported %g, owed %g)" delta
+             reported expected_total.(s));
+        penalties.(s) <- penalties.(s) +. delta +. epsilon
+      end
+      else begin
+        (* Totals agree: also verify per-transit attribution against the
+           certified tables — shifting money between transits is fraud
+           against the shorted transit. *)
+        let expected_entries = Hashtbl.create 8 in
+        for dst = 0 to n - 1 do
+          let rate = traffic.(s).(dst) in
+          if s <> dst && rate > 0. then
+            List.iter
+              (fun (k, price) ->
+                Hashtbl.replace expected_entries k
+                  (price *. rate
+                  +. Option.value ~default:0. (Hashtbl.find_opt expected_entries k)))
+              (certified_prices nodes s dst)
+        done;
+        let misattributed =
+          Hashtbl.fold
+            (fun k owed acc ->
+              let claimed = Option.value ~default:0. (List.assoc_opt k reports.(s)) in
+              acc +. Float.abs (claimed -. owed))
+            expected_entries 0.
+        in
+        if misattributed > 1e-6 then begin
+          detect "EXEC" (Some s)
+            (Printf.sprintf "payment report misattributes %g across transits"
+               misattributed);
+          penalties.(s) <- penalties.(s) +. epsilon
+        end
+      end
+    done;
+    (* Route audit: delivered traces must follow certified paths; missing
+       deliveries are traced to the node that forwarded off-path. *)
+    for src = 0 to n - 1 do
+      for dst = 0 to n - 1 do
+        let rate = traffic.(src).(dst) in
+        if src <> dst && rate > 0. then
+          match certified_path nodes src dst with
+          | None -> ()
+          | Some path -> (
+              let arrivals = deliveries_for nodes ~src ~dst in
+              match arrivals with
+              | [] -> (
+                  detect "EXEC" None
+                    (Printf.sprintf "flow %d->%d never delivered" src dst);
+                  (* find a witness of off-path carriage *)
+                  let transits = Dijkstra.transit_nodes path in
+                  let off_path_from =
+                    Array.to_list nodes
+                    |> List.find_map (fun (v : Node.t) ->
+                           if List.mem v.Node.id transits || v.Node.id = src then None
+                           else
+                             List.find_map
+                               (fun (s, d, _, from) ->
+                                 if s = src && d = dst then Some from else None)
+                               v.Node.carried)
+                  in
+                  match off_path_from with
+                  | Some from ->
+                      detect "EXEC" (Some from)
+                        (Printf.sprintf "node %d forwarded flow %d->%d off-path" from
+                           src dst);
+                      penalties.(from) <- penalties.(from) +. epsilon
+                  | None -> ())
+              | _ ->
+                  List.iter
+                    (fun (_, trace) ->
+                      if trace <> path then begin
+                        (* first divergence: the node that made the wrong
+                           forwarding decision is the one before it *)
+                        let rec diverge_at i t p =
+                          match (t, p) with
+                          | x :: t', y :: p' when x = y -> diverge_at (i + 1) t' p'
+                          | _ -> i
+                        in
+                        let i = diverge_at 0 trace path in
+                        let culprit = if i = 0 then src else List.nth trace (i - 1) in
+                        detect "EXEC" (Some culprit)
+                          (Printf.sprintf "flow %d->%d strayed from certified path" src
+                             dst);
+                        penalties.(culprit) <- penalties.(culprit) +. epsilon
+                      end)
+                    arrivals)
+      done
+    done
+  end;
+  { outlays; incomes; penalties; delivered; detections = List.rev !detections }

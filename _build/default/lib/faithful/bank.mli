@@ -1,0 +1,68 @@
+(** The bank — the trusted, obedient checkpointing entity of §4.2.
+
+    "Our bank goes beyond whatever accounting and charging mechanisms are
+    used to enforce the pricing scheme … a trusted and obedient entity
+    that can also perform simple comparisons, and enforce penalties when
+    it detects a problem."
+
+    Construction phases: the bank collects 32-byte digests — [DATA1] cost
+    lists from everyone, then per principal its self-reported [DATA2]
+    (resp. [DATA3*]) digest plus, from each of its checkers, the digest of
+    the mirror recomputation and the digest of the principal's last
+    announcement — and demands they all agree ([BANK1]/[BANK2]). Any
+    disagreement restarts the phase.
+
+    Execution: every source's signed [DATA4] payment report is compared
+    against the certified pricing tables; packet traces are compared
+    against certified routes; deviations are fined ε-above the attempted
+    gain. All node↔bank traffic is signed ([Damd_crypto.Signer]). *)
+
+type detection = {
+  rule : string;  (** "DATA1" | "BANK1" | "BANK2" | "EXEC" | checker flags *)
+  culprit : int option;
+      (** the principal whose hash set disagreed / the node whose
+          forwarding or report deviated; [None] when unattributable *)
+  detail : string;
+}
+
+val pp_detection : Format.formatter -> detection -> unit
+
+val checkpoint_costs : Node.t array -> detection list
+(** Phase-1 certificate: every node's DATA1 digest must be identical
+    (consistent information revelation, Remark 4). *)
+
+val checkpoint_routing : Node.t array -> detection list
+(** [BANK1]. Empty list = green light. *)
+
+val checkpoint_pricing : Node.t array -> detection list
+(** [BANK2]. *)
+
+val collect_flags : Node.t array -> detection list
+(** Checker-raised flags (malformed copies, CHECK2 tag rejections). *)
+
+val checkpoint_bytes : Node.t array -> int
+(** Bytes moved over the signed bank channel for one full set of
+    construction checkpoints (E10's cost model). *)
+
+type settlement = {
+  outlays : float array;  (** what each source ends up paying *)
+  incomes : float array;  (** what each transit receives *)
+  penalties : float array;  (** execution fines levied *)
+  delivered : float array;  (** per-source traffic units actually delivered *)
+  detections : detection list;
+}
+
+val settle :
+  checking:bool ->
+  epsilon:float ->
+  registry:Damd_crypto.Signer.registry ->
+  nodes:Node.t array ->
+  traffic:Damd_fpss.Traffic.t ->
+  settlement
+(** Clear the execution phase. With [checking = true] payments are
+    corrected to the certified tables, misreports and misroutes are
+    detected and fined; with [checking = false] the bank naively believes
+    every report (the unfaithful baseline of experiment E7). *)
+
+val serialize_report : (int * float) list -> string
+(** Canonical DATA4 payload placed under the signature. *)

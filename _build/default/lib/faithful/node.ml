@@ -1,0 +1,489 @@
+module Dijkstra = Damd_graph.Dijkstra
+
+type send = dst:int -> Protocol.msg -> unit
+
+type t = {
+  id : int;
+  n : int;
+  neighbors : int list;
+  neighbor_sets : int list array;
+  deviation : Adversary.t;
+  true_cost : float;
+  copies : bool;
+  learned_costs : float option array;
+  mutable costs : float array;
+  mutable nbr_routing : (int * Protocol.routing_table) list;
+  mutable nbr_pricing : (int * Protocol.pricing_table) list;
+  mutable routing : Protocol.routing_table;
+  mutable pricing : Protocol.pricing_table;
+  mutable announced_routing : Protocol.routing_table;
+  mutable announced_pricing : Protocol.pricing_table;
+  mirror_routing_in : (int, (int * Protocol.routing_table) list ref) Hashtbl.t;
+  mirror_pricing_in : (int, (int * Protocol.pricing_table) list ref) Hashtbl.t;
+  mutable check_flags : (string * string) list;
+  mutable carried : (int * int * float * int) list;
+  mutable deliveries : (int * float * int list) list;
+}
+
+let set_assoc key value l = (key, value) :: List.remove_assoc key l
+
+let create ?(copies = true) ~id ~n ~neighbor_sets ~true_cost ~deviation () =
+  let node =
+    {
+      id;
+      n;
+      neighbors = List.sort compare neighbor_sets.(id);
+      neighbor_sets;
+      deviation;
+      true_cost;
+      copies;
+      learned_costs = Array.make n None;
+      costs = Array.make n 0.;
+      nbr_routing = [];
+      nbr_pricing = [];
+      routing = Protocol.empty_routing ~n ~self:id;
+      pricing = Protocol.empty_pricing ~n;
+      announced_routing = Protocol.empty_routing ~n ~self:id;
+      announced_pricing = Protocol.empty_pricing ~n;
+      mirror_routing_in = Hashtbl.create 8;
+      mirror_pricing_in = Hashtbl.create 8;
+      check_flags = [];
+      carried = [];
+      deliveries = [];
+    }
+  in
+  List.iter
+    (fun p ->
+      Hashtbl.replace node.mirror_routing_in p (ref []);
+      Hashtbl.replace node.mirror_pricing_in p (ref []))
+    node.neighbors;
+  node
+
+let reset_costs node =
+  Array.fill node.learned_costs 0 node.n None;
+  node.costs <- Array.make node.n 0.
+
+let reset_pricing_phase node =
+  node.nbr_pricing <- [];
+  node.pricing <- Protocol.empty_pricing ~n:node.n;
+  node.announced_pricing <- Protocol.empty_pricing ~n:node.n;
+  List.iter
+    (fun p -> Hashtbl.replace node.mirror_pricing_in p (ref []))
+    node.neighbors
+
+let reset_routing_phase node =
+  reset_pricing_phase node;
+  node.nbr_routing <- [];
+  node.routing <- Protocol.empty_routing ~n:node.n ~self:node.id;
+  node.announced_routing <- Protocol.empty_routing ~n:node.n ~self:node.id;
+  List.iter
+    (fun p -> Hashtbl.replace node.mirror_routing_in p (ref []))
+    node.neighbors;
+  node.check_flags <- []
+
+let reset_execution node =
+  node.carried <- [];
+  node.deliveries <- []
+
+let flag node rule detail = node.check_flags <- (rule, detail) :: node.check_flags
+
+(* --- Phase 1: cost flood --- *)
+
+let declared_cost_for node ~neighbor_index =
+  match node.deviation with
+  | Adversary.Misreport_cost c -> c
+  | Adversary.Inconsistent_cost (a, b) -> if neighbor_index mod 2 = 0 then a else b
+  | _ -> node.true_cost
+
+let announce_cost node (send : send) =
+  (* The node's own view of its declaration is the value it would tell its
+     first neighbor. *)
+  node.learned_costs.(node.id) <- Some (declared_cost_for node ~neighbor_index:0);
+  List.iteri
+    (fun idx nbr ->
+      let cost = declared_cost_for node ~neighbor_index:idx in
+      send ~dst:nbr (Protocol.Update (Protocol.Cost_announce { origin = node.id; cost })))
+    node.neighbors
+
+let on_cost_msg node (send : send) ~sender update =
+  match update with
+  | Protocol.Cost_announce { origin; cost } -> (
+      match node.learned_costs.(origin) with
+      | Some _ -> () (* first-received wins; duplicates are not re-flooded *)
+      | None ->
+          node.learned_costs.(origin) <- Some cost;
+          let forwarded_cost =
+            match node.deviation with
+            | Adversary.Corrupt_cost_forward delta -> cost +. delta
+            | _ -> cost
+          in
+          List.iter
+            (fun nbr ->
+              if nbr <> sender then
+                send ~dst:nbr
+                  (Protocol.Update
+                     (Protocol.Cost_announce { origin; cost = forwarded_cost })))
+            node.neighbors)
+  | _ -> flag node "PHASE1" "non-cost update during phase 1"
+
+let finalize_costs node =
+  if Array.for_all Option.is_some node.learned_costs then begin
+    node.costs <- Array.map Option.get node.learned_costs;
+    true
+  end
+  else false
+
+(* --- Announcement distortion (the computation deviations) --- *)
+
+let distort_routing_table delta (table : Protocol.routing_table) =
+  Array.map
+    (Option.map (fun (e : Dijkstra.entry) ->
+         match e.Dijkstra.path with
+         | [ _ ] -> e (* the self entry stays honest: cost 0 is structural *)
+         | _ -> { e with Dijkstra.cost = Float.max 0. (e.Dijkstra.cost +. delta) }))
+    table
+
+let distort_pricing_table delta (table : Protocol.pricing_table) =
+  Array.map
+    (List.map (fun (pe : Protocol.price_entry) ->
+         { pe with Protocol.price = Float.max 0. (pe.Protocol.price +. delta) }))
+    table
+
+let announced_routing_view node =
+  match node.deviation with
+  | Adversary.Miscompute_routing delta -> Some (distort_routing_table delta node.routing)
+  | Adversary.Combined_routing_attack delta ->
+      Some (distort_routing_table (-.delta) node.routing)
+  | Adversary.Silent_in_construction -> None
+  | _ -> Some node.routing
+
+let announced_pricing_view node =
+  match node.deviation with
+  | Adversary.Miscompute_pricing delta -> Some (distort_pricing_table delta node.pricing)
+  | Adversary.Combined_pricing_attack delta ->
+      Some (distort_pricing_table delta node.pricing)
+  | Adversary.Silent_in_construction -> None
+  | _ -> Some node.pricing
+
+(* Record into our checker mirror of [p] what we just announced to [p]. *)
+let record_own_routing_to node p table =
+  let inputs = Hashtbl.find node.mirror_routing_in p in
+  inputs := set_assoc node.id table !inputs
+
+let record_own_pricing_to node p table =
+  let inputs = Hashtbl.find node.mirror_pricing_in p in
+  inputs := set_assoc node.id table !inputs
+
+let announce_routing node (send : send) =
+  match announced_routing_view node with
+  | None -> ()
+  | Some table ->
+      if not (Protocol.routing_equal table node.announced_routing) then begin
+        node.announced_routing <- table;
+        List.iter
+          (fun nbr ->
+            record_own_routing_to node nbr table;
+            send ~dst:nbr
+              (Protocol.Update (Protocol.Routing_update { origin = node.id; table })))
+          node.neighbors
+      end
+
+let announce_pricing node (send : send) =
+  match announced_pricing_view node with
+  | None -> ()
+  | Some table ->
+      if not (Protocol.pricing_equal table node.announced_pricing) then begin
+        node.announced_pricing <- table;
+        List.iter
+          (fun nbr ->
+            record_own_pricing_to node nbr table;
+            send ~dst:nbr
+              (Protocol.Update (Protocol.Pricing_update { origin = node.id; table })))
+          node.neighbors
+      end
+
+(* --- Checker-side intake of copies --- *)
+
+let checker_accepts node ~principal ~via ~origin =
+  if not (List.mem principal node.neighbors) then begin
+    flag node "CHECK" "copy from a non-neighbor principal";
+    false
+  end
+  else if origin <> via then begin
+    flag node "CHECK2" "copy whose inner origin does not match its via tag";
+    false
+  end
+  else if not (List.mem via node.neighbor_sets.(principal)) then begin
+    (* §4.3 [CHECK2]: ignore messages whose identity is not a checker node
+       of the principal. *)
+    flag node "CHECK2" "copy via a node that is not a checker of the principal";
+    false
+  end
+  else true
+
+(* --- Phase 2a: routing --- *)
+
+let spoof_target node ~sender =
+  (* A fabricated provenance: the neighbor after [sender] in id order. *)
+  let rec next = function
+    | [] -> List.hd node.neighbors
+    | [ _ ] -> List.hd node.neighbors
+    | x :: y :: rest -> if x = sender then y else next (y :: rest)
+  in
+  next node.neighbors
+
+let forward_routing_copies node (send : send) ~sender table =
+  if not node.copies then ()
+  else begin
+  let checkers = List.filter (fun c -> c <> sender) node.neighbors in
+  (match node.deviation with
+  | Adversary.Drop_routing_copies -> ()
+  | Adversary.Corrupt_routing_copies delta | Adversary.Combined_routing_attack delta ->
+      let table = distort_routing_table delta table in
+      List.iter
+        (fun c ->
+          send ~dst:c
+            (Protocol.Copy
+               {
+                 principal = node.id;
+                 via = sender;
+                 inner = Protocol.Routing_update { origin = sender; table };
+               }))
+        checkers
+  | _ ->
+      List.iter
+        (fun c ->
+          send ~dst:c
+            (Protocol.Copy
+               {
+                 principal = node.id;
+                 via = sender;
+                 inner = Protocol.Routing_update { origin = sender; table };
+               }))
+        checkers);
+  match node.deviation with
+  | Adversary.Spoof_routing_update delta | Adversary.Combined_routing_attack delta ->
+      let via = spoof_target node ~sender in
+      let fabricated = distort_routing_table delta table in
+      List.iter
+        (fun c ->
+          if c <> via then
+            send ~dst:c
+              (Protocol.Copy
+                 {
+                   principal = node.id;
+                   via;
+                   inner = Protocol.Routing_update { origin = via; table = fabricated };
+                 }))
+        node.neighbors
+  | _ -> ()
+  end
+
+let start_routing node (send : send) =
+  node.routing <- Protocol.empty_routing ~n:node.n ~self:node.id;
+  (* Force the initial announcement by marking nothing-as-announced: the
+     sentinel differs from any real table through the comparison below. *)
+  node.announced_routing <- Array.make node.n None;
+  announce_routing node send
+
+let recompute_routing node =
+  Protocol.recompute_routing ~self:node.id ~n:node.n ~costs:node.costs
+    ~neighbor_tables:node.nbr_routing
+
+let on_routing_msg node (send : send) ~sender msg =
+  match msg with
+  | Protocol.Update (Protocol.Routing_update { origin; table }) ->
+      if (not (List.mem sender node.neighbors)) || origin <> sender then
+        flag node "PRINC1" "routing update with inconsistent provenance"
+      else begin
+        node.nbr_routing <- set_assoc sender table node.nbr_routing;
+        forward_routing_copies node send ~sender table;
+        node.routing <- recompute_routing node;
+        announce_routing node send
+      end
+  | Protocol.Copy { principal; via; inner = Protocol.Routing_update { origin; table } }
+    ->
+      if sender <> principal then
+        flag node "CHECK" "copy not sent by its claimed principal"
+      else if checker_accepts node ~principal ~via ~origin then begin
+        let inputs = Hashtbl.find node.mirror_routing_in principal in
+        inputs := set_assoc via table !inputs
+      end
+  | _ -> flag node "PRINC1" "unexpected message in routing phase"
+
+(* --- Phase 2b: pricing --- *)
+
+let forward_pricing_copies node (send : send) ~sender table =
+  if not node.copies then ()
+  else begin
+  let checkers = List.filter (fun c -> c <> sender) node.neighbors in
+  (match node.deviation with
+  | Adversary.Drop_pricing_copies -> ()
+  | Adversary.Corrupt_pricing_copies delta | Adversary.Combined_pricing_attack delta ->
+      let table = distort_pricing_table delta table in
+      List.iter
+        (fun c ->
+          send ~dst:c
+            (Protocol.Copy
+               {
+                 principal = node.id;
+                 via = sender;
+                 inner = Protocol.Pricing_update { origin = sender; table };
+               }))
+        checkers
+  | _ ->
+      List.iter
+        (fun c ->
+          send ~dst:c
+            (Protocol.Copy
+               {
+                 principal = node.id;
+                 via = sender;
+                 inner = Protocol.Pricing_update { origin = sender; table };
+               }))
+        checkers);
+  match node.deviation with
+  | Adversary.Spoof_pricing_update delta | Adversary.Combined_pricing_attack delta ->
+      let via = spoof_target node ~sender in
+      let fabricated = distort_pricing_table delta table in
+      List.iter
+        (fun c ->
+          if c <> via then
+            send ~dst:c
+              (Protocol.Copy
+                 {
+                   principal = node.id;
+                   via;
+                   inner = Protocol.Pricing_update { origin = via; table = fabricated };
+                 }))
+        node.neighbors
+  | _ -> ()
+  end
+
+let recompute_pricing node =
+  Protocol.recompute_pricing ~self:node.id ~costs:node.costs ~own_routing:node.routing
+    ~neighbor_routing:node.nbr_routing ~neighbor_pricing:node.nbr_pricing
+
+let start_pricing node (send : send) =
+  node.pricing <- recompute_pricing node;
+  node.announced_pricing <- Array.make node.n [ { Protocol.transit = -1; price = 0.; tags = [] } ];
+  announce_pricing node send
+
+let on_pricing_msg node (send : send) ~sender msg =
+  match msg with
+  | Protocol.Update (Protocol.Pricing_update { origin; table }) ->
+      if (not (List.mem sender node.neighbors)) || origin <> sender then
+        flag node "PRINC2" "pricing update with inconsistent provenance"
+      else begin
+        node.nbr_pricing <- set_assoc sender table node.nbr_pricing;
+        forward_pricing_copies node send ~sender table;
+        node.pricing <- recompute_pricing node;
+        announce_pricing node send
+      end
+  | Protocol.Copy { principal; via; inner = Protocol.Pricing_update { origin; table } }
+    ->
+      if sender <> principal then
+        flag node "CHECK" "copy not sent by its claimed principal"
+      else if checker_accepts node ~principal ~via ~origin then begin
+        let inputs = Hashtbl.find node.mirror_pricing_in principal in
+        inputs := set_assoc via table !inputs
+      end
+  | _ -> flag node "PRINC2" "unexpected message in pricing phase"
+
+(* --- Execution --- *)
+
+let next_hop node ~dst =
+  match node.routing.(dst) with
+  | Some { Dijkstra.path = _ :: hop :: _; _ } -> Some hop
+  | _ -> None
+
+let forwarding_choice node ~dst ~exclude =
+  match node.deviation with
+  | Adversary.Misroute_packets -> (
+      (* Send everything to the lowest-numbered neighbor (other than the
+         node the packet just came from, to avoid a trivial bounce). *)
+      match List.filter (fun v -> Some v <> exclude) node.neighbors with
+      | v :: _ -> Some v
+      | [] -> None)
+  | _ -> next_hop node ~dst
+
+let originate_traffic node (send : send) ~dst ~rate =
+  match forwarding_choice node ~dst ~exclude:None with
+  | None -> ()
+  | Some hop ->
+      send ~dst:hop
+        (Protocol.Packet { src = node.id; dst; rate; trace = [ node.id ] })
+
+let max_trace node = (3 * node.n) + 6
+
+let on_packet node (send : send) ~sender msg =
+  match msg with
+  | Protocol.Packet { src; dst; rate; trace } ->
+      if dst = node.id then node.deliveries <- (src, rate, trace @ [ node.id ]) :: node.deliveries
+      else begin
+        node.carried <- (src, dst, rate, sender) :: node.carried;
+        if List.length trace < max_trace node then
+          match forwarding_choice node ~dst ~exclude:(Some sender) with
+          | None -> ()
+          | Some hop ->
+              send ~dst:hop
+                (Protocol.Packet { src; dst; rate; trace = trace @ [ node.id ] })
+      end
+  | _ -> flag node "EXEC" "unexpected message in execution phase"
+
+let payment_report node traffic =
+  let totals = Hashtbl.create 8 in
+  Array.iteri
+    (fun dst entries ->
+      let rate = traffic.(node.id).(dst) in
+      if rate > 0. then
+        List.iter
+          (fun (pe : Protocol.price_entry) ->
+            let prev = Option.value ~default:0. (Hashtbl.find_opt totals pe.Protocol.transit) in
+            Hashtbl.replace totals pe.Protocol.transit (prev +. (pe.Protocol.price *. rate)))
+          entries)
+    node.pricing;
+  let scale =
+    match node.deviation with Adversary.Underreport_payments f -> f | _ -> 1.
+  in
+  let entries =
+    Hashtbl.fold (fun k v acc -> (k, v *. scale) :: acc) totals [] |> List.sort compare
+  in
+  match (node.deviation, entries) with
+  | Adversary.Misattribute_payments, (k0, _) :: _ ->
+      (* correct total, all credited to the first transit *)
+      let total = List.fold_left (fun acc (_, v) -> acc +. v) 0. entries in
+      [ (k0, total) ]
+  | _ -> entries
+
+(* --- Bank queries --- *)
+
+let self_routing_digest node = Protocol.routing_digest node.routing
+
+let self_pricing_digest node = Protocol.pricing_digest node.pricing
+
+let costs_digest node = Protocol.costs_digest node.costs
+
+let announced_routing_digest_of node ~principal =
+  Option.map Protocol.routing_digest (List.assoc_opt principal node.nbr_routing)
+
+let announced_pricing_digest_of node ~principal =
+  Option.map Protocol.pricing_digest (List.assoc_opt principal node.nbr_pricing)
+
+let mirror_routing node ~principal =
+  let inputs = Hashtbl.find node.mirror_routing_in principal in
+  Protocol.recompute_routing ~self:principal ~n:node.n ~costs:node.costs
+    ~neighbor_tables:!inputs
+
+let mirror_pricing node ~principal =
+  let own_routing = mirror_routing node ~principal in
+  let routing_inputs = Hashtbl.find node.mirror_routing_in principal in
+  let pricing_inputs = Hashtbl.find node.mirror_pricing_in principal in
+  Protocol.recompute_pricing ~self:principal ~costs:node.costs ~own_routing
+    ~neighbor_routing:!routing_inputs ~neighbor_pricing:!pricing_inputs
+
+let colludes_with node ~principal =
+  match node.deviation with
+  | Adversary.Lying_checker -> true
+  | Adversary.Collude_with p -> p = principal
+  | _ -> false

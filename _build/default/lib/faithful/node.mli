@@ -1,0 +1,137 @@
+(** A protocol node: principal role, checker role for every neighbor, and
+    the deviation hook.
+
+    The node is pure protocol state plus handlers parameterized by a
+    [send] callback, so the same implementation runs on the simulator (via
+    [Runner]) and in direct unit tests. A node's behaviour is the
+    *suggested specification* when [deviation = Faithful]; any other value
+    replaces parts of it, implementing the paper's model of a rational
+    node that ships its own code.
+
+    Checker mirrors: for each neighbor [p], the node records the latest
+    update [p] claims to have received from each of [p]'s neighbors
+    (copies relayed by [p], plus the node's own announcements to [p],
+    which it knows first-hand). [mirror_routing]/[mirror_pricing] then
+    recompute what [p]'s tables *must* be — [CHECK1]/[CHECK2]'s "heavy
+    lifting" that the bank's hash comparison settles. *)
+
+type send = dst:int -> Protocol.msg -> unit
+
+type t = {
+  id : int;
+  n : int;
+  neighbors : int list;  (** sorted *)
+  neighbor_sets : int list array;  (** everyone's neighbor lists (checker common knowledge) *)
+  deviation : Adversary.t;
+  true_cost : float;
+  copies : bool;
+      (** forward checker copies ([PRINC1]/[PRINC2] message-passing);
+          disabled for the plain-FPSS baseline of experiment E6 *)
+  (* DATA1 *)
+  learned_costs : float option array;
+  mutable costs : float array;  (** fixed at the end of phase 1 *)
+  (* principal state *)
+  mutable nbr_routing : (int * Protocol.routing_table) list;
+  mutable nbr_pricing : (int * Protocol.pricing_table) list;
+  mutable routing : Protocol.routing_table;
+  mutable pricing : Protocol.pricing_table;
+  mutable announced_routing : Protocol.routing_table;
+  mutable announced_pricing : Protocol.pricing_table;
+  (* checker state: principal -> claimed inputs, keyed by via *)
+  mirror_routing_in : (int, (int * Protocol.routing_table) list ref) Hashtbl.t;
+  mirror_pricing_in : (int, (int * Protocol.pricing_table) list ref) Hashtbl.t;
+  mutable check_flags : (string * string) list;  (** (rule, detail), newest first *)
+  (* execution state *)
+  mutable carried : (int * int * float * int) list;
+      (** (src, dst, rate, from) transits actually performed *)
+  mutable deliveries : (int * float * int list) list;
+      (** (src, rate, trace) for packets terminating here *)
+}
+
+val create :
+  ?copies:bool ->
+  id:int ->
+  n:int ->
+  neighbor_sets:int list array ->
+  true_cost:float ->
+  deviation:Adversary.t ->
+  unit ->
+  t
+(** [copies] defaults to [true]. *)
+
+val reset_costs : t -> unit
+(** Wipe DATA1 (a phase-1 restart). *)
+
+val reset_routing_phase : t -> unit
+(** Wipe phase-2 state (both sub-phases) — a bank-ordered restart of the
+    routing stage. *)
+
+val reset_pricing_phase : t -> unit
+(** Wipe only the pricing sub-phase state (a [BANK2]-ordered restart keeps
+    the certified routing tables). *)
+
+val reset_execution : t -> unit
+
+(** {2 Phase 1 — transit-cost flood} *)
+
+val announce_cost : t -> send -> unit
+(** Originate the node's own cost announcement (deviations: misreport /
+    inconsistent values per neighbor). *)
+
+val on_cost_msg : t -> send -> sender:int -> Protocol.update -> unit
+(** Store first-received facts and flood them on (deviation: corrupt
+    forwarded facts). *)
+
+val finalize_costs : t -> bool
+(** Freeze DATA1; [false] if some cost is still unknown. *)
+
+(** {2 Phase 2a — routing tables} *)
+
+val start_routing : t -> send -> unit
+(** Announce the initial (self-only) routing table. *)
+
+val on_routing_msg : t -> send -> sender:int -> Protocol.msg -> unit
+(** Handles both direct updates (store, forward copies to checkers,
+    recompute, announce on change) and copies (update the relevant
+    mirror). *)
+
+(** {2 Phase 2b — pricing tables} *)
+
+val start_pricing : t -> send -> unit
+
+val on_pricing_msg : t -> send -> sender:int -> Protocol.msg -> unit
+
+(** {2 Execution} *)
+
+val originate_traffic : t -> send -> dst:int -> rate:float -> unit
+
+val on_packet : t -> send -> sender:int -> Protocol.msg -> unit
+
+val payment_report : t -> Damd_fpss.Traffic.t -> (int * float) list
+(** The signed DATA4 report: per-transit totals owed according to the
+    node's own pricing table (deviation: scaled down). *)
+
+(** {2 What the bank collects} *)
+
+val self_routing_digest : t -> string
+val self_pricing_digest : t -> string
+val costs_digest : t -> string
+
+val announced_routing_digest_of : t -> principal:int -> string option
+(** Digest of the last routing table [principal] announced to this node. *)
+
+val announced_pricing_digest_of : t -> principal:int -> string option
+
+val mirror_routing : t -> principal:int -> Protocol.routing_table
+(** [CHECK1]: recompute the principal's routing table from its claimed
+    inputs. *)
+
+val mirror_pricing : t -> principal:int -> Protocol.pricing_table
+(** [CHECK2]: recompute the principal's pricing table (uses the phase-2a
+    mirror for the principal's own routing table). *)
+
+val colludes_with : t -> principal:int -> bool
+(** True when this node's checker-role reports about [principal] are
+    coordinated lies ([Lying_checker] covers every principal;
+    [Collude_with p] covers [p] alone). The bank models the coordination
+    by letting such a checker echo the principal's self-report. *)

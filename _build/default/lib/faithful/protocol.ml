@@ -1,0 +1,177 @@
+module Dijkstra = Damd_graph.Dijkstra
+module Sha256 = Damd_crypto.Sha256
+
+type entry = Dijkstra.entry
+
+type price_entry = { transit : int; price : float; tags : int list }
+
+type routing_table = entry option array
+
+type pricing_table = price_entry list array
+
+type update =
+  | Cost_announce of { origin : int; cost : float }
+  | Routing_update of { origin : int; table : routing_table }
+  | Pricing_update of { origin : int; table : pricing_table }
+
+type msg =
+  | Update of update
+  | Copy of { principal : int; via : int; inner : update }
+  | Packet of { src : int; dst : int; rate : float; trace : int list }
+
+let update_size = function
+  | Cost_announce _ -> 12 (* origin + cost *)
+  | Routing_update { table; _ } ->
+      Array.fold_left
+        (fun acc e ->
+          match e with
+          | None -> acc + 1
+          | Some e -> acc + 9 + (4 * List.length e.Dijkstra.path))
+        4 table
+  | Pricing_update { table; _ } ->
+      Array.fold_left
+        (fun acc entries ->
+          List.fold_left
+            (fun acc pe -> acc + 12 + (4 * List.length pe.tags))
+            (acc + 1) entries)
+        4 table
+
+let msg_size = function
+  | Update u -> 1 + update_size u
+  | Copy { inner; _ } -> 9 + update_size inner
+  | Packet { trace; _ } -> 20 + (4 * List.length trace)
+
+let empty_routing ~n ~self =
+  let t = Array.make n None in
+  t.(self) <- Some { Dijkstra.cost = 0.; path = [ self ] };
+  t
+
+let empty_pricing ~n = Array.make n ([] : price_entry list)
+
+let recompute_routing ~self ~n ~costs ~neighbor_tables =
+  let table = empty_routing ~n ~self in
+  for dst = 0 to n - 1 do
+    if dst <> self then begin
+      let consider best (a, (nbr : routing_table)) =
+        match nbr.(dst) with
+        | Some e when not (List.mem self e.Dijkstra.path) ->
+            let step = if a = dst then 0. else costs.(a) in
+            let cand =
+              { Dijkstra.cost = e.Dijkstra.cost +. step; path = self :: e.Dijkstra.path }
+            in
+            (match best with
+            | None -> Some cand
+            | Some b -> if Dijkstra.compare_entry cand b < 0 then Some cand else best)
+        | _ -> best
+      in
+      table.(dst) <- List.fold_left consider None neighbor_tables
+    end
+  done;
+  table
+
+let recompute_pricing ~self ~costs ~own_routing ~neighbor_routing ~neighbor_pricing =
+  let n = Array.length own_routing in
+  let dist_of (t : routing_table) j =
+    match t.(j) with Some e -> e.Dijkstra.cost | None -> infinity
+  in
+  let on_path_of (t : routing_table) k j =
+    match t.(j) with Some e -> List.mem k e.Dijkstra.path | None -> false
+  in
+  let table = empty_pricing ~n in
+  for dst = 0 to n - 1 do
+    if dst <> self then
+      match own_routing.(dst) with
+      | None -> ()
+      | Some e ->
+          let price_for k =
+            (* d(-k)(self,dst) via each neighbor a <> k, tracking the set
+               of minimizing neighbors for the identity tag. *)
+            let candidates =
+              List.filter_map
+                (fun (a, (nbr_r : routing_table)) ->
+                  if a = k then None
+                  else begin
+                    let step = if a = dst then 0. else costs.(a) in
+                    let d_mk_a =
+                      if a = dst then 0.
+                      else if not (on_path_of nbr_r k dst) then dist_of nbr_r dst
+                      else
+                        let nbr_p =
+                          match List.assoc_opt a neighbor_pricing with
+                          | Some p -> p
+                          | None -> empty_pricing ~n
+                        in
+                        match
+                          List.find_opt (fun pe -> pe.transit = k) nbr_p.(dst)
+                        with
+                        | Some pe -> pe.price -. costs.(k) +. dist_of nbr_r dst
+                        | None -> infinity
+                    in
+                    let total = step +. d_mk_a in
+                    if Float.is_finite total then Some (a, total) else None
+                  end)
+                neighbor_routing
+            in
+            match candidates with
+            | [] -> None
+            | _ ->
+                let d_mk =
+                  List.fold_left (fun acc (_, v) -> Float.min acc v) infinity candidates
+                in
+                let tags =
+                  List.filter_map (fun (a, v) -> if v = d_mk then Some a else None)
+                    candidates
+                  |> List.sort compare
+                in
+                Some { transit = k; price = costs.(k) +. d_mk -. e.Dijkstra.cost; tags }
+          in
+          table.(dst) <-
+            List.filter_map price_for (Dijkstra.transit_nodes e.Dijkstra.path)
+            |> List.sort (fun a b -> compare a.transit b.transit)
+  done;
+  table
+
+let serialize_routing (t : routing_table) =
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun j e ->
+      Buffer.add_string buf (string_of_int j);
+      (match e with
+      | None -> Buffer.add_string buf ":-"
+      | Some e ->
+          Buffer.add_string buf (Printf.sprintf ":%h:" e.Dijkstra.cost);
+          List.iter
+            (fun v -> Buffer.add_string buf (string_of_int v ^ ","))
+            e.Dijkstra.path);
+      Buffer.add_char buf ';')
+    t;
+  Buffer.contents buf
+
+let serialize_pricing (t : pricing_table) =
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun j entries ->
+      Buffer.add_string buf (string_of_int j);
+      Buffer.add_char buf ':';
+      List.iter
+        (fun pe ->
+          Buffer.add_string buf (Printf.sprintf "%d=%h[" pe.transit pe.price);
+          List.iter (fun tag -> Buffer.add_string buf (string_of_int tag ^ ",")) pe.tags;
+          Buffer.add_char buf ']')
+        entries;
+      Buffer.add_char buf ';')
+    t;
+  Buffer.contents buf
+
+let routing_digest t = Sha256.digest_hex (serialize_routing t)
+
+let pricing_digest t = Sha256.digest_hex (serialize_pricing t)
+
+let costs_digest costs =
+  let buf = Buffer.create 64 in
+  Array.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%h;" c)) costs;
+  Sha256.digest_hex (Buffer.contents buf)
+
+let routing_equal a b = serialize_routing a = serialize_routing b
+
+let pricing_equal a b = serialize_pricing a = serialize_pricing b

@@ -1,0 +1,28 @@
+(** Full-replication baseline: everyone checks everyone.
+
+    The paper argues (§3) that classic BFT-style redundancy is a poor fit
+    for rational-manipulation failures: it needs global dissemination of
+    state so that *every* node can validate *every* other node, where the
+    checker construction of §4 keeps redundancy local to each node's
+    neighborhood. This module implements that global alternative honestly
+    — every table announcement is flooded network-wide (sequence-numbered,
+    deduplicated), so each node ends up holding every principal's inputs —
+    and reports its message/byte bill. Experiment E6 compares it against
+    plain FPSS and the neighborhood-checker extension.
+
+    The computation itself is unchanged (same path-vector and pricing
+    fixpoints), so the resulting tables still match the centralized
+    mechanism; [tables_match] asserts it. *)
+
+type result = {
+  messages : int;
+  bytes : int;
+  tables_match : bool;  (** converged tables equal [Damd_fpss.Pricing.compute] *)
+  mirrors_complete : bool;
+      (** every node can recompute every principal's final table *)
+  sim_time : float;
+}
+
+val run : Damd_graph.Graph.t -> result
+(** Run the cost flood, routing and pricing constructions with full
+    flooding on the simulator (all nodes faithful). *)

@@ -1,0 +1,280 @@
+module Graph = Damd_graph.Graph
+module Engine = Damd_sim.Engine
+module Phase = Damd_core.Phase
+module Signer = Damd_crypto.Signer
+module Traffic = Damd_fpss.Traffic
+module Tables = Damd_fpss.Tables
+
+type params = {
+  value_per_packet : float;
+  progress_penalty : float;
+  epsilon : float;
+  max_restarts : int;
+  checking : bool;
+  copies : bool;
+  deferred_certification : bool;
+  latency_seed : int option;
+  channel_loss : (float * int) option;
+}
+
+let default_params =
+  {
+    value_per_packet = 50.;
+    progress_penalty = 1e5;
+    epsilon = 1.;
+    max_restarts = 2;
+    checking = true;
+    copies = true;
+    deferred_certification = false;
+    latency_seed = None;
+    channel_loss = None;
+  }
+
+type result = {
+  completed : bool;
+  stuck_phase : string option;
+  restarts : int;
+  detections : Bank.detection list;
+  utilities : float array;
+  construction_messages : int;
+  construction_bytes : int;
+  execution_messages : int;
+  bank_bytes : int;
+  tables : Damd_fpss.Tables.t option;
+  sim_time : float;
+}
+
+type dispatch = int -> sender:int -> Protocol.msg -> unit
+
+let build_tables (nodes : Node.t array) =
+  let n = Array.length nodes in
+  let routing = Array.init n (fun src -> Array.copy nodes.(src).Node.routing) in
+  let prices =
+    Array.init n (fun src ->
+        Array.map
+          (List.map (fun (pe : Protocol.price_entry) ->
+               (pe.Protocol.transit, pe.Protocol.price)))
+          nodes.(src).Node.pricing)
+  in
+  { Tables.routing; prices }
+
+let run ?(params = default_params) ~graph ~traffic ~deviations () =
+  let n = Graph.n graph in
+  if Array.length deviations <> n then invalid_arg "Runner.run: deviations arity";
+  let neighbor_sets = Array.init n (Graph.neighbors graph) in
+  let nodes =
+    Array.init n (fun id ->
+        Node.create ~copies:params.copies ~id ~n ~neighbor_sets
+          ~true_cost:(Graph.cost graph id) ~deviation:deviations.(id) ())
+  in
+  let latency =
+    match params.latency_seed with
+    | None -> fun ~src:_ ~dst:_ -> 1.0
+    | Some seed ->
+        (* Heterogeneous but per-link constant delays: asynchrony without
+           breaking the per-link FIFO the table-overwrite semantics rely
+           on. *)
+        let rng = Damd_util.Rng.create seed in
+        let m = Array.init n (fun _ -> Array.init n (fun _ -> Damd_util.Rng.float_in rng 0.5 1.5)) in
+        fun ~src ~dst -> m.(src).(dst)
+  in
+  let engine : Protocol.msg Engine.t = Engine.create ~latency ~n () in
+  Engine.set_size engine Protocol.msg_size;
+  (match params.channel_loss with
+  | None -> ()
+  | Some (p, seed) ->
+      let rng = Damd_util.Rng.create seed in
+      Engine.set_tap engine (fun ~src:_ ~dst:_ msg ->
+          match msg with
+          | Protocol.Packet _ -> Some msg (* loss injected on construction only *)
+          | _ -> if Damd_util.Rng.bernoulli rng p then None else Some msg));
+  (* Nodes can only transmit on physical links. *)
+  let send_from src ~dst msg =
+    if not (List.mem dst neighbor_sets.(src)) then
+      invalid_arg
+        (Printf.sprintf "Runner: node %d attempted to send to non-neighbor %d" src dst);
+    Engine.send engine ~src ~dst msg
+  in
+  let sends = Array.init n (fun i -> send_from i) in
+  let dispatch : dispatch ref = ref (fun _ ~sender:_ _ -> ()) in
+  for i = 0 to n - 1 do
+    Engine.set_handler engine i (fun ~sender msg -> !dispatch i ~sender msg)
+  done;
+  let detections = ref [] in
+  let note ds = detections := !detections @ ds in
+  let quiesce name =
+    match Engine.run engine with
+    | Engine.Quiescent -> Ok ()
+    | Engine.Event_limit -> Error (name ^ ": event limit reached (livelock)")
+  in
+  (* --- the three certified construction phases --- *)
+  let phase1 =
+    {
+      Phase.name = "construction-1 (costs)";
+      run =
+        (fun () ->
+          Array.iter Node.reset_costs nodes;
+          dispatch :=
+            (fun i ~sender msg ->
+              match msg with
+              | Protocol.Update u -> Node.on_cost_msg nodes.(i) sends.(i) ~sender u
+              | _ -> ());
+          Array.iteri (fun i node -> Node.announce_cost node sends.(i)) nodes;
+          match quiesce "phase1" with Ok () -> () | Error e -> note [ { Bank.rule = "LIVELOCK"; culprit = None; detail = e } ]);
+      certify =
+        (fun () ->
+          let complete = Array.for_all Node.finalize_costs nodes in
+          if not complete then Error "some node is missing transit costs"
+          else if params.deferred_certification then Ok ()
+          else begin
+            let ds = if params.checking then Bank.checkpoint_costs nodes else [] in
+            note ds;
+            match ds with
+            | [] -> Ok ()
+            | d :: _ -> Error d.Bank.detail
+          end);
+    }
+  in
+  let phase2a =
+    {
+      Phase.name = "construction-2a (routing)";
+      run =
+        (fun () ->
+          Array.iter Node.reset_routing_phase nodes;
+          dispatch := (fun i ~sender msg -> Node.on_routing_msg nodes.(i) sends.(i) ~sender msg);
+          Array.iteri (fun i node -> Node.start_routing node sends.(i)) nodes;
+          match quiesce "phase2a" with Ok () -> () | Error e -> note [ { Bank.rule = "LIVELOCK"; culprit = None; detail = e } ]);
+      certify =
+        (fun () ->
+          if (not params.checking) || params.deferred_certification then Ok ()
+          else begin
+            let ds = Bank.checkpoint_routing nodes in
+            note ds;
+            match ds with
+            | [] -> Ok ()
+            | d :: _ -> Error d.Bank.detail
+          end);
+    }
+  in
+  let phase2b =
+    {
+      Phase.name = "construction-2b (pricing)";
+      run =
+        (fun () ->
+          Array.iter Node.reset_pricing_phase nodes;
+          dispatch := (fun i ~sender msg -> Node.on_pricing_msg nodes.(i) sends.(i) ~sender msg);
+          Array.iteri (fun i node -> Node.start_pricing node sends.(i)) nodes;
+          match quiesce "phase2b" with Ok () -> () | Error e -> note [ { Bank.rule = "LIVELOCK"; culprit = None; detail = e } ]);
+      certify =
+        (fun () ->
+          if (not params.checking) || params.deferred_certification then Ok ()
+          else begin
+            let ds = Bank.checkpoint_pricing nodes in
+            note ds;
+            match ds with
+            | [] -> Ok ()
+            | d :: _ -> Error d.Bank.detail
+          end);
+    }
+  in
+  Engine.reset_stats engine;
+  let construction =
+    Phase.execute ~max_restarts:params.max_restarts () [ phase1; phase2a; phase2b ]
+  in
+  let construction_messages = Engine.messages_sent engine in
+  let construction_bytes = Engine.bytes_sent engine in
+  let bank_bytes = if params.checking then Bank.checkpoint_bytes nodes else 0 in
+  match construction with
+  | Phase.Stuck { phase; progress; _ } ->
+      {
+        completed = false;
+        stuck_phase = Some phase;
+        restarts = Phase.total_restarts progress;
+        detections = !detections;
+        utilities = Array.make n (-.params.progress_penalty);
+        construction_messages;
+        construction_bytes;
+        execution_messages = 0;
+        bank_bytes;
+        tables = None;
+        sim_time = Engine.now engine;
+      }
+  | Phase.Completed progress
+    when params.deferred_certification && params.checking
+         && (let ds =
+               Bank.checkpoint_costs nodes @ Bank.checkpoint_routing nodes
+               @ Bank.checkpoint_pricing nodes
+             in
+             note ds;
+             ds <> []) ->
+      (* The ablation of experiment E8: with certification deferred to a
+         single final check, a deviation is only caught after the whole
+         construction has been paid for. *)
+      {
+        completed = false;
+        stuck_phase = Some "deferred-certification";
+        restarts = Phase.total_restarts progress;
+        detections = !detections;
+        utilities = Array.make n (-.params.progress_penalty);
+        construction_messages;
+        construction_bytes;
+        execution_messages = 0;
+        bank_bytes;
+        tables = None;
+        sim_time = Engine.now engine;
+      }
+  | Phase.Completed progress ->
+      (* --- execution phase --- *)
+      Engine.reset_stats engine;
+      Array.iter Node.reset_execution nodes;
+      dispatch := (fun i ~sender msg -> Node.on_packet nodes.(i) sends.(i) ~sender msg);
+      List.iter
+        (fun (src, dst, rate) -> Node.originate_traffic nodes.(src) sends.(src) ~dst ~rate)
+        (Traffic.demand_pairs traffic);
+      (match quiesce "execution" with
+      | Ok () -> ()
+      | Error e -> note [ { Bank.rule = "LIVELOCK"; culprit = None; detail = e } ]);
+      let execution_messages = Engine.messages_sent engine in
+      let registry = Signer.create_registry ~seed:7 in
+      let settlement =
+        Bank.settle ~checking:params.checking ~epsilon:params.epsilon ~registry ~nodes
+          ~traffic
+      in
+      note settlement.Bank.detections;
+      let utilities =
+        Array.init n (fun i ->
+            let node = nodes.(i) in
+            let carried_load =
+              List.fold_left (fun acc (_, _, rate, _) -> acc +. rate) 0. node.Node.carried
+            in
+            (params.value_per_packet *. settlement.Bank.delivered.(i))
+            -. settlement.Bank.outlays.(i)
+            -. settlement.Bank.penalties.(i)
+            +. settlement.Bank.incomes.(i)
+            -. (node.Node.true_cost *. carried_load))
+      in
+      {
+        completed = true;
+        stuck_phase = None;
+        restarts = Phase.total_restarts progress;
+        detections = !detections;
+        utilities;
+        construction_messages;
+        construction_bytes;
+        execution_messages;
+        bank_bytes;
+        tables = Some (build_tables nodes);
+        sim_time = Engine.now engine;
+      }
+
+let run_faithful ?params ~graph ~traffic () =
+  run ?params ~graph ~traffic
+    ~deviations:(Array.make (Graph.n graph) Adversary.Faithful)
+    ()
+
+let utility_gain ?params ~graph ~traffic ~node ~deviation () =
+  let faithful = run_faithful ?params ~graph ~traffic () in
+  let deviations = Array.make (Graph.n graph) Adversary.Faithful in
+  deviations.(node) <- deviation;
+  let deviant = run ?params ~graph ~traffic ~deviations () in
+  deviant.utilities.(node) -. faithful.utilities.(node)

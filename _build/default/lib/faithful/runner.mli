@@ -1,0 +1,94 @@
+(** End-to-end execution of the extended-FPSS protocol on the simulator.
+
+    Orchestrates the phase sequence of §4 — transit-cost flood, routing
+    construction, pricing construction, execution — with the bank
+    certifying each construction checkpoint ([Damd_core.Phase] supplies the
+    restart machinery) and clearing the execution phase. Returns per-node
+    quasilinear utilities, all bank detections, and message/byte
+    accounting.
+
+    The suggested specification is [deviations = all Faithful]; handing
+    any node another [Adversary.t] is the paper's rational-manipulation
+    failure. The utility model (DESIGN.md §5): value of own delivered
+    traffic, minus payments and fines, plus transit income, minus true
+    transit costs, minus a large progress penalty if the mechanism never
+    certifies (the paper's assumption that every node strongly prefers
+    the mechanism to make progress). *)
+
+type params = {
+  value_per_packet : float;  (** utility per unit of own traffic delivered *)
+  progress_penalty : float;
+      (** utility when a construction phase never certifies (large) *)
+  epsilon : float;  (** the bank's fine margin *)
+  max_restarts : int;  (** restarts per phase before declaring it stuck *)
+  checking : bool;
+      (** false = disable checkers and bank verification (the unfaithful
+          baseline of experiment E7) *)
+  copies : bool;
+      (** false = principals do not relay checker copies at all — the
+          plain-FPSS overhead baseline of experiment E6 (implies no
+          meaningful mirrors; use with [checking = false]) *)
+  deferred_certification : bool;
+      (** true = run all construction phases without intermediate
+          checkpoints and certify everything only at the end — the
+          phase-decomposition ablation of experiment E8 *)
+  latency_seed : int option;
+      (** when set, per-link latencies are drawn uniformly from
+          [0.5, 1.5) instead of the constant 1.0 — asynchrony robustness
+          (per-link FIFO is preserved, as the model requires) *)
+  channel_loss : (float * int) option;
+      (** [(p, seed)]: drop every construction message independently with
+          probability [p] — a *non-rational* omission-failure model. The
+          paper's §5 flags exactly this: other failure classes can make
+          the system "falsely detect and punish manipulation"; experiment
+          E12 measures it *)
+}
+
+val default_params : params
+(** value 50, progress penalty 10^5, epsilon 1, 2 restarts, checking and
+    copies on, phase-by-phase certification, constant latency. *)
+
+type result = {
+  completed : bool;
+  stuck_phase : string option;
+  restarts : int;
+  detections : Bank.detection list;  (** construction + execution *)
+  utilities : float array;
+  construction_messages : int;
+  construction_bytes : int;
+  execution_messages : int;
+  bank_bytes : int;
+  tables : Damd_fpss.Tables.t option;
+      (** the certified tables, when the construction completed *)
+  sim_time : float;
+}
+
+val run :
+  ?params:params ->
+  graph:Damd_graph.Graph.t ->
+  traffic:Damd_fpss.Traffic.t ->
+  deviations:Adversary.t array ->
+  unit ->
+  result
+(** Deterministic: same inputs, same result. The graph carries the *true*
+    transit costs; declarations happen inside the protocol (phase 1). *)
+
+val run_faithful :
+  ?params:params ->
+  graph:Damd_graph.Graph.t ->
+  traffic:Damd_fpss.Traffic.t ->
+  unit ->
+  result
+(** All nodes faithful. *)
+
+val utility_gain :
+  ?params:params ->
+  graph:Damd_graph.Graph.t ->
+  traffic:Damd_fpss.Traffic.t ->
+  node:int ->
+  deviation:Adversary.t ->
+  unit ->
+  float
+(** [u_node(deviation) - u_node(faithful)] with everyone else faithful —
+    the quantity that must be non-positive for every library deviation
+    when the specification is faithful (Definition 8). *)

@@ -1,0 +1,105 @@
+module Action = Damd_core.Action
+
+type phase = Construction1 | Construction2a | Construction2b | Execution
+
+type entry = {
+  action : string;
+  cls : Action.t;
+  phase : phase;
+  rule : string;
+  deviations : string list;
+}
+
+let catalogue =
+  [
+    {
+      action = "declare own transit cost to neighbors";
+      cls = Action.Information_revelation;
+      phase = Construction1;
+      rule = "DATA1";
+      deviations = [ "misreport-cost"; "inconsistent-cost" ];
+    };
+    {
+      action = "flood other nodes' cost announcements";
+      cls = Action.Message_passing;
+      phase = Construction1;
+      rule = "DATA1";
+      deviations = [ "corrupt-cost-forward" ];
+    };
+    {
+      action = "forward received routing updates to all checkers";
+      cls = Action.Message_passing;
+      phase = Construction2a;
+      rule = "PRINC1";
+      deviations =
+        [ "drop-routing-copies"; "corrupt-routing-copies"; "spoof-routing-update";
+          "combined-routing-attack" ];
+    };
+    {
+      action = "recompute LCPs and announce the routing table";
+      cls = Action.Computation;
+      phase = Construction2a;
+      rule = "PRINC1";
+      deviations = [ "miscompute-routing"; "silent-in-construction" ];
+    };
+    {
+      action = "mirror each neighbor-principal's routing computation";
+      cls = Action.Computation;
+      phase = Construction2a;
+      rule = "CHECK1";
+      deviations = [ "lying-checker"; "collude-with" ];
+    };
+    {
+      action = "forward received pricing updates to all checkers";
+      cls = Action.Message_passing;
+      phase = Construction2b;
+      rule = "PRINC2";
+      deviations =
+        [ "drop-pricing-copies"; "corrupt-pricing-copies"; "spoof-pricing-update";
+          "combined-pricing-attack" ];
+    };
+    {
+      action = "recompute prices (with identity tags) and announce DATA3*";
+      cls = Action.Computation;
+      phase = Construction2b;
+      rule = "PRINC2";
+      deviations = [ "miscompute-pricing"; "silent-in-construction" ];
+    };
+    {
+      action = "mirror each neighbor-principal's pricing computation";
+      cls = Action.Computation;
+      phase = Construction2b;
+      rule = "CHECK2";
+      deviations = [ "lying-checker"; "collude-with" ];
+    };
+    {
+      action = "report table digests to the bank (signed)";
+      cls = Action.Computation;
+      phase = Construction2b;
+      rule = "BANK1/BANK2";
+      deviations = [ "lying-checker"; "collude-with" ];
+    };
+    {
+      action = "forward packets along certified lowest-cost paths";
+      cls = Action.Message_passing;
+      phase = Execution;
+      rule = "EXEC";
+      deviations = [ "misroute-packets" ];
+    };
+    {
+      action = "tally and report DATA4 payments to the bank (signed)";
+      cls = Action.Computation;
+      phase = Execution;
+      rule = "EXEC";
+      deviations = [ "underreport-payments"; "misattribute-payments" ];
+    };
+  ]
+
+let phase_name = function
+  | Construction1 -> "construction-1 (costs)"
+  | Construction2a -> "construction-2a (routing)"
+  | Construction2b -> "construction-2b (pricing)"
+  | Execution -> "execution"
+
+let classes_covered () =
+  List.sort_uniq compare (List.map (fun e -> e.cls) catalogue)

@@ -1,0 +1,30 @@
+(** The extended-FPSS specification as data: every external action of the
+    protocol, its §3.4 classification and the phase it belongs to — the
+    classification the paper walks through at the end of §4.1.
+
+    This catalogue is what connects the implementation back to the proof
+    structure: IC arguments must cover exactly the information-revelation
+    rows, strong-CC the message-passing rows, strong-AC the computation
+    rows, and every deviation in [Adversary] targets one (or a joint
+    combination) of these actions. Tested for coverage in
+    [test/test_faithful.ml]. *)
+
+type phase = Construction1 | Construction2a | Construction2b | Execution
+
+type entry = {
+  action : string;  (** what the node does *)
+  cls : Damd_core.Action.t;
+  phase : phase;
+  rule : string;  (** the paper's rule tag ([PRINC1], [CHECK2], ...) *)
+  deviations : string list;
+      (** names (prefixes) of adversary-library deviations targeting it *)
+}
+
+val catalogue : entry list
+(** Every external action of the suggested specification [s^m]. *)
+
+val phase_name : phase -> string
+
+val classes_covered : unit -> Damd_core.Action.t list
+(** The distinct classes appearing in the catalogue (all three, by the
+    coverage test). *)

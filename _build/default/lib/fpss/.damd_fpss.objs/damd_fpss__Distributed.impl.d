@@ -1,0 +1,1 @@
+lib/fpss/distributed.ml: Array Damd_graph Float List Option Tables

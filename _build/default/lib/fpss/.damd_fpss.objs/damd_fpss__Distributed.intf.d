@@ -1,0 +1,1 @@
+lib/fpss/distributed.mli: Damd_graph Tables

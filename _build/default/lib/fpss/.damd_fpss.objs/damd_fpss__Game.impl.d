@@ -1,0 +1,1 @@
+lib/fpss/game.ml: Array Damd_graph Damd_mech Damd_util Float Naive Pricing Tables

@@ -1,0 +1,1 @@
+lib/fpss/game.mli: Damd_graph Damd_mech Damd_util Tables Traffic

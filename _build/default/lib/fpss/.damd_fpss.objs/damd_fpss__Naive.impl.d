@@ -1,0 +1,1 @@
+lib/fpss/naive.ml: Array Damd_graph List Tables

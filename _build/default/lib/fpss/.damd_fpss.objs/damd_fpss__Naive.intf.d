@@ -1,0 +1,1 @@
+lib/fpss/naive.mli: Damd_graph Tables

@@ -1,0 +1,1 @@
+lib/fpss/pricing.ml: Array Damd_graph Hashtbl List Option Tables

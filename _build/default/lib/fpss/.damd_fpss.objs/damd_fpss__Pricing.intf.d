@@ -1,0 +1,1 @@
+lib/fpss/pricing.mli: Damd_graph Tables

@@ -1,0 +1,1 @@
+lib/fpss/tables.ml: Array Damd_graph Float List Option

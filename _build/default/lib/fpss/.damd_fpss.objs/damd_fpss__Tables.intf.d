@@ -1,0 +1,1 @@
+lib/fpss/tables.mli: Damd_graph Traffic

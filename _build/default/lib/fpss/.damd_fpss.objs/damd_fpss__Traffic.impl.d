@@ -1,0 +1,1 @@
+lib/fpss/traffic.ml: Array Damd_util List

@@ -1,0 +1,1 @@
+lib/fpss/traffic.mli: Damd_util

@@ -1,0 +1,51 @@
+(** The distributed FPSS computation — a BGP-style path-vector fixpoint.
+
+    FPSS distribute the VCG computation over the nodes themselves:
+    iterative exchanges with neighbors build [DATA1] (transit costs, a
+    flood), then [DATA2] (routing tables, path-vector Bellman–Ford) and
+    [DATA3] (pricing tables). This module is the *obedient* reference
+    implementation of that computation, run in deterministic synchronous
+    rounds; the faithful extension ([Damd_faithful]) re-implements the same
+    update rules as per-node message handlers on the simulator, with
+    checkers mirroring them.
+
+    The pricing recurrence (derived in DESIGN.md §5): for transit node [k]
+    on [i]'s LCP to [j],
+
+    - [d(-k)(i,j) = min over neighbors a <> k of step(a) + d(-k)(a,j)],
+      where [step a] is [0] if [a = j] else [a]'s transit cost, and
+      [d(-k)(a,j)] is read off [a]'s routing table when [k] is not on
+      [a]'s LCP, or recovered from [a]'s price entry
+      [p k a j - c_k + d(a,j)] when it is;
+    - [p k i j = c_k + d(-k)(i,j) - d(i,j)].
+
+    Initialized at +infinity, the iteration converges from above to the
+    avoid-[k] shortest distances. Convergence to the *centralized* tables
+    is exact on integer-valued costs and within floating-point tolerance
+    otherwise (the recurrence re-associates sums); the property tests in
+    [test/test_fpss.ml] check both. *)
+
+type result = {
+  tables : Tables.t;  (** converged routing + pricing tables *)
+  rounds_flood : int;  (** rounds for the DATA1 transit-cost flood *)
+  rounds_routing : int;  (** rounds for DATA2 to reach fixpoint *)
+  rounds_pricing : int;  (** rounds for DATA3 to reach fixpoint *)
+  messages : int;  (** change-driven table/flood messages sent in total *)
+}
+
+val run : ?max_rounds:int -> ?warm_start:Tables.t -> Damd_graph.Graph.t -> result
+(** Execute all three construction stages. Raises [Failure] if any stage
+    fails to converge within [max_rounds] (default 10 * n + 20) rounds —
+    which cannot happen on a connected graph.
+
+    [warm_start] seeds the routing and pricing state from previously
+    converged tables instead of from scratch — the incremental-update
+    scenario of experiment E15: after a single cost change, re-convergence
+    from the old tables is much cheaper than a cold start. The fixpoint
+    reached is identical (recompute-from-neighbors semantics make the
+    iteration self-correcting; verified against the centralized mechanism
+    in the tests). *)
+
+val flood_costs : Damd_graph.Graph.t -> int * int
+(** Just the DATA1 flood: (rounds, messages). Every node learns every
+    declared transit cost; rounds equal the graph's hop diameter. *)

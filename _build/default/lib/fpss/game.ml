@@ -1,0 +1,34 @@
+module Graph = Damd_graph.Graph
+module Rng = Damd_util.Rng
+
+type scheme = Vcg | Naive_cost
+
+let compute_tables scheme g =
+  match scheme with Vcg -> Pricing.compute g | Naive_cost -> Naive.compute g
+
+let mechanism scheme ~base ~traffic =
+  let n = Graph.n base in
+  let run reports =
+    if Array.length reports <> n then invalid_arg "Game.mechanism: arity";
+    let g = Graph.with_costs base reports in
+    let tables = compute_tables scheme g in
+    (tables, Tables.transfers tables traffic)
+  in
+  let valuation i true_cost tables =
+    -.true_cost *. Tables.transit_load tables traffic i
+  in
+  { Damd_mech.Mechanism.n; run; valuation }
+
+let utilities scheme ~base ~true_costs ~declared ~traffic =
+  let n = Graph.n base in
+  if Array.length true_costs <> n || Array.length declared <> n then
+    invalid_arg "Game.utilities: arity";
+  let tables = compute_tables scheme (Graph.with_costs base declared) in
+  let transfers = Tables.transfers tables traffic in
+  Array.init n (fun i ->
+      transfers.(i) -. (true_costs.(i) *. Tables.transit_load tables traffic i))
+
+let sample_costs rng ~n = Array.init n (fun _ -> float_of_int (Rng.int_in rng 0 10))
+
+let sample_lie rng _i cost =
+  Float.max 0. (cost +. float_of_int (Rng.int_in rng (-5) 5))

@@ -1,0 +1,40 @@
+(** The interdomain-routing problem as a centralized direct-revelation
+    mechanism: types are declared per-packet transit costs, the outcome is
+    the full routing + pricing table pair, and transfers are the
+    execution-phase money flows under a fixed traffic matrix.
+
+    This is the bridge between the FPSS substrate and the generic
+    mechanism-design layer: Experiment E3 runs
+    [Damd_mech.Strategyproof.check] on [mechanism Vcg ...] (expected: zero
+    violations — FPSS's theorem) and on [mechanism Naive_cost ...]
+    (expected: violations — Example 1 generalized). *)
+
+type scheme =
+  | Vcg  (** the FPSS payments — strategyproof *)
+  | Naive_cost  (** pay declared cost — manipulable *)
+
+val mechanism :
+  scheme ->
+  base:Damd_graph.Graph.t ->
+  traffic:Traffic.t ->
+  (float, Tables.t) Damd_mech.Mechanism.t
+(** The induced game: node [i]'s report replaces its transit cost in
+    [base]; tables are recomputed; [i]'s transfer is [income - outlay] and
+    its valuation is [-true_cost * transit_load] (packets it must carry).
+    Endpoint traffic is free, as in FPSS. *)
+
+val utilities :
+  scheme ->
+  base:Damd_graph.Graph.t ->
+  true_costs:float array ->
+  declared:float array ->
+  traffic:Traffic.t ->
+  float array
+(** Per-node quasilinear utilities when the network routes and prices
+    according to [declared] but nodes bear [true_costs]. *)
+
+val sample_costs : Damd_util.Rng.t -> n:int -> float array
+(** Integer-valued costs in [0, 10] — the experiments' default. *)
+
+val sample_lie : Damd_util.Rng.t -> int -> float -> float
+(** Perturb a declared cost (clamped to be non-negative). *)

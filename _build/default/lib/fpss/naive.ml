@@ -1,0 +1,23 @@
+module Graph = Damd_graph.Graph
+module Dijkstra = Damd_graph.Dijkstra
+
+let compute g =
+  let n = Graph.n g in
+  let routing = Array.make_matrix n n None in
+  let prices = Array.make_matrix n n [] in
+  for dst = 0 to n - 1 do
+    let entries = Dijkstra.to_dest g ~dst in
+    for src = 0 to n - 1 do
+      match entries.(src) with
+      | None -> ()
+      | Some e ->
+          routing.(src).(dst) <- Some e;
+          if src <> dst then
+            prices.(src).(dst) <-
+              List.map
+                (fun k -> (k, Graph.cost g k))
+                (Dijkstra.transit_nodes e.Dijkstra.path)
+              |> List.sort compare
+    done
+  done;
+  { Tables.routing; prices }

@@ -1,0 +1,13 @@
+(** The manipulable pricing baseline of the paper's Example 1.
+
+    "Under many pricing schemes, a node could be better off lying about
+    its costs" — this is such a scheme: route along lowest *declared* cost
+    paths, and pay each transit node exactly its declared cost. A node off
+    the margin can then inflate its declaration and pocket the difference
+    (losing some traffic but charging more on the rest), which is exactly
+    what node C does in Example 1. [Game] exposes both this scheme and the
+    VCG scheme so the strategyproofness sweep (experiment E2/E3) can show
+    the violation VCG removes. *)
+
+val compute : Damd_graph.Graph.t -> Tables.t
+(** Payment to each transit node = its declared cost. *)

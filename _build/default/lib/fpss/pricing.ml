@@ -1,0 +1,55 @@
+module Graph = Damd_graph.Graph
+module Dijkstra = Damd_graph.Dijkstra
+
+let compute g =
+  let n = Graph.n g in
+  let routing = Array.make_matrix n n None in
+  let prices = Array.make_matrix n n [] in
+  for dst = 0 to n - 1 do
+    let entries = Dijkstra.to_dest g ~dst in
+    (* Transit nodes appearing on any LCP toward [dst]; for each we need
+       one avoid-k sweep. *)
+    let transits = Hashtbl.create 16 in
+    Array.iter
+      (function
+        | None -> ()
+        | Some e ->
+            List.iter
+              (fun k -> Hashtbl.replace transits k ())
+              (Dijkstra.transit_nodes e.Dijkstra.path))
+      entries;
+    let avoid_tables = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun k () -> Hashtbl.add avoid_tables k (Dijkstra.to_dest ~avoid:k g ~dst))
+      transits;
+    for src = 0 to n - 1 do
+      match entries.(src) with
+      | None -> ()
+      | Some e ->
+          routing.(src).(dst) <- Some e;
+          if src <> dst then begin
+            let price_of k =
+              let table : Dijkstra.entry option array = Hashtbl.find avoid_tables k in
+              match table.(src) with
+              | None -> None (* graph not biconnected: no detour around k *)
+              | Some detour ->
+                  Some (k, Graph.cost g k +. detour.Dijkstra.cost -. e.Dijkstra.cost)
+            in
+            prices.(src).(dst) <-
+              List.filter_map price_of (Dijkstra.transit_nodes e.Dijkstra.path)
+              |> List.sort compare
+          end
+    done
+  done;
+  { Tables.routing; prices }
+
+let path = Tables.path
+
+let lcp_cost = Tables.lcp_cost
+
+let price = Tables.price
+
+let packet_payments = Tables.packet_payments
+
+let premium g t ~src ~dst ~transit =
+  Option.map (fun p -> p -. Graph.cost g transit) (Tables.price t ~src ~dst ~transit)

@@ -1,0 +1,36 @@
+(** The centralized FPSS mechanism: lowest-cost-path routing with VCG
+    payments.
+
+    For source [i], destination [j] and transit node [k] on the LCP, the
+    per-packet payment from [i] to [k] is
+
+    [p k i j = c_k + d(-k)(i,j) - d(i,j)]
+
+    where [d] is the LCP cost and [d(-k)] the LCP cost with node [k]
+    deleted (finite because the graph is biconnected). FPSS prove that
+    with these payments truthful cost declaration is a dominant strategy;
+    this is the "corresponding centralized mechanism" that the paper's
+    Proposition 2 requires to be strategyproof, which [Game] +
+    [Damd_mech.Strategyproof] verify empirically.
+
+    Tables here are indexed [src].(dst). *)
+
+val compute : Damd_graph.Graph.t -> Tables.t
+(** Full mechanism state for the declared costs in the graph. On a
+    non-biconnected graph some prices may be missing ([d(-k)] infinite);
+    affected [(transit, price)] entries are omitted. *)
+
+val path : Tables.t -> src:int -> dst:int -> int list option
+
+val lcp_cost : Tables.t -> src:int -> dst:int -> float option
+
+val price : Tables.t -> src:int -> dst:int -> transit:int -> float option
+
+val packet_payments : Tables.t -> src:int -> dst:int -> (int * float) list
+(** All per-packet payments for one [src]→[dst] packet. *)
+
+val premium :
+  Damd_graph.Graph.t -> Tables.t -> src:int -> dst:int -> transit:int -> float option
+(** Payment minus declared cost — node [k]'s per-packet markup
+    [d(-k) - d], i.e. the utility it brings to the routing system. The
+    graph supplies the declared cost [c_k]. *)

@@ -1,0 +1,83 @@
+module Dijkstra = Damd_graph.Dijkstra
+
+type t = {
+  routing : Dijkstra.entry option array array;
+  prices : (int * float) list array array;
+}
+
+let path t ~src ~dst = Option.map (fun e -> e.Dijkstra.path) t.routing.(src).(dst)
+
+let lcp_cost t ~src ~dst = Option.map (fun e -> e.Dijkstra.cost) t.routing.(src).(dst)
+
+let price t ~src ~dst ~transit = List.assoc_opt transit t.prices.(src).(dst)
+
+let packet_payments t ~src ~dst = t.prices.(src).(dst)
+
+let fold_demands t traffic f acc =
+  let n = Array.length t.routing in
+  let acc = ref acc in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst then begin
+        let rate = traffic.(src).(dst) in
+        if rate > 0. then acc := f !acc ~src ~dst ~rate
+      end
+    done
+  done;
+  !acc
+
+let transit_load t traffic k =
+  fold_demands t traffic
+    (fun acc ~src ~dst ~rate ->
+      match t.routing.(src).(dst) with
+      | Some e when List.mem k (Dijkstra.transit_nodes e.Dijkstra.path) -> acc +. rate
+      | _ -> acc)
+    0.
+
+let income t traffic k =
+  fold_demands t traffic
+    (fun acc ~src ~dst ~rate ->
+      match price t ~src ~dst ~transit:k with
+      | Some p -> acc +. (p *. rate)
+      | None -> acc)
+    0.
+
+let outlay t traffic i =
+  let n = Array.length t.routing in
+  let acc = ref 0. in
+  for dst = 0 to n - 1 do
+    if dst <> i && traffic.(i).(dst) > 0. then
+      List.iter
+        (fun (_, p) -> acc := !acc +. (p *. traffic.(i).(dst)))
+        t.prices.(i).(dst)
+  done;
+  !acc
+
+let transfers t traffic =
+  let n = Array.length t.routing in
+  Array.init n (fun k -> income t traffic k -. outlay t traffic k)
+
+let routing_equal a b =
+  let paths t =
+    Array.map (Array.map (Option.map (fun e -> e.Dijkstra.path))) t.routing
+  in
+  paths a = paths b
+
+let prices_equal ?(tolerance = 0.) a b =
+  let n = Array.length a.prices in
+  if Array.length b.prices <> n then false
+  else begin
+    let same = ref true in
+    for src = 0 to n - 1 do
+      for dst = 0 to n - 1 do
+        let pa = a.prices.(src).(dst) and pb = b.prices.(src).(dst) in
+        if List.length pa <> List.length pb then same := false
+        else
+          List.iter2
+            (fun (ka, va) (kb, vb) ->
+              if ka <> kb || Float.abs (va -. vb) > tolerance then same := false)
+            pa pb
+      done
+    done;
+    !same
+  end

@@ -1,0 +1,38 @@
+(** Routing and pricing tables — the [DATA2]/[DATA3] state of FPSS.
+
+    Both pricing schemes ([Pricing] = VCG, [Naive] = declared-cost) produce
+    this structure; the execution-phase accounting ([transit_load],
+    [income], [outlay]) is scheme-independent. Tables are indexed
+    [src].(dst). *)
+
+type t = {
+  routing : Damd_graph.Dijkstra.entry option array array;
+      (** [routing.(src).(dst)]: LCP from [src] to [dst] ([Some {path=[src]}]
+          with zero cost on the diagonal). *)
+  prices : (int * float) list array array;
+      (** [prices.(src).(dst)]: per-packet payment owed by [src] to each
+          transit node of that LCP, sorted by node id. *)
+}
+
+val path : t -> src:int -> dst:int -> int list option
+
+val lcp_cost : t -> src:int -> dst:int -> float option
+
+val price : t -> src:int -> dst:int -> transit:int -> float option
+
+val packet_payments : t -> src:int -> dst:int -> (int * float) list
+
+val transit_load : t -> Traffic.t -> int -> float
+(** Total packets node [k] transits under the given traffic matrix. *)
+
+val income : t -> Traffic.t -> int -> float
+(** Total payments node [k] receives for transiting. *)
+
+val outlay : t -> Traffic.t -> int -> float
+(** Total payments node [k] owes for its own originated traffic. *)
+
+val transfers : t -> Traffic.t -> float array
+(** Per-node [income - outlay]; the execution-phase money flow. *)
+
+val routing_equal : t -> t -> bool
+val prices_equal : ?tolerance:float -> t -> t -> bool

@@ -1,0 +1,33 @@
+module Rng = Damd_util.Rng
+
+type t = float array array
+
+let uniform ~n ~rate =
+  Array.init n (fun src -> Array.init n (fun dst -> if src = dst then 0. else rate))
+
+let random rng ~n ~max_rate =
+  Array.init n (fun src ->
+      Array.init n (fun dst -> if src = dst then 0. else Rng.float rng max_rate))
+
+let hotspot rng ~n ~hotspots ~rate =
+  let hot = Rng.subset rng (min hotspots n) n in
+  let m = Array.make_matrix n n 0. in
+  List.iter
+    (fun dst ->
+      for src = 0 to n - 1 do
+        if src <> dst then m.(src).(dst) <- rate
+      done)
+    hot;
+  m
+
+let total t = Array.fold_left (fun acc row -> Array.fold_left ( +. ) acc row) 0. t
+
+let demand_pairs t =
+  let acc = ref [] in
+  Array.iteri
+    (fun src row ->
+      Array.iteri (fun dst rate -> if rate > 0. then acc := (src, dst, rate) :: !acc) row)
+    t;
+  List.sort compare !acc
+
+let scale t f = Array.map (Array.map (fun x -> x *. f)) t

@@ -1,0 +1,23 @@
+(** Traffic matrices.
+
+    [t.(src).(dst)] is the number of packets [src] originates toward
+    [dst] during the execution phase. The diagonal is always zero. *)
+
+type t = float array array
+
+val uniform : n:int -> rate:float -> t
+(** Every ordered pair exchanges [rate] packets. *)
+
+val random : Damd_util.Rng.t -> n:int -> max_rate:float -> t
+(** Each pair's rate uniform in [0, max_rate]. *)
+
+val hotspot : Damd_util.Rng.t -> n:int -> hotspots:int -> rate:float -> t
+(** A few destinations receive [rate] from everyone; other pairs silent.
+    Models the skew of real interdomain traffic. *)
+
+val total : t -> float
+
+val demand_pairs : t -> (int * int * float) list
+(** Non-zero [(src, dst, rate)] triples, sorted. *)
+
+val scale : t -> float -> t

@@ -1,0 +1,1 @@
+lib/graph/biconnect.ml: Array Graph List

@@ -1,0 +1,1 @@
+lib/graph/dijkstra.ml: Array Damd_util Graph List Option

@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Array Biconnect Damd_util Graph Hashtbl List

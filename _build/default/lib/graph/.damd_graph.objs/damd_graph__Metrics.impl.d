@@ -1,0 +1,1 @@
+lib/graph/metrics.ml: Array Biconnect Format Graph Hashtbl List Option Queue

@@ -1,0 +1,87 @@
+(* Iterative Hopcroft–Tarjan: DFS discovery times and low-links. Iterative
+   because generated graphs can be large enough to overflow the OCaml stack
+   with a naive recursive DFS. *)
+
+let articulation_points g =
+  let n = Graph.n g in
+  if n = 0 then []
+  else begin
+    let disc = Array.make n (-1) in
+    let low = Array.make n 0 in
+    let parent = Array.make n (-1) in
+    let is_ap = Array.make n false in
+    let time = ref 0 in
+    let visit root =
+      (* Stack frames: (node, remaining neighbor list). *)
+      let stack = ref [ (root, Graph.neighbors g root) ] in
+      disc.(root) <- !time;
+      low.(root) <- !time;
+      incr time;
+      let root_children = ref 0 in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (u, ns) :: rest -> (
+            match ns with
+            | [] ->
+                stack := rest;
+                let p = parent.(u) in
+                if p >= 0 then begin
+                  if low.(u) < low.(p) then low.(p) <- low.(u);
+                  if p <> root && low.(u) >= disc.(p) then is_ap.(p) <- true
+                end
+            | v :: more ->
+                stack := (u, more) :: rest;
+                if disc.(v) = -1 then begin
+                  parent.(v) <- u;
+                  disc.(v) <- !time;
+                  low.(v) <- !time;
+                  incr time;
+                  if u = root then incr root_children;
+                  stack := (v, Graph.neighbors g v) :: !stack
+                end
+                else if v <> parent.(u) && disc.(v) < low.(u) then
+                  low.(u) <- disc.(v))
+      done;
+      if !root_children > 1 then is_ap.(root) <- true
+    in
+    for v = 0 to n - 1 do
+      if disc.(v) = -1 then visit v
+    done;
+    let acc = ref [] in
+    for v = n - 1 downto 0 do
+      if is_ap.(v) then acc := v :: !acc
+    done;
+    !acc
+  end
+
+let is_biconnected g =
+  Graph.is_connected g && articulation_points g = []
+
+let components_without g k =
+  let n = Graph.n g in
+  let label = Array.make n (-2) in
+  if k >= 0 && k < n then label.(k) <- -1;
+  let next = ref 0 in
+  for start = 0 to n - 1 do
+    if label.(start) = -2 then begin
+      let id = !next in
+      incr next;
+      let stack = ref [ start ] in
+      label.(start) <- id;
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | u :: rest ->
+            stack := rest;
+            List.iter
+              (fun v ->
+                if label.(v) = -2 then begin
+                  label.(v) <- id;
+                  stack := v :: !stack
+                end)
+              (Graph.neighbors g u)
+      done
+    end
+  done;
+  label

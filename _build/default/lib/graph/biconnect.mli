@@ -1,0 +1,20 @@
+(** Biconnectivity analysis (Hopcroft–Tarjan articulation points).
+
+    FPSS assumes a biconnected AS graph so that every VCG payment
+    [p^k = c_k + d_{-k} - d] is finite: removing any single transit node must
+    leave the remaining nodes connected. The generators in [Gen] use
+    [articulation_points] to repair random graphs up to biconnectivity. *)
+
+val articulation_points : Graph.t -> int list
+(** Sorted list of cut vertices. Empty for the empty or single-node graph. *)
+
+val is_biconnected : Graph.t -> bool
+(** Connected and free of articulation points. By convention the 0-, 1- and
+    2-node connected graphs count as biconnected (they have no possible
+    transit node whose removal could disconnect a source from a
+    destination). *)
+
+val components_without : Graph.t -> int -> int array
+(** [components_without g k] labels every node with the id of its connected
+    component in [g - k]; node [k] gets label [-1]. Used by repair and by
+    tests as an independent check of [articulation_points]. *)

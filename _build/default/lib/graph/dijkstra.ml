@@ -1,0 +1,95 @@
+type entry = { cost : float; path : int list }
+
+let compare_entry a b =
+  let c = compare a.cost b.cost in
+  if c <> 0 then c
+  else
+    let c = compare (List.length a.path) (List.length b.path) in
+    if c <> 0 then c else compare a.path b.path
+
+let to_dest ?avoid g ~dst =
+  let n = Graph.n g in
+  if dst < 0 || dst >= n then invalid_arg "Dijkstra.to_dest: dst out of range";
+  (match avoid with
+  | Some k when k = dst -> invalid_arg "Dijkstra.to_dest: avoid = dst"
+  | _ -> ());
+  let skip v = match avoid with Some k -> v = k | None -> false in
+  let best : entry option array = Array.make n None in
+  let queue : int Damd_util.Pqueue.t = Damd_util.Pqueue.create () in
+  best.(dst) <- Some { cost = 0.; path = [ dst ] };
+  Damd_util.Pqueue.push queue 0. dst;
+  (* A node may be pushed several times (cost improvements and, rarely,
+     equal-cost lexicographic improvements); stale pops are skipped by
+     re-checking [best]. The canonical order is well-founded, so this
+     terminates. *)
+  let rec drain () =
+    match Damd_util.Pqueue.pop queue with
+    | None -> ()
+    | Some (popped_cost, v) ->
+        (match best.(v) with
+        | Some e when e.cost = popped_cost ->
+            (* Extend v's path to each neighbor u: interior gains v unless
+               v is the destination itself. *)
+            let step = if v = dst then 0. else Graph.cost g v in
+            let relax u =
+              if not (skip u) then begin
+                let cand = { cost = e.cost +. step; path = u :: e.path } in
+                let improves =
+                  match best.(u) with
+                  | None -> true
+                  | Some cur -> compare_entry cand cur < 0
+                in
+                if improves then begin
+                  best.(u) <- Some cand;
+                  Damd_util.Pqueue.push queue cand.cost u
+                end
+              end
+            in
+            List.iter relax (Graph.neighbors g v)
+        | _ -> ());
+        drain ()
+  in
+  if not (skip dst) then drain ();
+  (match avoid with Some k -> best.(k) <- None | None -> ());
+  best
+
+let lcp g ~src ~dst =
+  if src = dst then Some { cost = 0.; path = [ src ] }
+  else (to_dest g ~dst).(src)
+
+let dist g ~src ~dst = Option.map (fun e -> e.cost) (lcp g ~src ~dst)
+
+let dist_avoiding g ~avoid ~src ~dst =
+  if src = avoid || dst = avoid then
+    invalid_arg "Dijkstra.dist_avoiding: endpoint equals avoided node";
+  if src = dst then Some 0.
+  else Option.map (fun e -> e.cost) (to_dest ~avoid g ~dst).(src)
+
+let transit_nodes path =
+  match path with
+  | [] | [ _ ] -> []
+  | _ :: rest ->
+      let rec interior = function
+        | [] | [ _ ] -> []
+        | x :: tl -> x :: interior tl
+      in
+      interior rest
+
+let all_to_dest g = Array.init (Graph.n g) (fun dst -> to_dest g ~dst)
+
+let lcp_tree_edges g ~root =
+  let entries = to_dest g ~dst:root in
+  let norm (u, v) = if u < v then (u, v) else (v, u) in
+  let add_path acc path =
+    let rec pairs acc = function
+      | a :: (b :: _ as rest) -> pairs (norm (a, b) :: acc) rest
+      | _ -> acc
+    in
+    pairs acc path
+  in
+  let all =
+    Array.fold_left
+      (fun acc e -> match e with None -> acc | Some e -> add_path acc e.path)
+      [] entries
+  in
+  List.sort_uniq compare all

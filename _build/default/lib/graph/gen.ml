@@ -1,0 +1,180 @@
+module Rng = Damd_util.Rng
+
+type cost_model =
+  | Uniform_int of int * int
+  | Uniform_float of float * float
+  | Constant of float
+
+let draw_costs rng model n =
+  let draw () =
+    match model with
+    | Uniform_int (lo, hi) -> float_of_int (Rng.int_in rng lo hi)
+    | Uniform_float (lo, hi) -> Rng.float_in rng lo hi
+    | Constant c -> c
+  in
+  Array.init n (fun _ -> draw ())
+
+(* Figure 1 of the paper: nodes A B C D X Z with transit costs
+   A=5 B=6 C=1 D=1 X=100 Z=1000 and the edges drawn in the figure. These
+   reproduce every number the paper derives from the figure: cost(X,Z)=2
+   via X-D-C-Z, cost(Z,D)=1 via Z-C-D, cost(B,D)=0 (adjacent), and
+   Example 1 (C declaring 5 moves the X-Z LCP to X-A-Z at cost 5 while C
+   keeps the D-Z traffic against the D-B-Z alternative at cost 6). *)
+let figure1 () =
+  let names = [ ("A", 0); ("B", 1); ("C", 2); ("D", 3); ("X", 4); ("Z", 5) ] in
+  let costs = [| 5.; 6.; 1.; 1.; 100.; 1000. |] in
+  let edges =
+    [ (0, 4); (0, 5); (2, 5); (2, 3); (3, 4); (1, 3); (1, 5) ]
+    (* A-X, A-Z, C-Z, C-D, D-X, B-D, B-Z *)
+  in
+  (Graph.create ~n:6 ~costs ~edges, names)
+
+let ring ~n ~costs =
+  if n < 3 then invalid_arg "Gen.ring: need n >= 3";
+  let edges = List.init n (fun i -> (i, (i + 1) mod n)) in
+  Graph.create ~n ~costs ~edges
+
+let complete ~n ~costs =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.create ~n ~costs ~edges:!edges
+
+let grid ~rows ~cols ~costs =
+  if rows < 2 || cols < 2 then invalid_arg "Gen.grid: need rows, cols >= 2";
+  let n = rows * cols in
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      edges := (id r c, id r ((c + 1) mod cols)) :: !edges;
+      edges := (id r c, id ((r + 1) mod rows) c) :: !edges
+    done
+  done;
+  Graph.create ~n ~costs ~edges:!edges
+
+let petersen ~costs =
+  (* outer 5-cycle 0-4, inner pentagram 5-9, spokes i -- i+5 *)
+  let edges =
+    List.init 5 (fun i -> (i, (i + 1) mod 5))
+    @ List.init 5 (fun i -> (5 + i, 5 + ((i + 2) mod 5)))
+    @ List.init 5 (fun i -> (i, i + 5))
+  in
+  Graph.create ~n:10 ~costs ~edges
+
+let add_random_edges rng g count =
+  let n = Graph.n g in
+  let edges = ref (Graph.edges g) in
+  let added = ref 0 in
+  let attempts = ref 0 in
+  while !added < count && !attempts < 50 * count do
+    incr attempts;
+    let u = Rng.int rng n and v = Rng.int rng n in
+    let e = if u < v then (u, v) else (v, u) in
+    if u <> v && not (List.mem e !edges) then begin
+      edges := e :: !edges;
+      incr added
+    end
+  done;
+  Graph.create ~n ~costs:(Graph.costs g) ~edges:!edges
+
+let chordal_ring rng ~n ~chords model =
+  let costs = draw_costs rng model n in
+  add_random_edges rng (ring ~n ~costs) chords
+
+let rec ensure_biconnected rng g =
+  let n = Graph.n g in
+  if n <= 2 then g
+  else if not (Graph.is_connected g) then begin
+    (* Join two components with a random edge. *)
+    let label = Biconnect.components_without g (-1) in
+    let c0 = label.(0) in
+    let inside = ref [] and outside = ref [] in
+    for v = 0 to n - 1 do
+      if label.(v) = c0 then inside := v :: !inside else outside := v :: !outside
+    done;
+    let u = Rng.choose rng !inside and v = Rng.choose rng !outside in
+    let g = Graph.create ~n ~costs:(Graph.costs g) ~edges:((u, v) :: Graph.edges g) in
+    ensure_biconnected rng g
+  end
+  else
+    match Biconnect.articulation_points g with
+    | [] -> g
+    | ap :: _ ->
+        (* Bridge two different components of g - ap. *)
+        let label = Biconnect.components_without g ap in
+        let c0 =
+          let rec first v = if label.(v) >= 0 then label.(v) else first (v + 1) in
+          first 0
+        in
+        let inside = ref [] and outside = ref [] in
+        for v = 0 to n - 1 do
+          if label.(v) = c0 then inside := v :: !inside
+          else if label.(v) >= 0 then outside := v :: !outside
+        done;
+        let u = Rng.choose rng !inside and v = Rng.choose rng !outside in
+        let g = Graph.create ~n ~costs:(Graph.costs g) ~edges:((u, v) :: Graph.edges g) in
+        ensure_biconnected rng g
+
+let erdos_renyi rng ~n ~p model =
+  if n < 3 then invalid_arg "Gen.erdos_renyi: need n >= 3";
+  let costs = draw_costs rng model n in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Rng.bernoulli rng p then edges := (u, v) :: !edges
+    done
+  done;
+  ensure_biconnected rng (Graph.create ~n ~costs ~edges:!edges)
+
+let waxman rng ~n ~alpha ~beta model =
+  if n < 3 then invalid_arg "Gen.waxman: need n >= 3";
+  let costs = draw_costs rng model n in
+  let xs = Array.init n (fun _ -> Rng.float rng 1.0) in
+  let ys = Array.init n (fun _ -> Rng.float rng 1.0) in
+  let max_d = sqrt 2. in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let dx = xs.(u) -. xs.(v) and dy = ys.(u) -. ys.(v) in
+      let d = sqrt ((dx *. dx) +. (dy *. dy)) in
+      let p = alpha *. exp (-.d /. (beta *. max_d)) in
+      if Rng.bernoulli rng p then edges := (u, v) :: !edges
+    done
+  done;
+  ensure_biconnected rng (Graph.create ~n ~costs ~edges:!edges)
+
+let barabasi_albert rng ~n ~m model =
+  if m < 2 then invalid_arg "Gen.barabasi_albert: need m >= 2";
+  if n <= m then invalid_arg "Gen.barabasi_albert: need n > m";
+  let costs = draw_costs rng model n in
+  (* Start from a clique on m+1 nodes; each arriving node attaches to m
+     distinct targets drawn proportionally to degree (implemented by
+     sampling from the endpoint multiset). *)
+  let endpoints = ref [] in
+  let edges = ref [] in
+  for u = 0 to m do
+    for v = u + 1 to m do
+      edges := (u, v) :: !edges;
+      endpoints := u :: v :: !endpoints
+    done
+  done;
+  let endpoint_array = ref (Array.of_list !endpoints) in
+  for u = m + 1 to n - 1 do
+    let chosen = Hashtbl.create m in
+    let guard = ref 0 in
+    while Hashtbl.length chosen < m && !guard < 1000 do
+      incr guard;
+      let v = Rng.sample rng !endpoint_array in
+      if v <> u && not (Hashtbl.mem chosen v) then Hashtbl.add chosen v ()
+    done;
+    Hashtbl.iter
+      (fun v () ->
+        edges := (u, v) :: !edges;
+        endpoint_array := Array.append !endpoint_array [| u; v |])
+      chosen
+  done;
+  ensure_biconnected rng (Graph.create ~n ~costs ~edges:!edges)

@@ -1,0 +1,55 @@
+(** Topology and cost generators.
+
+    The paper (via FPSS) needs biconnected AS-like graphs. Real AS-graph
+    data is proprietary/scraped, so — per the substitution rule in
+    DESIGN.md §3 — we generate synthetic topologies: random chordal rings,
+    Erdős–Rényi, Waxman (geometric, the classic internet-topology model)
+    and Barabási–Albert (preferential attachment, heavy-tailed degrees like
+    the real AS graph), all repaired up to biconnectivity. *)
+
+type cost_model =
+  | Uniform_int of int * int  (** integer costs in [lo, hi] *)
+  | Uniform_float of float * float
+  | Constant of float
+
+val draw_costs : Damd_util.Rng.t -> cost_model -> int -> float array
+
+val figure1 : unit -> Graph.t * (string * int) list
+(** The exact network of the paper's Figure 1 and its node-name legend
+    [("A",0); ("B",1); ("C",2); ("D",3); ("X",4); ("Z",5)]. Costs:
+    A=5, B=6, C=1, D=1, X=100, Z=1000 (a node's transit cost applies only
+    to *other* nodes' traffic, as in the figure). *)
+
+val ring : n:int -> costs:float array -> Graph.t
+(** Simple cycle; the minimal biconnected graph. *)
+
+val complete : n:int -> costs:float array -> Graph.t
+(** The clique K_n — the totally-connected communication graph some prior
+    work assumes (footnote 5 of the paper). *)
+
+val grid : rows:int -> cols:int -> costs:float array -> Graph.t
+(** A rows x cols mesh with wrap-around on both axes (a torus), so it is
+    biconnected for any dimensions >= 2; [costs] has length rows*cols. *)
+
+val petersen : costs:float array -> Graph.t
+(** The Petersen graph (10 nodes, 3-regular, girth 5) — a classic
+    adversarial testbed for path algorithms; [costs] has length 10. *)
+
+val chordal_ring : Damd_util.Rng.t -> n:int -> chords:int -> cost_model -> Graph.t
+(** Cycle plus [chords] random extra edges; always biconnected. *)
+
+val erdos_renyi : Damd_util.Rng.t -> n:int -> p:float -> cost_model -> Graph.t
+(** G(n, p), then repaired to biconnectivity by [ensure_biconnected]. *)
+
+val waxman :
+  Damd_util.Rng.t -> n:int -> alpha:float -> beta:float -> cost_model -> Graph.t
+(** Waxman (1988): nodes uniform in the unit square, edge probability
+    [alpha * exp (-d / (beta * sqrt 2.))]; repaired to biconnectivity. *)
+
+val barabasi_albert : Damd_util.Rng.t -> n:int -> m:int -> cost_model -> Graph.t
+(** Preferential attachment with [m >= 2] edges per arriving node; repaired
+    to biconnectivity. *)
+
+val ensure_biconnected : Damd_util.Rng.t -> Graph.t -> Graph.t
+(** Adds random edges across cut points / components until the graph is
+    biconnected. Identity on already-biconnected graphs. *)

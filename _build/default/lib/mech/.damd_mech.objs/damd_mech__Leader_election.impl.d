@@ -1,0 +1,1 @@
+lib/mech/leader_election.ml: Array Damd_util Float Mechanism

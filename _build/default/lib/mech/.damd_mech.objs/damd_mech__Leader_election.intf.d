@@ -1,0 +1,1 @@
+lib/mech/leader_election.mli: Damd_util Mechanism

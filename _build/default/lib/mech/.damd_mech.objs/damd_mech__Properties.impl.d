@@ -1,0 +1,1 @@
+lib/mech/properties.ml: Array Float List Mechanism

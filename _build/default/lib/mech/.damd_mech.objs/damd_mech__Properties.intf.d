@@ -1,0 +1,1 @@
+lib/mech/properties.mli: Damd_util Mechanism

@@ -1,0 +1,1 @@
+lib/mech/strategyproof.ml: Array List Mechanism

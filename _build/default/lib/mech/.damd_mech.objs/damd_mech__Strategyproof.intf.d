@@ -1,0 +1,1 @@
+lib/mech/strategyproof.mli: Damd_util Mechanism

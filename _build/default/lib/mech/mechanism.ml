@@ -1,0 +1,21 @@
+type ('theta, 'outcome) t = {
+  n : int;
+  run : 'theta array -> 'outcome * float array;
+  valuation : int -> 'theta -> 'outcome -> float;
+}
+
+let utility m i true_type reports =
+  if Array.length reports <> m.n then invalid_arg "Mechanism.utility: arity";
+  let outcome, transfers = m.run reports in
+  m.valuation i true_type outcome +. transfers.(i)
+
+let social_welfare m types o =
+  let acc = ref 0. in
+  for i = 0 to m.n - 1 do
+    acc := !acc +. m.valuation i types.(i) o
+  done;
+  !acc
+
+let budget m reports =
+  let _, transfers = m.run reports in
+  Array.fold_left ( +. ) 0. transfers

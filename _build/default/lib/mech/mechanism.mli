@@ -1,0 +1,30 @@
+(** Centralized (direct-revelation) mechanisms — §3.2 of the paper.
+
+    A mechanism [M = (f, Θ)] asks each node to report a type and maps the
+    report vector to an outcome and a vector of transfers. Nodes have
+    quasilinear utility: valuation of the outcome under their *true* type,
+    plus the transfer they receive. This module fixes the vocabulary that
+    [Vcg], [Strategyproof] and the distributed layers share. *)
+
+type ('theta, 'outcome) t = {
+  n : int;  (** number of participating nodes *)
+  run : 'theta array -> 'outcome * float array;
+      (** [run reports] is the chosen outcome and the transfer *to* each
+          node (negative = the node pays). The report array must have
+          length [n]. *)
+  valuation : int -> 'theta -> 'outcome -> float;
+      (** [valuation i theta_i o] is node [i]'s value for outcome [o] when
+          its true type is [theta_i]. *)
+}
+
+val utility : ('theta, 'outcome) t -> int -> 'theta -> 'theta array -> float
+(** [utility m i true_type reports] runs the mechanism on [reports] and
+    returns node [i]'s quasilinear utility
+    [valuation i true_type outcome +. transfer_i]. *)
+
+val social_welfare : ('theta, 'outcome) t -> 'theta array -> 'outcome -> float
+(** Sum of all nodes' valuations for [o] under the given (true) types. *)
+
+val budget : ('theta, 'outcome) t -> 'theta array -> float
+(** Sum of transfers paid out by the mechanism on this report vector
+    (negative when the mechanism collects money, as the Clarke tax does). *)

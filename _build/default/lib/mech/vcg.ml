@@ -1,0 +1,45 @@
+type ('theta, 'outcome) problem = {
+  n : int;
+  outcomes : 'outcome list;
+  valuation : int -> 'theta -> 'outcome -> float;
+}
+
+let argmax_welfare p reports ~exclude =
+  (* Welfare over all nodes except [exclude] (-1 for none); first-best on
+     ties by list order. *)
+  let welfare o =
+    let acc = ref 0. in
+    for j = 0 to p.n - 1 do
+      if j <> exclude then acc := !acc +. p.valuation j reports.(j) o
+    done;
+    !acc
+  in
+  match p.outcomes with
+  | [] -> invalid_arg "Vcg.run: empty outcome set"
+  | o0 :: rest ->
+      let best = ref o0 and best_w = ref (welfare o0) in
+      List.iter
+        (fun o ->
+          let w = welfare o in
+          if w > !best_w then begin
+            best := o;
+            best_w := w
+          end)
+        rest;
+      (!best, !best_w)
+
+let run p reports =
+  if Array.length reports <> p.n then invalid_arg "Vcg.run: arity";
+  let o_star, _ = argmax_welfare p reports ~exclude:(-1) in
+  let transfers =
+    Array.init p.n (fun i ->
+        let others_at_star = ref 0. in
+        for j = 0 to p.n - 1 do
+          if j <> i then others_at_star := !others_at_star +. p.valuation j reports.(j) o_star
+        done;
+        let _, others_best = argmax_welfare p reports ~exclude:i in
+        !others_at_star -. others_best)
+  in
+  (o_star, transfers)
+
+let mechanism p = { Mechanism.n = p.n; run = run p; valuation = p.valuation }

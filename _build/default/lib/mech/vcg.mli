@@ -1,0 +1,28 @@
+(** The Vickrey–Clarke–Groves mechanism with the Clarke pivot rule.
+
+    Given a finite feasible outcome set and per-node valuations, VCG picks
+    the welfare-maximizing outcome and pays each node the externality it
+    imposes on the others:
+
+    [t_i = sum over j<>i of v_j at the chosen outcome, minus the best
+    attainable welfare of the others alone].
+
+    Truthful reporting is then a dominant strategy (strategyproofness) —
+    the property the paper's Proposition 2 requires of the "corresponding
+    centralized mechanism", and which [Strategyproof] verifies empirically
+    for every instantiation in this repository. *)
+
+type ('theta, 'outcome) problem = {
+  n : int;
+  outcomes : 'outcome list;  (** feasible outcomes, independent of reports *)
+  valuation : int -> 'theta -> 'outcome -> float;
+}
+
+val run : ('theta, 'outcome) problem -> 'theta array -> 'outcome * float array
+(** Welfare-maximizing outcome (first in list order on ties — a
+    deterministic, report-independent tie-break) and the Clarke transfers.
+    Raises [Invalid_argument] if [outcomes] is empty or the report vector
+    has the wrong arity. *)
+
+val mechanism : ('theta, 'outcome) problem -> ('theta, 'outcome) Mechanism.t
+(** Package as a [Mechanism.t]. *)

@@ -1,0 +1,119 @@
+module Pqueue = Damd_util.Pqueue
+
+type 'msg event =
+  | Deliver of { src : int; dst : int; msg : 'msg }
+  | Timer of (unit -> unit)
+
+type outcome = Quiescent | Event_limit
+
+type 'msg t = {
+  n : int;
+  latency : src:int -> dst:int -> float;
+  queue : 'msg event Pqueue.t;
+  handlers : (sender:int -> 'msg -> unit) option array;
+  mutable tap : (src:int -> dst:int -> 'msg -> 'msg option) option;
+  mutable size_of : 'msg -> int;
+  mutable clock : float;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable bytes : int;
+  sent_by : int array;
+  received_by : int array;
+}
+
+let create ?(latency = fun ~src:_ ~dst:_ -> 1.0) ~n () =
+  if n < 0 then invalid_arg "Engine.create: negative n";
+  {
+    n;
+    latency;
+    queue = Pqueue.create ();
+    handlers = Array.make n None;
+    tap = None;
+    size_of = (fun _ -> 1);
+    clock = 0.;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    bytes = 0;
+    sent_by = Array.make n 0;
+    received_by = Array.make n 0;
+  }
+
+let n t = t.n
+
+let now t = t.clock
+
+let set_handler t i h =
+  if i < 0 || i >= t.n then invalid_arg "Engine.set_handler: node out of range";
+  t.handlers.(i) <- Some h
+
+let set_tap t tap = t.tap <- Some tap
+
+let clear_tap t = t.tap <- None
+
+let set_size t f = t.size_of <- f
+
+let send t ~src ~dst msg =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Engine.send: node out of range";
+  let msg =
+    match t.tap with
+    | None -> Some msg
+    | Some tap -> tap ~src ~dst msg
+  in
+  match msg with
+  | None -> t.dropped <- t.dropped + 1
+  | Some msg ->
+      t.sent <- t.sent + 1;
+      t.sent_by.(src) <- t.sent_by.(src) + 1;
+      t.bytes <- t.bytes + t.size_of msg;
+      let latency = t.latency ~src ~dst in
+      if latency < 0. then invalid_arg "Engine.send: negative latency";
+      Pqueue.push t.queue (t.clock +. latency) (Deliver { src; dst; msg })
+
+let schedule t ~delay callback =
+  if delay < 0. then invalid_arg "Engine.schedule: negative delay";
+  Pqueue.push t.queue (t.clock +. delay) (Timer callback)
+
+let run ?(max_events = 10_000_000) t =
+  let budget = ref max_events in
+  let rec loop () =
+    if !budget <= 0 then Event_limit
+    else
+      match Pqueue.pop t.queue with
+      | None -> Quiescent
+      | Some (time, event) ->
+          decr budget;
+          t.clock <- time;
+          (match event with
+          | Timer callback -> callback ()
+          | Deliver { src; dst; msg } -> (
+              t.delivered <- t.delivered + 1;
+              t.received_by.(dst) <- t.received_by.(dst) + 1;
+              match t.handlers.(dst) with
+              | None -> () (* no handler installed: message discarded *)
+              | Some h -> h ~sender:src msg));
+          loop ()
+  in
+  loop ()
+
+let messages_sent t = t.sent
+
+let messages_delivered t = t.delivered
+
+let messages_dropped t = t.dropped
+
+let bytes_sent t = t.bytes
+
+let sent_by t i = t.sent_by.(i)
+
+let received_by t i = t.received_by.(i)
+
+let reset_stats t =
+  t.sent <- 0;
+  t.delivered <- 0;
+  t.dropped <- 0;
+  t.bytes <- 0;
+  Array.fill t.sent_by 0 t.n 0;
+  Array.fill t.received_by 0 t.n 0

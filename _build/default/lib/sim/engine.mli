@@ -1,0 +1,76 @@
+(** Deterministic discrete-event network simulator.
+
+    The substrate the distributed mechanisms run on. Nodes are integers
+    [0..n-1]; each has a message handler installed by the protocol layer.
+    Delivery events carry a user-defined message type; per-link latency is
+    pluggable (default: constant 1.0, which makes the execution round-like
+    and matches the synchronous model of the FPSS/Griffin–Wilfong
+    analysis). Ties are broken by send order, so runs are fully
+    deterministic — a property the reproducibility of every experiment in
+    this repository rests on.
+
+    FIFO guarantee: messages between a given (src, dst) pair are delivered
+    in send order provided the latency function is constant per link (the
+    scheduler breaks equal-time ties by insertion order, and constant
+    per-link latency keeps timestamps monotone per link).
+
+    The paper's adversaries are *rational nodes*, i.e. deviant handlers —
+    they simply send different messages — so deviation needs no special
+    engine support. The [tap] hook exists for instrumentation and for
+    injecting classic channel faults in tests (drop/corrupt), not for
+    modelling rationality. *)
+
+type 'msg t
+
+type outcome =
+  | Quiescent  (** event queue drained — the network converged *)
+  | Event_limit  (** stopped after [max_events] deliveries *)
+
+val create : ?latency:(src:int -> dst:int -> float) -> n:int -> unit -> 'msg t
+(** A fresh engine with [n] nodes, no handlers, empty queue, time 0. *)
+
+val n : 'msg t -> int
+
+val now : 'msg t -> float
+(** Current simulation time. *)
+
+val set_handler : 'msg t -> int -> (sender:int -> 'msg -> unit) -> unit
+(** Install node [i]'s message handler. Handlers typically close over the
+    engine and call [send] to emit messages. *)
+
+val set_tap : 'msg t -> (src:int -> dst:int -> 'msg -> 'msg option) -> unit
+(** Interpose on every send: return [None] to drop the message, [Some m']
+    to (possibly) rewrite it. At most one tap; [clear_tap] removes it. *)
+
+val clear_tap : 'msg t -> unit
+
+val set_size : 'msg t -> ('msg -> int) -> unit
+(** Message-size model for byte accounting (default: every message is one
+    byte). *)
+
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+(** Enqueue a delivery event at [now + latency src dst]. Self-sends are
+    allowed (delivered like any other message). *)
+
+val schedule : 'msg t -> delay:float -> (unit -> unit) -> unit
+(** Enqueue a timer callback. [delay] must be non-negative. *)
+
+val run : ?max_events:int -> 'msg t -> outcome
+(** Process events in time order until the queue drains or [max_events]
+    (default [10_000_000]) events have been processed. May be called again
+    after new sends — the faithful protocol alternates [run]-to-quiescence
+    with bank checkpoints. *)
+
+(** Accounting, reset with [reset_stats]. *)
+
+val messages_sent : 'msg t -> int
+val messages_delivered : 'msg t -> int
+val messages_dropped : 'msg t -> int
+(** Dropped by the tap. *)
+
+val bytes_sent : 'msg t -> int
+val sent_by : 'msg t -> int -> int
+(** Messages sent by a given node. *)
+
+val received_by : 'msg t -> int -> int
+val reset_stats : 'msg t -> unit

@@ -1,0 +1,75 @@
+type 'a entry = { prio : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let length q = q.size
+
+let is_empty q = q.size = 0
+
+(* [a] is less than [b] when its priority is smaller, with insertion order
+   breaking ties — this determinism matters for reproducible simulation. *)
+let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let grow q entry =
+  let cap = Array.length q.data in
+  if q.size = cap then begin
+    let ncap = if cap = 0 then 16 else 2 * cap in
+    let ndata = Array.make ncap entry in
+    Array.blit q.data 0 ndata 0 q.size;
+    q.data <- ndata
+  end
+
+let push q prio value =
+  let entry = { prio; seq = q.next_seq; value } in
+  q.next_seq <- q.next_seq + 1;
+  grow q entry;
+  q.data.(q.size) <- entry;
+  q.size <- q.size + 1;
+  (* Sift up. *)
+  let i = ref (q.size - 1) in
+  while !i > 0 && less q.data.(!i) q.data.((!i - 1) / 2) do
+    let parent = (!i - 1) / 2 in
+    let tmp = q.data.(!i) in
+    q.data.(!i) <- q.data.(parent);
+    q.data.(parent) <- tmp;
+    i := parent
+  done
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.data.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.data.(0) <- q.data.(q.size);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < q.size && less q.data.(l) q.data.(!smallest) then smallest := l;
+        if r < q.size && less q.data.(r) q.data.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = q.data.(!i) in
+          q.data.(!i) <- q.data.(!smallest);
+          q.data.(!smallest) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some (top.prio, top.value)
+  end
+
+let peek q = if q.size = 0 then None else Some (q.data.(0).prio, q.data.(0).value)
+
+let clear q =
+  q.size <- 0;
+  q.next_seq <- 0

@@ -1,0 +1,24 @@
+(** Minimum-priority queue (binary heap) with float priorities.
+
+    Shared by Dijkstra ([Damd_graph]) and the discrete-event scheduler
+    ([Damd_sim]). Ties are broken by insertion order so that simulation
+    event ordering is deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push q prio v] inserts [v] with priority [prio]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority element; among equal priorities,
+    the earliest-inserted element comes out first. *)
+
+val peek : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit

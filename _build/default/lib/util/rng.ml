@@ -1,0 +1,83 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 output function: one additive step then two xor-shift-multiply
+   mixing rounds (constants from the reference implementation). *)
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let seed = bits64 t in
+  { state = seed }
+
+(* Non-negative 62-bit int extracted from the 64-bit output. *)
+let positive_int t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+let int t bound =
+  assert (bound > 0);
+  (* Rejection sampling to avoid modulo bias. *)
+  let max = 0x3FFF_FFFF_FFFF_FFFF in
+  let limit = max - (max mod bound) in
+  let rec draw () =
+    let v = positive_int t in
+    if v >= limit then draw () else v mod bound
+  in
+  draw ()
+
+let int_in t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 random bits scaled into [0, bound). *)
+  let v = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (v /. 9007199254740992.0)
+
+let float_in t lo hi = lo +. float t (hi -. lo)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p = float t 1.0 < p
+
+let exponential t rate =
+  assert (rate > 0.);
+  let u = 1.0 -. float t 1.0 in
+  -.log u /. rate
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle t a;
+  a
+
+let sample t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let choose t l =
+  match l with
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let subset t k n =
+  assert (0 <= k && k <= n);
+  let a = permutation t n in
+  let picked = Array.sub a 0 k in
+  Array.sort compare picked;
+  Array.to_list picked

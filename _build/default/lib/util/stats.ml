@@ -1,0 +1,84 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p95 : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> 0.
+  | _ ->
+      let total = List.fold_left ( +. ) 0. xs in
+      total /. float_of_int (List.length xs)
+
+let stddev xs =
+  let n = List.length xs in
+  if n < 2 then 0.
+  else
+    let m = mean xs in
+    let sq = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+    sqrt (sq /. float_of_int (n - 1))
+
+let sorted_array xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a
+
+let percentile p xs =
+  if xs = [] then invalid_arg "Stats.percentile: empty list";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let a = sorted_array xs in
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then a.(lo)
+    else
+      let frac = rank -. float_of_int lo in
+      a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+
+let median xs = percentile 50. xs
+
+let summarize xs =
+  if xs = [] then invalid_arg "Stats.summarize: empty list";
+  let a = sorted_array xs in
+  {
+    n = Array.length a;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = a.(0);
+    max = a.(Array.length a - 1);
+    median = median xs;
+    p95 = percentile 95. xs;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g med=%.4g p95=%.4g max=%.4g"
+    s.n s.mean s.stddev s.min s.median s.p95 s.max
+
+let histogram ~bins xs =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  match xs with
+  | [] -> [||]
+  | _ ->
+      let a = sorted_array xs in
+      let lo = a.(0) and hi = a.(Array.length a - 1) in
+      let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+      let counts = Array.make bins 0 in
+      let place x =
+        let idx = int_of_float ((x -. lo) /. width) in
+        let idx = if idx >= bins then bins - 1 else idx in
+        counts.(idx) <- counts.(idx) + 1
+      in
+      Array.iter place a;
+      Array.mapi
+        (fun i c ->
+          let blo = lo +. (float_of_int i *. width) in
+          (blo, blo +. width, c))
+        counts

@@ -1,0 +1,100 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list;  (* reversed *)
+}
+
+let create ?aligns headers =
+  if headers = [] then invalid_arg "Table.create: no headers";
+  let aligns =
+    match aligns with
+    | Some a ->
+        if List.length a <> List.length headers then
+          invalid_arg "Table.create: aligns length mismatch";
+        a
+    | None -> Left :: List.map (fun _ -> Right) (List.tl headers)
+  in
+  { headers; aligns; rows = [] }
+
+let ncols t = List.length t.headers
+
+let add_row t cells =
+  let n = List.length cells in
+  if n > ncols t then invalid_arg "Table.add_row: too many cells";
+  let padded = cells @ List.init (ncols t - n) (fun _ -> "") in
+  t.rows <- Cells padded :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let measure = function
+    | Rule -> ()
+    | Cells cs ->
+        List.iteri
+          (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c)
+          cs
+  in
+  List.iter measure rows;
+  let buf = Buffer.create 1024 in
+  let pad align width s =
+    let gap = width - String.length s in
+    match align with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+  in
+  let rule () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        let align = List.nth t.aligns i in
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad align widths.(i) c);
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  rule ();
+  line t.headers;
+  rule ();
+  List.iter (function Rule -> rule () | Cells cs -> line cs) rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_float ?(decimals = 2) v =
+  if Float.is_integer v && Float.abs v < 1e15 && decimals <= 2 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.*f" decimals v
+
+let cell_pct r = Printf.sprintf "%.1f%%" (100. *. r)
+
+let csv_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 512 in
+  let line cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_cell cells));
+    Buffer.add_char buf '\n'
+  in
+  line t.headers;
+  List.iter (function Rule -> () | Cells cs -> line cs) (List.rev t.rows);
+  Buffer.contents buf

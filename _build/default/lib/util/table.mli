@@ -1,0 +1,37 @@
+(** Plain-text table rendering for experiment output.
+
+    The experiment harness prints every reproduced paper table/figure as an
+    aligned ASCII table so that `dune exec bin/experiments.exe` output can be
+    compared directly against EXPERIMENTS.md. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?aligns:align list -> string list -> t
+(** [create headers] starts a table. [aligns] defaults to [Left] for the
+    first column and [Right] for the rest (the common numeric layout). *)
+
+val add_row : t -> string list -> unit
+(** Append a row. Rows shorter than the header are padded with empty cells;
+    longer rows raise [Invalid_argument]. *)
+
+val add_rule : t -> unit
+(** Append a horizontal separator line. *)
+
+val render : t -> string
+(** Render with column alignment, a header rule, and a surrounding box. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val to_csv : t -> string
+(** RFC-4180-style CSV of the header and data rows (rules are skipped;
+    cells containing commas, quotes or newlines are quoted). Used by the
+    experiment harness's [--out] option. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Format a float for a table cell ([decimals] defaults to 2). *)
+
+val cell_pct : float -> string
+(** Format a ratio in [0,1] as a percentage cell. *)

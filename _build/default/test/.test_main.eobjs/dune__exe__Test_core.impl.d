@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Damd_core Damd_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Char Damd_crypto List QCheck QCheck_alcotest String

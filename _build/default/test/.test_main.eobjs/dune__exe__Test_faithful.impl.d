@@ -1,0 +1,1 @@
+test/test_faithful.ml: Alcotest Array Damd_core Damd_crypto Damd_faithful Damd_fpss Damd_graph Damd_mech Damd_util Float Lazy List Option QCheck QCheck_alcotest Queue String

@@ -1,0 +1,1 @@
+test/test_fpss.ml: Alcotest Array Damd_fpss Damd_graph Damd_mech Damd_util Lazy List QCheck QCheck_alcotest

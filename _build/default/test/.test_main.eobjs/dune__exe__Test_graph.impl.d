@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Astring Damd_graph Damd_util Float Hashtbl Lazy List QCheck QCheck_alcotest

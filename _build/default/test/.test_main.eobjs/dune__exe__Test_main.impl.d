@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest List Test_core Test_crypto Test_faithful Test_fpss Test_graph Test_mech Test_sim Test_util

@@ -1,0 +1,1 @@
+test/test_mech.ml: Alcotest Array Damd_mech Damd_util Float List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Astring Damd_util Float Gen List QCheck QCheck_alcotest String

@@ -1,0 +1,1312 @@
+(* Tests for Damd_faithful: the wire-level protocol computations, node
+   behaviour (captured-send unit tests), bank checkpoints and settlement,
+   and the headline end-to-end properties — a faithful run certifies and
+   reproduces the centralized FPSS tables exactly; every detectable
+   deviation is caught (the §4.3 case analysis / Figure 2); no library
+   deviation is profitable with checking on (Theorem 1); and profitable
+   manipulations reappear when checking is disabled. *)
+
+module Rng = Damd_util.Rng
+module Graph = Damd_graph.Graph
+module Gen = Damd_graph.Gen
+module Dijkstra = Damd_graph.Dijkstra
+module Traffic = Damd_fpss.Traffic
+module Game = Damd_fpss.Game
+module Pricing = Damd_fpss.Pricing
+module Tables = Damd_fpss.Tables
+module Protocol = Damd_faithful.Protocol
+module Adversary = Damd_faithful.Adversary
+module Node = Damd_faithful.Node
+module Bank = Damd_faithful.Bank
+module Runner = Damd_faithful.Runner
+module Analysis = Damd_faithful.Analysis
+module Equilibrium = Damd_core.Equilibrium
+module Faithfulness = Damd_core.Faithfulness
+module Signer = Damd_crypto.Signer
+
+let check = Alcotest.check
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+let fig1 = lazy (Gen.figure1 ())
+let fig1_traffic = Traffic.uniform ~n:6 ~rate:1.
+
+let ring5 =
+  lazy (Gen.ring ~n:5 ~costs:[| 2.; 3.; 1.; 4.; 2. |])
+
+(* --- Protocol --- *)
+
+let test_protocol_empty_routing () =
+  let t = Protocol.empty_routing ~n:4 ~self:2 in
+  check Alcotest.bool "self entry" true (t.(2) <> None);
+  check Alcotest.bool "others empty" true (t.(0) = None && t.(1) = None && t.(3) = None)
+
+let test_protocol_recompute_routing_line () =
+  (* 0 - 1 - 2 with cost 1 each: node 0 learns 2 via 1's table. *)
+  let costs = [| 1.; 1.; 1. |] in
+  let t1 = Protocol.empty_routing ~n:3 ~self:1 in
+  t1.(2) <- Some { Dijkstra.cost = 0.; path = [ 1; 2 ] };
+  let t0 =
+    Protocol.recompute_routing ~self:0 ~n:3 ~costs ~neighbor_tables:[ (1, t1) ]
+  in
+  match t0.(2) with
+  | Some e ->
+      checkf "cost through 1" 1. e.Dijkstra.cost;
+      check (Alcotest.list Alcotest.int) "path" [ 0; 1; 2 ] e.Dijkstra.path
+  | None -> Alcotest.fail "missing entry"
+
+let test_protocol_routing_loop_avoidance () =
+  (* A neighbor's entry whose path already contains self is rejected. *)
+  let costs = [| 1.; 1.; 1. |] in
+  let t1 = Protocol.empty_routing ~n:3 ~self:1 in
+  t1.(2) <- Some { Dijkstra.cost = 5.; path = [ 1; 0; 2 ] };
+  let t0 =
+    Protocol.recompute_routing ~self:0 ~n:3 ~costs ~neighbor_tables:[ (1, t1) ]
+  in
+  check Alcotest.bool "loop rejected" true (t0.(2) = None)
+
+let test_protocol_digests_differ () =
+  let a = Protocol.empty_routing ~n:3 ~self:0 in
+  let b = Protocol.empty_routing ~n:3 ~self:0 in
+  b.(2) <- Some { Dijkstra.cost = 1.; path = [ 0; 2 ] };
+  check Alcotest.bool "digests differ" true
+    (Protocol.routing_digest a <> Protocol.routing_digest b);
+  check Alcotest.bool "equality check" false (Protocol.routing_equal a b)
+
+let test_protocol_pricing_digest_sees_tags () =
+  let a : Protocol.pricing_table = [| [ { Protocol.transit = 1; price = 2.; tags = [ 0 ] } ] |] in
+  let b : Protocol.pricing_table = [| [ { Protocol.transit = 1; price = 2.; tags = [ 3 ] } ] |] in
+  check Alcotest.bool "tags hashed" true
+    (Protocol.pricing_digest a <> Protocol.pricing_digest b)
+
+let test_protocol_msg_sizes () =
+  let u = Protocol.Cost_announce { origin = 0; cost = 1. } in
+  check Alcotest.bool "positive" true (Protocol.msg_size (Protocol.Update u) > 0);
+  let copy = Protocol.Copy { principal = 0; via = 1; inner = u } in
+  check Alcotest.bool "copy larger" true
+    (Protocol.msg_size copy > Protocol.msg_size (Protocol.Update u));
+  let p = Protocol.Packet { src = 0; dst = 1; rate = 1.; trace = [ 0; 2 ] } in
+  check Alcotest.bool "packet sized" true (Protocol.msg_size p > 0)
+
+let test_protocol_costs_digest () =
+  check Alcotest.bool "cost digests" true
+    (Protocol.costs_digest [| 1.; 2. |] <> Protocol.costs_digest [| 1.; 3. |]);
+  check Alcotest.string "deterministic"
+    (Protocol.costs_digest [| 1.; 2. |])
+    (Protocol.costs_digest [| 1.; 2. |])
+
+(* --- Node unit tests with captured sends --- *)
+
+let line3_sets = [| [ 1 ]; [ 0; 2 ]; [ 1 ] |]
+
+let capture () =
+  let sent = ref [] in
+  let send ~dst msg = sent := (dst, msg) :: !sent in
+  (sent, send)
+
+let test_node_announce_cost_faithful () =
+  let node = Node.create ~id:1 ~n:3 ~neighbor_sets:line3_sets ~true_cost:7. ~deviation:Adversary.Faithful () in
+  let sent, send = capture () in
+  Node.announce_cost node send;
+  check Alcotest.int "two announcements" 2 (List.length !sent);
+  List.iter
+    (fun (_, msg) ->
+      match msg with
+      | Protocol.Update (Protocol.Cost_announce { origin; cost }) ->
+          check Alcotest.int "origin" 1 origin;
+          checkf "truthful" 7. cost
+      | _ -> Alcotest.fail "unexpected message")
+    !sent
+
+let test_node_announce_cost_misreport () =
+  let node =
+    Node.create ~id:1 ~n:3 ~neighbor_sets:line3_sets ~true_cost:7.
+      ~deviation:(Adversary.Misreport_cost 2.) ()
+  in
+  let sent, send = capture () in
+  Node.announce_cost node send;
+  List.iter
+    (fun (_, msg) ->
+      match msg with
+      | Protocol.Update (Protocol.Cost_announce { cost; _ }) -> checkf "lied" 2. cost
+      | _ -> Alcotest.fail "unexpected message")
+    !sent
+
+let test_node_announce_cost_inconsistent () =
+  let node =
+    Node.create ~id:1 ~n:3 ~neighbor_sets:line3_sets ~true_cost:7.
+      ~deviation:(Adversary.Inconsistent_cost (1., 9.)) ()
+  in
+  let sent, send = capture () in
+  Node.announce_cost node send;
+  let costs =
+    List.filter_map
+      (fun (_, msg) ->
+        match msg with
+        | Protocol.Update (Protocol.Cost_announce { cost; _ }) -> Some cost
+        | _ -> None)
+      !sent
+    |> List.sort_uniq compare
+  in
+  check Alcotest.int "two distinct values" 2 (List.length costs)
+
+let test_node_cost_flood_forwards_once () =
+  let node = Node.create ~id:1 ~n:3 ~neighbor_sets:line3_sets ~true_cost:1. ~deviation:Adversary.Faithful () in
+  let sent, send = capture () in
+  Node.on_cost_msg node send ~sender:0 (Protocol.Cost_announce { origin = 0; cost = 4. });
+  check Alcotest.int "forwarded to the other neighbor" 1 (List.length !sent);
+  Node.on_cost_msg node send ~sender:2 (Protocol.Cost_announce { origin = 0; cost = 4. });
+  check Alcotest.int "duplicate not re-flooded" 1 (List.length !sent)
+
+let test_node_finalize_costs () =
+  let node = Node.create ~id:1 ~n:3 ~neighbor_sets:line3_sets ~true_cost:1. ~deviation:Adversary.Faithful () in
+  let _, send = capture () in
+  Node.announce_cost node send;
+  check Alcotest.bool "incomplete" false (Node.finalize_costs node);
+  Node.on_cost_msg node send ~sender:0 (Protocol.Cost_announce { origin = 0; cost = 4. });
+  Node.on_cost_msg node send ~sender:2 (Protocol.Cost_announce { origin = 2; cost = 5. });
+  check Alcotest.bool "complete" true (Node.finalize_costs node);
+  checkf "stored" 4. node.Node.costs.(0)
+
+let test_node_routing_update_forwards_copies () =
+  let node = Node.create ~id:1 ~n:3 ~neighbor_sets:line3_sets ~true_cost:1. ~deviation:Adversary.Faithful () in
+  let _, send0 = capture () in
+  Node.announce_cost node send0;
+  Node.on_cost_msg node send0 ~sender:0 (Protocol.Cost_announce { origin = 0; cost = 4. });
+  Node.on_cost_msg node send0 ~sender:2 (Protocol.Cost_announce { origin = 2; cost = 5. });
+  ignore (Node.finalize_costs node);
+  let sent, send = capture () in
+  let table0 = Protocol.empty_routing ~n:3 ~self:0 in
+  Node.on_routing_msg node send ~sender:0
+    (Protocol.Update (Protocol.Routing_update { origin = 0; table = table0 }));
+  (* One copy to checker 2 (not back to 0), plus announcements of the
+     updated table to both neighbors. *)
+  let copies =
+    List.filter (fun (_, m) -> match m with Protocol.Copy _ -> true | _ -> false) !sent
+  in
+  check Alcotest.int "one copy" 1 (List.length copies);
+  (match copies with
+  | [ (dst, Protocol.Copy { principal; via; _ }) ] ->
+      check Alcotest.int "to the other checker" 2 dst;
+      check Alcotest.int "principal" 1 principal;
+      check Alcotest.int "via" 0 via
+  | _ -> Alcotest.fail "copy shape");
+  check Alcotest.bool "routing learned" true (node.Node.routing.(0) <> None)
+
+let test_node_drop_copies_deviation () =
+  let node =
+    Node.create ~id:1 ~n:3 ~neighbor_sets:line3_sets ~true_cost:1.
+      ~deviation:Adversary.Drop_routing_copies ()
+  in
+  node.Node.costs <- [| 4.; 1.; 5. |];
+  let sent, send = capture () in
+  let table0 = Protocol.empty_routing ~n:3 ~self:0 in
+  Node.on_routing_msg node send ~sender:0
+    (Protocol.Update (Protocol.Routing_update { origin = 0; table = table0 }));
+  let copies =
+    List.filter (fun (_, m) -> match m with Protocol.Copy _ -> true | _ -> false) !sent
+  in
+  check Alcotest.int "no copies" 0 (List.length copies)
+
+let test_node_checker_rejects_bad_via () =
+  let node = Node.create ~id:1 ~n:3 ~neighbor_sets:line3_sets ~true_cost:1. ~deviation:Adversary.Faithful () in
+  let _, send = capture () in
+  (* A copy claiming provenance from node 1's own id... node 0's neighbors
+     are just [1], so via=2 is not a checker of 0. *)
+  Node.on_routing_msg node send ~sender:0
+    (Protocol.Copy
+       {
+         principal = 0;
+         via = 2;
+         inner = Protocol.Routing_update { origin = 2; table = Protocol.empty_routing ~n:3 ~self:2 };
+       });
+  check Alcotest.bool "flagged" true
+    (List.exists (fun (rule, _) -> rule = "CHECK2") node.Node.check_flags)
+
+let test_node_payment_report () =
+  let node = Node.create ~id:0 ~n:3 ~neighbor_sets:line3_sets ~true_cost:1. ~deviation:Adversary.Faithful () in
+  node.Node.pricing.(2) <- [ { Protocol.transit = 1; price = 3.; tags = [] } ];
+  let traffic = Array.make_matrix 3 3 0. in
+  traffic.(0).(2) <- 2.;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int (Alcotest.float 1e-9)))
+    "owes transit" [ (1, 6.) ]
+    (Node.payment_report node traffic)
+
+let test_node_payment_report_underreports () =
+  let node =
+    Node.create ~id:0 ~n:3 ~neighbor_sets:line3_sets ~true_cost:1.
+      ~deviation:(Adversary.Underreport_payments 0.25) ()
+  in
+  node.Node.pricing.(2) <- [ { Protocol.transit = 1; price = 4.; tags = [] } ];
+  let traffic = Array.make_matrix 3 3 0. in
+  traffic.(0).(2) <- 1.;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int (Alcotest.float 1e-9)))
+    "scaled" [ (1, 1.) ]
+    (Node.payment_report node traffic)
+
+(* --- Bank --- *)
+
+let test_bank_serialize_report_canonical () =
+  check Alcotest.string "sorted" (Bank.serialize_report [ (2, 1.); (1, 3.) ])
+    (Bank.serialize_report [ (1, 3.); (2, 1.) ])
+
+let test_bank_checkpoint_costs () =
+  let mk dev =
+    Node.create ~id:0 ~n:2 ~neighbor_sets:[| [ 1 ]; [ 0 ] |] ~true_cost:1. ~deviation:dev ()
+  in
+  let a = mk Adversary.Faithful and b = mk Adversary.Faithful in
+  a.Node.costs <- [| 1.; 2. |];
+  b.Node.costs <- [| 1.; 2. |];
+  check Alcotest.int "consistent" 0 (List.length (Bank.checkpoint_costs [| a; b |]));
+  b.Node.costs <- [| 1.; 3. |];
+  check Alcotest.int "inconsistent" 1 (List.length (Bank.checkpoint_costs [| a; b |]))
+
+let test_bank_checkpoint_bytes_positive () =
+  let g, _ = Lazy.force fig1 in
+  let sets = Array.init 6 (Graph.neighbors g) in
+  let nodes =
+    Array.init 6 (fun id ->
+        Node.create ~id ~n:6 ~neighbor_sets:sets ~true_cost:1. ~deviation:Adversary.Faithful ())
+  in
+  check Alcotest.bool "bytes > 0" true (Bank.checkpoint_bytes nodes > 0)
+
+(* --- End-to-end: faithful runs --- *)
+
+let faithful_run =
+  lazy
+    (let g, _ = Lazy.force fig1 in
+     Runner.run_faithful ~graph:g ~traffic:fig1_traffic ())
+
+let test_run_faithful_completes () =
+  let r = Lazy.force faithful_run in
+  check Alcotest.bool "completed" true r.Runner.completed;
+  check Alcotest.int "no restarts" 0 r.Runner.restarts;
+  check Alcotest.int "no detections" 0 (List.length r.Runner.detections)
+
+let test_run_faithful_matches_centralized () =
+  let g, _ = Lazy.force fig1 in
+  let r = Lazy.force faithful_run in
+  match r.Runner.tables with
+  | None -> Alcotest.fail "no tables"
+  | Some t ->
+      let c = Pricing.compute g in
+      check Alcotest.bool "routing" true (Tables.routing_equal t c);
+      check Alcotest.bool "prices" true (Tables.prices_equal t c)
+
+let test_run_faithful_matches_centralized_random () =
+  let rng = Rng.create 701 in
+  for _ = 1 to 3 do
+    let g = Gen.chordal_ring rng ~n:8 ~chords:3 (Gen.Uniform_int (1, 8)) in
+    let traffic = Traffic.uniform ~n:8 ~rate:1. in
+    let r = Runner.run_faithful ~graph:g ~traffic () in
+    check Alcotest.bool "completed" true r.Runner.completed;
+    match r.Runner.tables with
+    | None -> Alcotest.fail "no tables"
+    | Some t ->
+        let c = Pricing.compute g in
+        check Alcotest.bool "routing" true (Tables.routing_equal t c);
+        check Alcotest.bool "prices" true (Tables.prices_equal t c)
+  done
+
+let test_run_deterministic () =
+  let g = Lazy.force ring5 in
+  let traffic = Traffic.uniform ~n:5 ~rate:1. in
+  let a = Runner.run_faithful ~graph:g ~traffic () in
+  let b = Runner.run_faithful ~graph:g ~traffic () in
+  check (Alcotest.array (Alcotest.float 0.)) "same utilities" a.Runner.utilities
+    b.Runner.utilities;
+  check Alcotest.int "same messages" a.Runner.construction_messages
+    b.Runner.construction_messages
+
+let test_run_all_traffic_delivered () =
+  let r = Lazy.force faithful_run in
+  (* uniform rate 1: each of the 6 sources delivers to 5 destinations *)
+  ignore r;
+  let g, _ = Lazy.force fig1 in
+  let r = Runner.run_faithful ~graph:g ~traffic:fig1_traffic () in
+  check Alcotest.bool "exec messages" true (r.Runner.execution_messages > 0)
+
+let test_run_money_conserved_faithful () =
+  (* With everyone faithful, transfers net to zero, so total utility =
+     total delivered value minus total true transit cost. *)
+  let g = Lazy.force ring5 in
+  let traffic = Traffic.uniform ~n:5 ~rate:1. in
+  let r = Runner.run_faithful ~graph:g ~traffic () in
+  let total_u = Array.fold_left ( +. ) 0. r.Runner.utilities in
+  (* every pair delivered: 20 flows of rate 1 at value 50 *)
+  let delivered_value = 50. *. 20. in
+  let tables = Option.get r.Runner.tables in
+  let true_cost =
+    Array.to_list (Array.init 5 (fun k -> Graph.cost g k *. Tables.transit_load tables traffic k))
+    |> List.fold_left ( +. ) 0.
+  in
+  checkf "accounting identity" (delivered_value -. true_cost) total_u
+
+(* --- Detection matrix (Figure 2 / §4.3) --- *)
+
+let run_with_deviant g traffic node deviation =
+  let deviations = Array.make (Graph.n g) Adversary.Faithful in
+  deviations.(node) <- deviation;
+  Runner.run ~graph:g ~traffic ~deviations ()
+
+let test_every_detectable_construction_deviation_caught () =
+  (* A deviation must be caught whenever it has any effect; a deviation
+     that loses every first-arrival race (possible for the cost-forward
+     corruption on a dense graph) is indistinguishable from faithful play
+     and legitimately passes. *)
+  let g, _ = Lazy.force fig1 in
+  let faithful = Lazy.force faithful_run in
+  List.iter
+    (fun d ->
+      if Adversary.detectable d && Adversary.is_construction d then begin
+        let r = run_with_deviant g fig1_traffic 2 d in
+        if r.Runner.completed then begin
+          let no_effect =
+            match (r.Runner.tables, faithful.Runner.tables) with
+            | Some a, Some b -> Tables.routing_equal a b && Tables.prices_equal a b
+            | _ -> false
+          in
+          if not no_effect then
+            Alcotest.failf "%s escaped the construction checkpoints" (Adversary.name d)
+        end
+        else
+          check Alcotest.bool
+            (Adversary.name d ^ " produced detections")
+            true
+            (r.Runner.detections <> [])
+      end)
+    Adversary.library
+
+let test_corrupt_cost_forward_caught_on_ring () =
+  (* On a sparse ring the corrupter sits on the unique fast propagation
+     path for half the nodes, so the corrupted facts land and the DATA1
+     certificate must fire. *)
+  let g = Gen.ring ~n:8 ~costs:(Array.make 8 2.) in
+  let traffic = Traffic.uniform ~n:8 ~rate:1. in
+  let r = run_with_deviant g traffic 1 (Adversary.Corrupt_cost_forward 3.) in
+  check Alcotest.bool "not completed" false r.Runner.completed;
+  check Alcotest.bool "DATA1 fired" true
+    (List.exists (fun det -> det.Bank.rule = "DATA1") r.Runner.detections)
+
+let test_every_execution_deviation_caught () =
+  let g, _ = Lazy.force fig1 in
+  List.iter
+    (fun d ->
+      if Adversary.is_execution d then begin
+        let r = run_with_deviant g fig1_traffic 2 d in
+        check Alcotest.bool (Adversary.name d ^ " completed construction") true
+          r.Runner.completed;
+        check Alcotest.bool
+          (Adversary.name d ^ " flagged by EXEC audit")
+          true
+          (List.exists (fun det -> det.Bank.rule = "EXEC") r.Runner.detections)
+      end)
+    Adversary.library
+
+let test_misreport_not_detected () =
+  (* A consistent misreport is information revelation, not a protocol
+     violation: the run completes cleanly (VCG handles the incentive). *)
+  let g, _ = Lazy.force fig1 in
+  let r = run_with_deviant g fig1_traffic 2 (Adversary.Misreport_cost 5.) in
+  check Alcotest.bool "completed" true r.Runner.completed;
+  check Alcotest.int "no detections" 0 (List.length r.Runner.detections)
+
+let test_detection_attributes_culprit () =
+  let g, _ = Lazy.force fig1 in
+  let r = run_with_deviant g fig1_traffic 3 (Adversary.Miscompute_routing 2.) in
+  check Alcotest.bool "culprit identified" true
+    (List.exists
+       (fun det -> det.Bank.rule = "BANK1" && det.Bank.culprit = Some 3)
+       r.Runner.detections)
+
+let test_deviant_checker_detected () =
+  (* A node deviating in its checker role (corrupting copies) is also
+     caught — the restart hits everyone, so checking stays incentive-
+     compatible by the partitioning argument. *)
+  let g, _ = Lazy.force fig1 in
+  let r = run_with_deviant g fig1_traffic 5 (Adversary.Corrupt_routing_copies 1.) in
+  check Alcotest.bool "not completed" false r.Runner.completed
+
+(* --- Theorem 1: no profitable deviation with checking on --- *)
+
+let test_no_profitable_deviation_fig1 () =
+  let g, _ = Lazy.force fig1 in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun node ->
+          let gain =
+            Runner.utility_gain ~graph:g ~traffic:fig1_traffic ~node ~deviation:d ()
+          in
+          if gain > 1e-6 then
+            Alcotest.failf "node %d profits %g from %s" node gain (Adversary.name d))
+        [ 0; 2; 3 ])
+    Adversary.library
+
+let test_no_profitable_deviation_ring () =
+  let g = Lazy.force ring5 in
+  let traffic = Traffic.uniform ~n:5 ~rate:1. in
+  List.iter
+    (fun d ->
+      let gain = Runner.utility_gain ~graph:g ~traffic ~node:1 ~deviation:d () in
+      if gain > 1e-6 then
+        Alcotest.failf "node 1 profits %g from %s" gain (Adversary.name d))
+    Adversary.library
+
+(* --- The ablation: disable checking and manipulation pays --- *)
+
+let unchecked = { Runner.default_params with Runner.checking = false }
+
+let test_unchecked_underreporting_profits () =
+  let g, _ = Lazy.force fig1 in
+  let gain =
+    Runner.utility_gain ~params:unchecked ~graph:g ~traffic:fig1_traffic ~node:4
+      ~deviation:(Adversary.Underreport_payments 0.) ()
+  in
+  check Alcotest.bool "free riding pays when unchecked" true (gain > 0.)
+
+let test_unchecked_some_construction_deviation_profits () =
+  let g, _ = Lazy.force fig1 in
+  let best =
+    List.fold_left
+      (fun best d ->
+        List.fold_left
+          (fun best node ->
+            let gain =
+              Runner.utility_gain ~params:unchecked ~graph:g ~traffic:fig1_traffic
+                ~node ~deviation:d ()
+            in
+            Float.max best gain)
+          best [ 0; 1; 2; 3; 4; 5 ])
+      neg_infinity Adversary.library
+  in
+  check Alcotest.bool "a profitable manipulation exists unchecked" true (best > 1e-6)
+
+(* --- Analysis: the executable Theorem 1 --- *)
+
+let test_analysis_ex_post_nash_holds () =
+  let g, _ = Lazy.force fig1 in
+  let rng = Rng.create 702 in
+  let report =
+    Analysis.ex_post_nash_report ~rng ~profiles:2 ~base:g ~traffic:fig1_traffic ()
+  in
+  if not (Equilibrium.holds report) then
+    Alcotest.failf "ex post Nash violated, max gain %g" report.Equilibrium.max_gain
+
+let test_analysis_evidence_certifies () =
+  let g, _ = Lazy.force fig1 in
+  let rng = Rng.create 703 in
+  let evidence = Analysis.evidence ~rng ~profiles:2 ~base:g ~traffic:fig1_traffic () in
+  let verdict = Faithfulness.certify evidence in
+  if not verdict.Faithfulness.faithful then
+    Alcotest.failf "not faithful: %s" (String.concat "; " verdict.Faithfulness.failures)
+
+let test_analysis_unchecked_not_faithful () =
+  let g, _ = Lazy.force fig1 in
+  let rng = Rng.create 704 in
+  let report =
+    Analysis.ex_post_nash_report ~params:unchecked ~rng ~profiles:2 ~base:g
+      ~traffic:fig1_traffic ()
+  in
+  check Alcotest.bool "unchecked spec is not an equilibrium" false
+    (Equilibrium.holds report)
+
+(* --- Extensions: collusion, omission faults, ablations, asynchrony --- *)
+
+let test_lying_checker_alone_harmless () =
+  (* A lying checker with a faithful principal echoes a truthful digest:
+     nothing changes, nothing is (or should be) detected. *)
+  let g, _ = Lazy.force fig1 in
+  let r = run_with_deviant g fig1_traffic 5 Adversary.Lying_checker in
+  check Alcotest.bool "completed" true r.Runner.completed;
+  check Alcotest.int "no detections" 0 (List.length r.Runner.detections)
+
+let test_partial_collusion_still_caught () =
+  (* C deviates; one of its two checkers (D) colludes; the other (Z) is
+     honest and still catches it — "there is always at least one checker". *)
+  let g, _ = Lazy.force fig1 in
+  let c = 2 and d = 3 in
+  let deviations = Array.make 6 Adversary.Faithful in
+  deviations.(c) <- Adversary.Miscompute_routing 2.;
+  deviations.(d) <- Adversary.Collude_with c;
+  let r = Runner.run ~graph:g ~traffic:fig1_traffic ~deviations () in
+  check Alcotest.bool "still caught" false r.Runner.completed;
+  check Alcotest.bool "BANK1 fired" true
+    (List.exists (fun det -> det.Bank.rule = "BANK1" && det.Bank.culprit = Some c)
+       r.Runner.detections)
+
+let test_full_neighborhood_collusion_escapes () =
+  (* Both of C's checkers collude: the deviation certifies — the exact
+     boundary of the paper's no-collusion assumption. *)
+  let g, _ = Lazy.force fig1 in
+  let c = 2 in
+  let deviations = Array.make 6 Adversary.Faithful in
+  deviations.(c) <- Adversary.Miscompute_routing 2.;
+  List.iter
+    (fun nb -> deviations.(nb) <- Adversary.Collude_with c)
+    (Graph.neighbors g c);
+  let r = Runner.run ~graph:g ~traffic:fig1_traffic ~deviations () in
+  check Alcotest.bool "escapes" true r.Runner.completed
+
+let test_channel_loss_false_positives () =
+  (* Heavy omission faults against all-faithful nodes: the §5 caveat —
+     the machinery falsely detects and the mechanism stalls. *)
+  let g, _ = Lazy.force fig1 in
+  let params = { Runner.default_params with Runner.channel_loss = Some (0.25, 3) } in
+  let r = Runner.run_faithful ~params ~graph:g ~traffic:fig1_traffic () in
+  check Alcotest.bool "stalls under loss" false r.Runner.completed
+
+let test_zero_channel_loss_is_clean () =
+  let g, _ = Lazy.force fig1 in
+  let params = { Runner.default_params with Runner.channel_loss = Some (0., 3) } in
+  let r = Runner.run_faithful ~params ~graph:g ~traffic:fig1_traffic () in
+  check Alcotest.bool "completed" true r.Runner.completed;
+  check Alcotest.int "no detections" 0 (List.length r.Runner.detections)
+
+let test_no_copies_mode_cheaper () =
+  (* The plain-FPSS baseline (no checker copies) moves strictly fewer
+     bytes than the faithful construction. *)
+  let g, _ = Lazy.force fig1 in
+  let plain_params =
+    { Runner.default_params with Runner.checking = false; copies = false }
+  in
+  let plain = Runner.run_faithful ~params:plain_params ~graph:g ~traffic:fig1_traffic () in
+  let faithful = Lazy.force faithful_run in
+  check Alcotest.bool "plain completes" true plain.Runner.completed;
+  check Alcotest.bool "cheaper" true
+    (plain.Runner.construction_bytes < faithful.Runner.construction_bytes);
+  (* and it still converges to the right tables *)
+  match plain.Runner.tables with
+  | Some t ->
+      let c = Pricing.compute g in
+      check Alcotest.bool "tables right" true
+        (Tables.routing_equal t c && Tables.prices_equal t c)
+  | None -> Alcotest.fail "no tables"
+
+let test_deferred_certification_catches_late () =
+  let g, _ = Lazy.force fig1 in
+  let params = { Runner.default_params with Runner.deferred_certification = true } in
+  let deviations = Array.make 6 Adversary.Faithful in
+  deviations.(2) <- Adversary.Inconsistent_cost (1., 8.);
+  let r = Runner.run ~params ~graph:g ~traffic:fig1_traffic ~deviations () in
+  check Alcotest.bool "still caught" false r.Runner.completed;
+  check (Alcotest.option Alcotest.string) "at the final certificate"
+    (Some "deferred-certification") r.Runner.stuck_phase
+
+let test_deferred_certification_faithful_clean () =
+  let g, _ = Lazy.force fig1 in
+  let params = { Runner.default_params with Runner.deferred_certification = true } in
+  let r = Runner.run_faithful ~params ~graph:g ~traffic:fig1_traffic () in
+  check Alcotest.bool "completed" true r.Runner.completed
+
+let test_heterogeneous_latency_agrees () =
+  let g = Lazy.force ring5 in
+  let traffic = Traffic.uniform ~n:5 ~rate:1. in
+  let c = Pricing.compute g in
+  List.iter
+    (fun seed ->
+      let params = { Runner.default_params with Runner.latency_seed = Some seed } in
+      let r = Runner.run_faithful ~params ~graph:g ~traffic () in
+      check Alcotest.bool "completed" true r.Runner.completed;
+      match r.Runner.tables with
+      | Some t ->
+          check Alcotest.bool "tables match" true
+            (Tables.routing_equal t c && Tables.prices_equal t c)
+      | None -> Alcotest.fail "no tables")
+    [ 1; 2; 3 ]
+
+let test_heterogeneous_latency_still_detects () =
+  let g = Lazy.force ring5 in
+  let traffic = Traffic.uniform ~n:5 ~rate:1. in
+  let params = { Runner.default_params with Runner.latency_seed = Some 9 } in
+  let deviations = Array.make 5 Adversary.Faithful in
+  deviations.(2) <- Adversary.Miscompute_pricing 2.;
+  let r = Runner.run ~params ~graph:g ~traffic ~deviations () in
+  check Alcotest.bool "caught" false r.Runner.completed
+
+(* --- Replication baseline --- *)
+
+let test_replication_correct_and_complete () =
+  let g, _ = Lazy.force fig1 in
+  let r = Damd_faithful.Replication.run g in
+  check Alcotest.bool "tables match" true r.Damd_faithful.Replication.tables_match;
+  check Alcotest.bool "mirrors complete" true r.Damd_faithful.Replication.mirrors_complete
+
+let test_replication_costs_more_than_faithful () =
+  let rng = Rng.create 801 in
+  let g = Gen.chordal_ring rng ~n:10 ~chords:3 (Gen.Uniform_int (1, 8)) in
+  let traffic = Traffic.uniform ~n:10 ~rate:1. in
+  let faithful = Runner.run_faithful ~graph:g ~traffic () in
+  let repl = Damd_faithful.Replication.run g in
+  check Alcotest.bool "replication heavier" true
+    (repl.Damd_faithful.Replication.bytes > faithful.Runner.construction_bytes)
+
+(* --- Broader integration properties --- *)
+
+let test_faithful_under_hotspot_traffic () =
+  (* The faithfulness machinery is traffic-model agnostic: a hotspot
+     matrix changes payments, not detection. *)
+  let rng = Rng.create 802 in
+  let g = Gen.chordal_ring rng ~n:8 ~chords:2 (Gen.Uniform_int (1, 8)) in
+  let traffic = Traffic.hotspot rng ~n:8 ~hotspots:2 ~rate:2. in
+  let r = Runner.run_faithful ~graph:g ~traffic () in
+  check Alcotest.bool "completed" true r.Runner.completed;
+  let deviations = Array.make 8 Adversary.Faithful in
+  deviations.(1) <- Adversary.Underreport_payments 0.1;
+  let dr = Runner.run ~graph:g ~traffic ~deviations () in
+  check Alcotest.bool "fraud caught under hotspot traffic" true
+    (List.exists (fun det -> det.Bank.rule = "EXEC") dr.Runner.detections)
+
+let test_zero_traffic_execution_trivial () =
+  let g, _ = Lazy.force fig1 in
+  let traffic = Array.make_matrix 6 6 0. in
+  let r = Runner.run_faithful ~graph:g ~traffic () in
+  check Alcotest.bool "completed" true r.Runner.completed;
+  check Alcotest.int "no packets" 0 r.Runner.execution_messages;
+  Array.iter (fun u -> checkf "all utilities zero" 0. u) r.Runner.utilities
+
+let test_triangle_minimal_biconnected () =
+  (* The smallest graph with a transit node: a triangle. *)
+  let g = Graph.create ~n:3 ~costs:[| 2.; 3.; 4. |] ~edges:[ (0, 1); (1, 2); (0, 2) ] in
+  let traffic = Traffic.uniform ~n:3 ~rate:1. in
+  let r = Runner.run_faithful ~graph:g ~traffic () in
+  check Alcotest.bool "completed" true r.Runner.completed;
+  match r.Runner.tables with
+  | Some t ->
+      let c = Pricing.compute g in
+      check Alcotest.bool "tables" true
+        (Tables.routing_equal t c && Tables.prices_equal t c)
+  | None -> Alcotest.fail "no tables"
+
+let test_zero_cost_nodes () =
+  (* Free-transit nodes exercise the zero-cost corner of the pricing
+     recurrence. *)
+  let g = Gen.ring ~n:6 ~costs:[| 0.; 1.; 0.; 2.; 0.; 3. |] in
+  let traffic = Traffic.uniform ~n:6 ~rate:1. in
+  let r = Runner.run_faithful ~graph:g ~traffic () in
+  check Alcotest.bool "completed" true r.Runner.completed;
+  match r.Runner.tables with
+  | Some t ->
+      let c = Pricing.compute g in
+      check Alcotest.bool "tables" true
+        (Tables.routing_equal t c && Tables.prices_equal t c)
+  | None -> Alcotest.fail "no tables"
+
+let prop_faithful_random_graphs =
+  QCheck.Test.make ~name:"faithful run certifies and matches on random graphs" ~count:10
+    QCheck.(pair small_nat (float_bound_inclusive 1.))
+    (fun (seed, p) ->
+      let rng = Rng.create (seed + 900) in
+      let n = 5 + (seed mod 6) in
+      let p = 0.3 +. (p *. 0.4) in
+      let g = Gen.erdos_renyi rng ~n ~p (Gen.Uniform_int (1, 9)) in
+      let traffic = Traffic.uniform ~n ~rate:1. in
+      let r = Runner.run_faithful ~graph:g ~traffic () in
+      r.Runner.completed
+      &&
+      match r.Runner.tables with
+      | Some t ->
+          let c = Pricing.compute g in
+          Tables.routing_equal t c && Tables.prices_equal t c
+      | None -> false)
+
+let prop_detection_random_graphs =
+  QCheck.Test.make ~name:"random deviant on random graph: caught or no effect" ~count:10
+    QCheck.(triple small_nat small_nat small_nat)
+    (fun (seed, who, which) ->
+      let rng = Rng.create (seed + 950) in
+      let n = 6 in
+      let g = Gen.erdos_renyi rng ~n ~p:0.5 (Gen.Uniform_int (1, 9)) in
+      let traffic = Traffic.uniform ~n ~rate:1. in
+      let construction_lib =
+        List.filter
+          (fun d -> Adversary.detectable d && Adversary.is_construction d)
+          Adversary.library
+      in
+      let d = List.nth construction_lib (which mod List.length construction_lib) in
+      let who = who mod n in
+      let deviations = Array.make n Adversary.Faithful in
+      deviations.(who) <- d;
+      let r = Runner.run ~graph:g ~traffic ~deviations () in
+      if not r.Runner.completed then true
+      else
+        let faithful = Runner.run_faithful ~graph:g ~traffic () in
+        match (r.Runner.tables, faithful.Runner.tables) with
+        | Some a, Some b -> Tables.routing_equal a b && Tables.prices_equal a b
+        | _ -> false)
+
+(* --- Penalty arithmetic, exactly --- *)
+
+let test_underreport_penalty_is_delta_plus_epsilon () =
+  (* The fine is "epsilon-above the attempted deviation": reporting half
+     the owed total costs exactly (0.5 * owed) + epsilon relative to
+     faithful play, everything else unchanged. *)
+  let g, _ = Lazy.force fig1 in
+  let faithful = Lazy.force faithful_run in
+  let tables = Option.get faithful.Runner.tables in
+  let who = 4 (* X *) in
+  let owed = Tables.outlay tables fig1_traffic who in
+  let gain =
+    Runner.utility_gain ~graph:g ~traffic:fig1_traffic ~node:who
+      ~deviation:(Adversary.Underreport_payments 0.5) ()
+  in
+  checkf "gain = -(delta + epsilon)" (-.((0.5 *. owed) +. 1.)) gain
+
+let test_misreport_gain_matches_centralized_game () =
+  (* The distributed protocol's utility change under a consistent cost
+     misreport equals the centralized game's prediction plus the delivery
+     value (which is constant) — i.e. the two layers agree on the
+     economics. *)
+  let g, _ = Lazy.force fig1 in
+  let who = 2 (* C *) and lie = 5. in
+  let true_costs = Graph.costs g in
+  let declared = Array.copy true_costs in
+  declared.(who) <- lie;
+  let centralized_truth =
+    (Game.utilities Game.Vcg ~base:g ~true_costs ~declared:true_costs
+       ~traffic:fig1_traffic).(who)
+  in
+  let centralized_lie =
+    (Game.utilities Game.Vcg ~base:g ~true_costs ~declared ~traffic:fig1_traffic).(who)
+  in
+  let distributed_gain =
+    Runner.utility_gain ~graph:g ~traffic:fig1_traffic ~node:who
+      ~deviation:(Adversary.Misreport_cost lie) ()
+  in
+  checkf "layers agree" (centralized_lie -. centralized_truth) distributed_gain
+
+(* --- Bank committee (footnote 6's open problem, sketched) --- *)
+
+module Committee = Damd_faithful.Committee
+
+let some_evidence =
+  [ { Bank.rule = "BANK1"; culprit = Some 0; detail = "test evidence" } ]
+
+let test_committee_honest_unanimity () =
+  let c = [ Committee.Honest_replica; Committee.Honest_replica; Committee.Honest_replica ] in
+  check Alcotest.bool "green on no evidence" true
+    (Committee.decide c ~evidence:[] = Committee.Green_light);
+  match Committee.decide c ~evidence:some_evidence with
+  | Committee.Restart ds -> check Alcotest.int "carries evidence" 1 (List.length ds)
+  | Committee.Green_light -> Alcotest.fail "should restart"
+
+let test_committee_minority_liar_cannot_flip () =
+  (* 1 corrupt of 3: neither direction flips. *)
+  let approve = [ Committee.Honest_replica; Committee.Honest_replica; Committee.Always_approve ] in
+  check Alcotest.bool "cannot suppress restart" true
+    (Committee.decide approve ~evidence:some_evidence <> Committee.Green_light);
+  let restart = [ Committee.Honest_replica; Committee.Honest_replica; Committee.Always_restart ] in
+  check Alcotest.bool "cannot force restart" true
+    (Committee.decide restart ~evidence:[] = Committee.Green_light)
+
+let test_committee_majority_liars_win () =
+  let approve =
+    [ Committee.Honest_replica; Committee.Always_approve; Committee.Always_approve ]
+  in
+  check Alcotest.bool "suppresses restart" true
+    (Committee.decide approve ~evidence:some_evidence = Committee.Green_light);
+  let restart =
+    [ Committee.Honest_replica; Committee.Always_restart; Committee.Always_restart ]
+  in
+  match Committee.decide restart ~evidence:[] with
+  | Committee.Restart [ d ] -> check Alcotest.string "synthesized" "COMMITTEE" d.Bank.rule
+  | _ -> Alcotest.fail "expected forced restart"
+
+let test_committee_tolerance_bound () =
+  check Alcotest.bool "3 tolerates 1" true (Committee.tolerates ~replicas:3 ~corrupt:1);
+  check Alcotest.bool "3 not 2" false (Committee.tolerates ~replicas:3 ~corrupt:2);
+  check Alcotest.bool "5 tolerates 2" true (Committee.tolerates ~replicas:5 ~corrupt:2);
+  check Alcotest.bool "1 tolerates 0" true (Committee.tolerates ~replicas:1 ~corrupt:0)
+
+let test_committee_ties_fail_safe () =
+  let c = [ Committee.Honest_replica; Committee.Always_restart ] in
+  check Alcotest.bool "even tie restarts" true
+    (Committee.decide c ~evidence:[] <> Committee.Green_light)
+
+let test_committee_checkpoint_end_to_end () =
+  (* Drive a real construction to quiescence, then have a committee with a
+     minority liar vote on the real checkpoints. *)
+  let g, _ = Lazy.force fig1 in
+  let r = Runner.run_faithful ~graph:g ~traffic:fig1_traffic () in
+  check Alcotest.bool "baseline ok" true r.Runner.completed;
+  (* rebuild converged nodes directly for the committee to inspect *)
+  let n = 6 in
+  let sets = Array.init n (Graph.neighbors g) in
+  let nodes =
+    Array.init n (fun id ->
+        Node.create ~id ~n ~neighbor_sets:sets ~true_cost:(Graph.cost g id)
+          ~deviation:Adversary.Faithful ())
+  in
+  let inbox = Queue.create () in
+  let send_of i ~dst msg = Queue.push (i, dst, msg) inbox in
+  let drain handler =
+    while not (Queue.is_empty inbox) do
+      let src, dst, msg = Queue.pop inbox in
+      handler dst ~sender:src msg
+    done
+  in
+  Array.iteri (fun i node -> Node.announce_cost node (send_of i)) nodes;
+  drain (fun dst ~sender msg ->
+      match msg with
+      | Protocol.Update u -> Node.on_cost_msg nodes.(dst) (send_of dst) ~sender u
+      | _ -> ());
+  Array.iter (fun node -> ignore (Node.finalize_costs node)) nodes;
+  Array.iteri (fun i node -> Node.start_routing node (send_of i)) nodes;
+  drain (fun dst ~sender msg -> Node.on_routing_msg nodes.(dst) (send_of dst) ~sender msg);
+  let committee =
+    [ Committee.Honest_replica; Committee.Honest_replica; Committee.Always_restart ]
+  in
+  check Alcotest.bool "routing green-lit despite liar" true
+    (Committee.checkpoint committee ~stage:`Routing nodes = Committee.Green_light)
+
+(* --- FPSS partitioning (footnote 8 of the paper) --- *)
+
+let test_partitioning_own_pricing_cannot_raise_own_income () =
+  (* "Each of these nodes ignores (by the pricing update rules) the node
+     that caused the update": the pricing recurrence never consults node
+     k's own announcements when deriving payments *to* k, so even with
+     checking disabled, inflating one's own announced prices does not
+     raise one's own income. *)
+  let rng = Rng.create 810 in
+  let unchecked = { Runner.default_params with Runner.checking = false } in
+  for _ = 1 to 3 do
+    let g = Gen.chordal_ring rng ~n:8 ~chords:2 (Gen.Uniform_int (1, 8)) in
+    let traffic = Traffic.uniform ~n:8 ~rate:1. in
+    let faithful = Runner.run_faithful ~params:unchecked ~graph:g ~traffic () in
+    for k = 0 to 7 do
+      let deviations = Array.make 8 Adversary.Faithful in
+      deviations.(k) <- Adversary.Miscompute_pricing 5.;
+      let r = Runner.run ~params:unchecked ~graph:g ~traffic ~deviations () in
+      check Alcotest.bool "no self-enrichment" true
+        (r.Runner.utilities.(k) <= faithful.Runner.utilities.(k) +. 1e-6)
+    done
+  done
+
+let test_combined_attacks_caught () =
+  let g, _ = Lazy.force fig1 in
+  List.iter
+    (fun d ->
+      let r = run_with_deviant g fig1_traffic 3 d in
+      check Alcotest.bool (Adversary.name d ^ " blocked") false r.Runner.completed)
+    [ Adversary.Combined_routing_attack 2.; Adversary.Combined_pricing_attack 2. ]
+
+let test_stress_larger_network () =
+  (* A single heavier end-to-end check: n=24, heavier degree. *)
+  let rng = Rng.create 811 in
+  let g = Gen.erdos_renyi rng ~n:24 ~p:0.2 (Gen.Uniform_int (1, 10)) in
+  let traffic = Traffic.uniform ~n:24 ~rate:1. in
+  let r = Runner.run_faithful ~graph:g ~traffic () in
+  check Alcotest.bool "completed" true r.Runner.completed;
+  match r.Runner.tables with
+  | Some t ->
+      let c = Pricing.compute g in
+      check Alcotest.bool "exact tables at n=24" true
+        (Tables.routing_equal t c && Tables.prices_equal t c)
+  | None -> Alcotest.fail "no tables"
+
+(* --- Audit API --- *)
+
+module Audit = Damd_faithful.Audit
+
+let test_audit_one_caught () =
+  let g, _ = Lazy.force fig1 in
+  let a =
+    Audit.one ~graph:g ~traffic:fig1_traffic ~node:2
+      ~deviation:(Adversary.Miscompute_routing 2.) ()
+  in
+  (match a.Audit.outcome with
+  | Audit.Caught rules -> check Alcotest.bool "BANK1" true (List.mem "BANK1" rules)
+  | _ -> Alcotest.fail "expected caught");
+  check Alcotest.bool "negative gain" true (a.Audit.gain < 0.);
+  check Alcotest.bool "not completed" false a.Audit.completed
+
+let test_audit_one_no_effect () =
+  let g, _ = Lazy.force fig1 in
+  let a =
+    Audit.one ~graph:g ~traffic:fig1_traffic ~node:2
+      ~deviation:(Adversary.Misreport_cost 1.) ()
+  in
+  (* declaring the true cost is literally the faithful behaviour *)
+  check Alcotest.string "no effect" "no effect" (Audit.outcome_to_string a.Audit.outcome);
+  Alcotest.check (Alcotest.float 1e-9) "zero gain" 0. a.Audit.gain
+
+let test_audit_matrix_clean_on_fig1 () =
+  let g, _ = Lazy.force fig1 in
+  let rows =
+    Audit.detection_matrix ~targets:[ (g, fig1_traffic, [ 2 ]) ] ()
+  in
+  check Alcotest.bool "clean" true (Audit.clean rows);
+  check Alcotest.int "all detectable deviations audited"
+    (List.length (List.filter Adversary.detectable Adversary.library))
+    (List.length rows);
+  List.iter
+    (fun (r : Audit.matrix_row) ->
+      check Alcotest.int (r.Audit.name ^ " runs") 1 r.Audit.runs;
+      check Alcotest.bool (r.Audit.name ^ " gain <= 0") true (r.Audit.max_gain <= 1e-9))
+    rows
+
+let test_audit_detects_escape_under_collusion () =
+  (* With a full-neighborhood coalition the matrix must report the escape
+     honestly — exercised via max_gain over a colluding configuration is
+     not expressible here (matrix audits single deviants), so check that
+     the unchecked configuration reports Escaped rows instead. *)
+  let g, _ = Lazy.force fig1 in
+  let unchecked = { Runner.default_params with Runner.checking = false } in
+  let rows =
+    Audit.detection_matrix ~params:unchecked
+      ~deviations:[ Adversary.Miscompute_routing (-2.) ]
+      ~targets:[ (g, fig1_traffic, [ 2; 3 ]) ]
+      ()
+  in
+  check Alcotest.bool "escapes visible when unchecked" false (Audit.clean rows)
+
+let test_audit_max_gain_nonpositive_checked () =
+  let g = Lazy.force ring5 in
+  let traffic = Traffic.uniform ~n:5 ~rate:1. in
+  let gain, _ = Audit.max_gain ~graph:g ~traffic () in
+  check Alcotest.bool "faithful" true (gain <= 1e-9)
+
+let test_audit_max_gain_positive_unchecked () =
+  let g, _ = Lazy.force fig1 in
+  let unchecked = { Runner.default_params with Runner.checking = false } in
+  let gain, name = Audit.max_gain ~params:unchecked ~graph:g ~traffic:fig1_traffic () in
+  check Alcotest.bool "profit exists" true (gain > 0.);
+  check Alcotest.bool "named" true (name <> "-")
+
+(* --- The second instantiation: faithful distributed leader election --- *)
+
+module Election = Damd_faithful.Election
+module Leader = Damd_mech.Leader_election
+
+let election_fixture =
+  lazy
+    (let rng = Rng.create 820 in
+     let g = Gen.chordal_ring rng ~n:8 ~chords:2 (Gen.Uniform_int (1, 5)) in
+     let profile = Leader.sample_profile ~n:8 rng in
+     (g, profile))
+
+let test_election_honest_certifies () =
+  let g, profile = Lazy.force election_fixture in
+  let r = Election.run ~graph:g ~profile ~deviations:(Array.make 8 Election.Honest) () in
+  check Alcotest.bool "completed" true r.Election.completed;
+  check Alcotest.int "no detections" 0 (List.length r.Election.detections);
+  (* the distributed protocol elects the same node as the centralized
+     second-score mechanism *)
+  let m = Leader.second_score ~n:8 ~benefit:2. in
+  let o, _ = m.Damd_mech.Mechanism.run profile in
+  check (Alcotest.option Alcotest.int) "same winner" (Some o.Leader.leader)
+    r.Election.leader
+
+let test_election_winner_utility_matches_centralized () =
+  let g, profile = Lazy.force election_fixture in
+  let r = Election.run ~graph:g ~profile ~deviations:(Array.make 8 Election.Honest) () in
+  let m = Leader.second_score ~n:8 ~benefit:2. in
+  let leader = Option.get r.Election.leader in
+  checkf "utility agrees"
+    (Damd_mech.Mechanism.utility m leader profile.(leader) profile)
+    r.Election.utilities.(leader)
+
+let test_election_no_profitable_deviation () =
+  let g, profile = Lazy.force election_fixture in
+  List.iter
+    (fun d ->
+      for node = 0 to 7 do
+        let gain = Election.utility_gain ~graph:g ~profile ~node ~deviation:d () in
+        if gain > 1e-9 then
+          Alcotest.failf "node %d profits %g from %s" node gain
+            (Election.deviation_name d)
+      done)
+    Election.deviation_library
+
+let test_election_inconsistent_bid_caught () =
+  let g, profile = Lazy.force election_fixture in
+  let deviations = Array.make 8 Election.Honest in
+  deviations.(1) <- Election.Inconsistent_bid 3.;
+  let r = Election.run ~graph:g ~profile ~deviations () in
+  check Alcotest.bool "stuck" false r.Election.completed;
+  check Alcotest.bool "flagged" true (r.Election.detections <> [])
+
+let test_election_miscompute_caught () =
+  let g, profile = Lazy.force election_fixture in
+  (* a node that is not the honest winner claims the crown *)
+  let honest = Election.run ~graph:g ~profile ~deviations:(Array.make 8 Election.Honest) () in
+  let loser = if honest.Election.leader = Some 0 then 1 else 0 in
+  let deviations = Array.make 8 Election.Honest in
+  deviations.(loser) <- Election.Miscompute_winner;
+  let r = Election.run ~graph:g ~profile ~deviations () in
+  check Alcotest.bool "stuck" false r.Election.completed
+
+let test_election_unchecked_self_nomination_profits () =
+  let g, profile = Lazy.force election_fixture in
+  let unchecked = { Election.default_params with Election.checking = false } in
+  let best =
+    List.fold_left
+      (fun acc node ->
+        Float.max acc
+          (Election.utility_gain ~params:unchecked ~graph:g ~profile ~node
+             ~deviation:Election.Miscompute_winner ()))
+      neg_infinity
+      [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  check Alcotest.bool "self-nomination pays unchecked" true (best > 0.)
+
+let test_election_refuse_to_serve_fined () =
+  let g, profile = Lazy.force election_fixture in
+  let honest = Election.run ~graph:g ~profile ~deviations:(Array.make 8 Election.Honest) () in
+  let leader = Option.get honest.Election.leader in
+  let deviations = Array.make 8 Election.Honest in
+  deviations.(leader) <- Election.Refuse_to_serve;
+  let r = Election.run ~graph:g ~profile ~deviations () in
+  check Alcotest.bool "completed" true r.Election.completed;
+  check Alcotest.bool "fined" true (r.Election.utilities.(leader) < 0.);
+  check Alcotest.bool "logged" true (r.Election.detections <> [])
+
+let test_election_classification_total () =
+  List.iter
+    (fun d ->
+      check Alcotest.bool
+        (Election.deviation_name d)
+        true
+        (Election.classify d <> []))
+    Election.deviation_library
+
+(* --- Spec catalogue --- *)
+
+module Spec = Damd_faithful.Spec
+
+let test_spec_covers_all_classes () =
+  check Alcotest.int "three classes" 3 (List.length (Spec.classes_covered ()))
+
+let test_spec_covers_all_phases () =
+  let phases = List.sort_uniq compare (List.map (fun e -> e.Spec.phase) Spec.catalogue) in
+  check Alcotest.int "four phases" 4 (List.length phases)
+
+let test_spec_deviations_exist_in_library () =
+  (* Every deviation name referenced by the catalogue corresponds to a
+     deviation in the adversary library (by prefix). *)
+  let library_names =
+    List.map Adversary.name (Adversary.Faithful :: Adversary.library)
+    @ [ Adversary.name (Adversary.Collude_with 0) ]
+  in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun prefix ->
+          let found =
+            List.exists
+              (fun name -> String.length name >= String.length prefix
+                           && String.sub name 0 (String.length prefix) = prefix)
+              library_names
+          in
+          check Alcotest.bool (prefix ^ " exists") true found)
+        e.Spec.deviations)
+    Spec.catalogue
+
+let test_spec_every_library_deviation_targets_an_action () =
+  (* Conversely, every library deviation is accounted for in the spec. *)
+  let targeted =
+    List.concat_map (fun e -> e.Spec.deviations) Spec.catalogue
+  in
+  List.iter
+    (fun d ->
+      let name = Adversary.name d in
+      let covered =
+        List.exists
+          (fun prefix ->
+            String.length name >= String.length prefix
+            && String.sub name 0 (String.length prefix) = prefix)
+          targeted
+      in
+      check Alcotest.bool (name ^ " targeted") true covered)
+    Adversary.library
+
+(* --- Adversary bookkeeping --- *)
+
+let test_adversary_names_unique () =
+  let names = List.map Adversary.name Adversary.library in
+  check Alcotest.int "unique" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_adversary_classes_nonempty () =
+  List.iter
+    (fun d ->
+      check Alcotest.bool (Adversary.name d) true (Adversary.classify d <> []))
+    Adversary.library;
+  check Alcotest.bool "faithful has no classes" true
+    (Adversary.classify Adversary.Faithful = [])
+
+let test_adversary_phases_partition () =
+  List.iter
+    (fun d ->
+      check Alcotest.bool
+        (Adversary.name d ^ " is construction xor execution")
+        true
+        (Adversary.is_construction d <> Adversary.is_execution d
+        || d = Adversary.Misreport_cost 5.))
+    Adversary.library
+
+let suites =
+  [
+    ( "faithful.protocol",
+      [
+        Alcotest.test_case "empty routing" `Quick test_protocol_empty_routing;
+        Alcotest.test_case "recompute line" `Quick test_protocol_recompute_routing_line;
+        Alcotest.test_case "loop avoidance" `Quick test_protocol_routing_loop_avoidance;
+        Alcotest.test_case "digests differ" `Quick test_protocol_digests_differ;
+        Alcotest.test_case "tags hashed" `Quick test_protocol_pricing_digest_sees_tags;
+        Alcotest.test_case "message sizes" `Quick test_protocol_msg_sizes;
+        Alcotest.test_case "cost digests" `Quick test_protocol_costs_digest;
+      ] );
+    ( "faithful.node",
+      [
+        Alcotest.test_case "announce cost" `Quick test_node_announce_cost_faithful;
+        Alcotest.test_case "misreport" `Quick test_node_announce_cost_misreport;
+        Alcotest.test_case "inconsistent" `Quick test_node_announce_cost_inconsistent;
+        Alcotest.test_case "flood forwards once" `Quick test_node_cost_flood_forwards_once;
+        Alcotest.test_case "finalize costs" `Quick test_node_finalize_costs;
+        Alcotest.test_case "routing copies" `Quick test_node_routing_update_forwards_copies;
+        Alcotest.test_case "drop copies deviation" `Quick test_node_drop_copies_deviation;
+        Alcotest.test_case "checker rejects bad via" `Quick test_node_checker_rejects_bad_via;
+        Alcotest.test_case "payment report" `Quick test_node_payment_report;
+        Alcotest.test_case "underreport" `Quick test_node_payment_report_underreports;
+      ] );
+    ( "faithful.bank",
+      [
+        Alcotest.test_case "serialize canonical" `Quick test_bank_serialize_report_canonical;
+        Alcotest.test_case "checkpoint costs" `Quick test_bank_checkpoint_costs;
+        Alcotest.test_case "checkpoint bytes" `Quick test_bank_checkpoint_bytes_positive;
+      ] );
+    ( "faithful.run",
+      [
+        Alcotest.test_case "faithful completes" `Quick test_run_faithful_completes;
+        Alcotest.test_case "matches centralized (Fig1)" `Quick
+          test_run_faithful_matches_centralized;
+        Alcotest.test_case "matches centralized (random)" `Quick
+          test_run_faithful_matches_centralized_random;
+        Alcotest.test_case "deterministic" `Quick test_run_deterministic;
+        Alcotest.test_case "traffic flows" `Quick test_run_all_traffic_delivered;
+        Alcotest.test_case "money conserved" `Quick test_run_money_conserved_faithful;
+      ] );
+    ( "faithful.detection",
+      [
+        Alcotest.test_case "construction deviations caught" `Quick
+          test_every_detectable_construction_deviation_caught;
+        Alcotest.test_case "cost-forward corruption caught on ring" `Quick
+          test_corrupt_cost_forward_caught_on_ring;
+        Alcotest.test_case "execution deviations caught" `Quick
+          test_every_execution_deviation_caught;
+        Alcotest.test_case "misreport passes (by design)" `Quick test_misreport_not_detected;
+        Alcotest.test_case "culprit attributed" `Quick test_detection_attributes_culprit;
+        Alcotest.test_case "deviant checker detected" `Quick test_deviant_checker_detected;
+      ] );
+    ( "faithful.theorem1",
+      [
+        Alcotest.test_case "no profitable deviation (Fig1)" `Slow
+          test_no_profitable_deviation_fig1;
+        Alcotest.test_case "no profitable deviation (ring)" `Slow
+          test_no_profitable_deviation_ring;
+        Alcotest.test_case "unchecked: free-riding pays" `Quick
+          test_unchecked_underreporting_profits;
+        Alcotest.test_case "unchecked: manipulation pays" `Slow
+          test_unchecked_some_construction_deviation_profits;
+        Alcotest.test_case "ex post Nash report" `Slow test_analysis_ex_post_nash_holds;
+        Alcotest.test_case "Proposition 2 certificate" `Slow test_analysis_evidence_certifies;
+        Alcotest.test_case "unchecked not faithful" `Slow test_analysis_unchecked_not_faithful;
+      ] );
+    ( "faithful.extensions",
+      [
+        Alcotest.test_case "lying checker alone harmless" `Quick
+          test_lying_checker_alone_harmless;
+        Alcotest.test_case "partial collusion caught" `Quick
+          test_partial_collusion_still_caught;
+        Alcotest.test_case "full-neighborhood collusion escapes" `Quick
+          test_full_neighborhood_collusion_escapes;
+        Alcotest.test_case "channel loss: false positives" `Quick
+          test_channel_loss_false_positives;
+        Alcotest.test_case "zero loss clean" `Quick test_zero_channel_loss_is_clean;
+        Alcotest.test_case "no-copies mode cheaper" `Quick test_no_copies_mode_cheaper;
+        Alcotest.test_case "deferred certification catches late" `Quick
+          test_deferred_certification_catches_late;
+        Alcotest.test_case "deferred certification faithful clean" `Quick
+          test_deferred_certification_faithful_clean;
+        Alcotest.test_case "async latency agrees" `Quick test_heterogeneous_latency_agrees;
+        Alcotest.test_case "async latency still detects" `Quick
+          test_heterogeneous_latency_still_detects;
+        Alcotest.test_case "replication correct" `Quick test_replication_correct_and_complete;
+        Alcotest.test_case "replication heavier" `Quick
+          test_replication_costs_more_than_faithful;
+        Alcotest.test_case "hotspot traffic" `Quick test_faithful_under_hotspot_traffic;
+        Alcotest.test_case "zero traffic" `Quick test_zero_traffic_execution_trivial;
+        Alcotest.test_case "triangle" `Quick test_triangle_minimal_biconnected;
+        Alcotest.test_case "zero-cost nodes" `Quick test_zero_cost_nodes;
+        QCheck_alcotest.to_alcotest prop_faithful_random_graphs;
+        QCheck_alcotest.to_alcotest prop_detection_random_graphs;
+      ] );
+    ( "faithful.economics",
+      [
+        Alcotest.test_case "fine = delta + epsilon exactly" `Quick
+          test_underreport_penalty_is_delta_plus_epsilon;
+        Alcotest.test_case "distributed = centralized economics" `Quick
+          test_misreport_gain_matches_centralized_game;
+      ] );
+    ( "faithful.committee",
+      [
+        Alcotest.test_case "honest unanimity" `Quick test_committee_honest_unanimity;
+        Alcotest.test_case "minority liar cannot flip" `Quick
+          test_committee_minority_liar_cannot_flip;
+        Alcotest.test_case "majority liars win" `Quick test_committee_majority_liars_win;
+        Alcotest.test_case "tolerance bound" `Quick test_committee_tolerance_bound;
+        Alcotest.test_case "ties fail safe" `Quick test_committee_ties_fail_safe;
+        Alcotest.test_case "end-to-end checkpoint" `Quick
+          test_committee_checkpoint_end_to_end;
+      ] );
+    ( "faithful.partitioning",
+      [
+        Alcotest.test_case "own pricing cannot self-enrich" `Slow
+          test_partitioning_own_pricing_cannot_raise_own_income;
+        Alcotest.test_case "combined attacks caught" `Quick test_combined_attacks_caught;
+        Alcotest.test_case "stress n=24" `Slow test_stress_larger_network;
+      ] );
+    ( "faithful.audit",
+      [
+        Alcotest.test_case "one caught" `Quick test_audit_one_caught;
+        Alcotest.test_case "one no-effect" `Quick test_audit_one_no_effect;
+        Alcotest.test_case "matrix clean" `Quick test_audit_matrix_clean_on_fig1;
+        Alcotest.test_case "escape visible unchecked" `Quick
+          test_audit_detects_escape_under_collusion;
+        Alcotest.test_case "max gain <= 0 checked" `Slow
+          test_audit_max_gain_nonpositive_checked;
+        Alcotest.test_case "max gain > 0 unchecked" `Slow
+          test_audit_max_gain_positive_unchecked;
+      ] );
+    ( "faithful.election",
+      [
+        Alcotest.test_case "honest certifies" `Quick test_election_honest_certifies;
+        Alcotest.test_case "utility matches centralized" `Quick
+          test_election_winner_utility_matches_centralized;
+        Alcotest.test_case "no profitable deviation" `Quick
+          test_election_no_profitable_deviation;
+        Alcotest.test_case "inconsistent bid caught" `Quick
+          test_election_inconsistent_bid_caught;
+        Alcotest.test_case "miscompute caught" `Quick test_election_miscompute_caught;
+        Alcotest.test_case "unchecked self-nomination profits" `Quick
+          test_election_unchecked_self_nomination_profits;
+        Alcotest.test_case "refuse-to-serve fined" `Quick test_election_refuse_to_serve_fined;
+        Alcotest.test_case "classification total" `Quick test_election_classification_total;
+      ] );
+    ( "faithful.spec",
+      [
+        Alcotest.test_case "covers all classes" `Quick test_spec_covers_all_classes;
+        Alcotest.test_case "covers all phases" `Quick test_spec_covers_all_phases;
+        Alcotest.test_case "deviations exist" `Quick test_spec_deviations_exist_in_library;
+        Alcotest.test_case "library fully targeted" `Quick
+          test_spec_every_library_deviation_targets_an_action;
+      ] );
+    ( "faithful.adversary",
+      [
+        Alcotest.test_case "names unique" `Quick test_adversary_names_unique;
+        Alcotest.test_case "classes nonempty" `Quick test_adversary_classes_nonempty;
+        Alcotest.test_case "phase partition" `Quick test_adversary_phases_partition;
+      ] );
+  ]

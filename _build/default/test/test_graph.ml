@@ -1,0 +1,608 @@
+(* Tests for Damd_graph: graph construction, Dijkstra under the FPSS
+   node-transit-cost model (checked against a brute-force simple-path
+   oracle), biconnectivity analysis, and generator invariants.
+
+   The Figure 1 tests reproduce every number the paper derives from its
+   example network. *)
+
+module Rng = Damd_util.Rng
+module Graph = Damd_graph.Graph
+module Dijkstra = Damd_graph.Dijkstra
+module Biconnect = Damd_graph.Biconnect
+module Gen = Damd_graph.Gen
+
+let check = Alcotest.check
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+let fig1 = lazy (Gen.figure1 ())
+let node name = List.assoc name (snd (Lazy.force fig1))
+
+(* Brute-force oracle: enumerate all simple paths, take the best under the
+   canonical order. Exponential, used only on tiny graphs. *)
+let brute_lcp g ~src ~dst =
+  let best = ref None in
+  let consider path =
+    let cost =
+      List.fold_left (fun acc v -> acc +. Graph.cost g v) 0. (Dijkstra.transit_nodes path)
+    in
+    let entry = { Dijkstra.cost; path } in
+    match !best with
+    | None -> best := Some entry
+    | Some cur -> if Dijkstra.compare_entry entry cur < 0 then best := Some entry
+  in
+  let rec explore visited v acc =
+    if v = dst then consider (List.rev (v :: acc))
+    else
+      List.iter
+        (fun u -> if not (List.mem u visited) then explore (u :: visited) u (v :: acc))
+        (Graph.neighbors g v)
+  in
+  explore [ src ] src [];
+  !best
+
+(* --- Graph --- *)
+
+let test_create_basic () =
+  let g = Graph.create ~n:3 ~costs:[| 1.; 2.; 3. |] ~edges:[ (0, 1); (1, 2) ] in
+  check Alcotest.int "n" 3 (Graph.n g);
+  checkf "cost" 2. (Graph.cost g 1);
+  check (Alcotest.list Alcotest.int) "neighbors" [ 0; 2 ] (Graph.neighbors g 1);
+  check Alcotest.int "degree" 1 (Graph.degree g 0);
+  check Alcotest.bool "edge" true (Graph.has_edge g 0 1);
+  check Alcotest.bool "no edge" false (Graph.has_edge g 0 2)
+
+let test_create_dedups_edges () =
+  let g = Graph.create ~n:2 ~costs:[| 0.; 0. |] ~edges:[ (0, 1); (1, 0); (0, 1) ] in
+  check Alcotest.int "one edge" 1 (Graph.num_edges g)
+
+let test_create_rejects_self_loop () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.create: self-loop") (fun () ->
+      ignore (Graph.create ~n:2 ~costs:[| 0.; 0. |] ~edges:[ (1, 1) ]))
+
+let test_create_rejects_negative_cost () =
+  Alcotest.check_raises "negative cost"
+    (Invalid_argument "Graph.create: transit costs must be finite and non-negative")
+    (fun () -> ignore (Graph.create ~n:1 ~costs:[| -1. |] ~edges:[]))
+
+let test_create_rejects_out_of_range_edge () =
+  Alcotest.check_raises "bad edge"
+    (Invalid_argument "Graph.create: edge endpoint out of range") (fun () ->
+      ignore (Graph.create ~n:2 ~costs:[| 0.; 0. |] ~edges:[ (0, 5) ]))
+
+let test_with_cost_is_functional () =
+  let g = Graph.create ~n:2 ~costs:[| 1.; 1. |] ~edges:[ (0, 1) ] in
+  let g' = Graph.with_cost g 0 9. in
+  checkf "updated" 9. (Graph.cost g' 0);
+  checkf "original untouched" 1. (Graph.cost g 0)
+
+let test_edges_sorted_unique () =
+  let g = Graph.create ~n:4 ~costs:(Array.make 4 0.) ~edges:[ (3, 2); (0, 1); (2, 3) ] in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "edges" [ (0, 1); (2, 3) ] (Graph.edges g)
+
+let test_connectivity () =
+  let connected = Graph.create ~n:3 ~costs:(Array.make 3 0.) ~edges:[ (0, 1); (1, 2) ] in
+  let split = Graph.create ~n:3 ~costs:(Array.make 3 0.) ~edges:[ (0, 1) ] in
+  check Alcotest.bool "connected" true (Graph.is_connected connected);
+  check Alcotest.bool "split" false (Graph.is_connected split)
+
+let test_to_dot_mentions_nodes () =
+  let g, _ = Lazy.force fig1 in
+  let dot = Graph.to_dot g in
+  check Alcotest.bool "has node" true (Astring.String.is_infix ~affix:"n5" dot);
+  check Alcotest.bool "has edge" true (Astring.String.is_infix ~affix:"--" dot)
+
+(* --- Figure 1 --- *)
+
+let test_fig1_shape () =
+  let g, _ = Lazy.force fig1 in
+  check Alcotest.int "6 nodes" 6 (Graph.n g);
+  check Alcotest.int "7 edges" 7 (Graph.num_edges g);
+  check Alcotest.bool "biconnected" true (Biconnect.is_biconnected g)
+
+let test_fig1_x_to_z () =
+  (* "the total LCP cost of sending a packet from X to Z is 2" via X-D-C-Z *)
+  let g, _ = Lazy.force fig1 in
+  match Dijkstra.lcp g ~src:(node "X") ~dst:(node "Z") with
+  | None -> Alcotest.fail "no path"
+  | Some e ->
+      checkf "cost 2" 2. e.Dijkstra.cost;
+      check (Alcotest.list Alcotest.int) "path X-D-C-Z"
+        [ node "X"; node "D"; node "C"; node "Z" ]
+        e.Dijkstra.path
+
+let test_fig1_z_to_d () =
+  (* "the cost of sending a packet from Z to D is 1" via Z-C-D *)
+  let g, _ = Lazy.force fig1 in
+  match Dijkstra.lcp g ~src:(node "Z") ~dst:(node "D") with
+  | None -> Alcotest.fail "no path"
+  | Some e ->
+      checkf "cost 1" 1. e.Dijkstra.cost;
+      check (Alcotest.list Alcotest.int) "path Z-C-D"
+        [ node "Z"; node "C"; node "D" ]
+        e.Dijkstra.path
+
+let test_fig1_b_to_d () =
+  (* "The cost of sending a packet from B to D is 0" *)
+  let g, _ = Lazy.force fig1 in
+  match Dijkstra.lcp g ~src:(node "B") ~dst:(node "D") with
+  | None -> Alcotest.fail "no path"
+  | Some e -> checkf "cost 0" 0. e.Dijkstra.cost
+
+let test_fig1_example1_manipulation () =
+  (* Example 1: with C declaring 5, X-A-Z becomes the X-Z LCP... *)
+  let g, _ = Lazy.force fig1 in
+  let g' = Graph.with_cost g (node "C") 5. in
+  (match Dijkstra.lcp g' ~src:(node "X") ~dst:(node "Z") with
+  | None -> Alcotest.fail "no path"
+  | Some e ->
+      check (Alcotest.list Alcotest.int) "path X-A-Z"
+        [ node "X"; node "A"; node "Z" ]
+        e.Dijkstra.path);
+  (* ...while C keeps the D-Z traffic. *)
+  match Dijkstra.lcp g' ~src:(node "D") ~dst:(node "Z") with
+  | None -> Alcotest.fail "no path"
+  | Some e ->
+      check Alcotest.bool "C still transits D-Z" true
+        (List.mem (node "C") (Dijkstra.transit_nodes e.Dijkstra.path))
+
+let test_fig1_lcp_tree () =
+  (* The bold tree of Figure 1: LCPs from every node to Z. *)
+  let g, _ = Lazy.force fig1 in
+  let tree = Dijkstra.lcp_tree_edges g ~root:(node "Z") in
+  let norm (u, v) = if u < v then (u, v) else (v, u) in
+  let expect =
+    List.sort_uniq compare
+      [
+        norm (node "A", node "Z"); (* A reaches Z directly *)
+        norm (node "B", node "Z"); (* B reaches Z directly *)
+        norm (node "C", node "Z");
+        norm (node "C", node "D");
+        norm (node "D", node "X");
+      ]
+  in
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)) "tree" expect tree
+
+(* --- Dijkstra --- *)
+
+let test_dijkstra_same_node () =
+  let g, _ = Lazy.force fig1 in
+  match Dijkstra.lcp g ~src:2 ~dst:2 with
+  | Some e ->
+      checkf "zero" 0. e.Dijkstra.cost;
+      check (Alcotest.list Alcotest.int) "trivial path" [ 2 ] e.Dijkstra.path
+  | None -> Alcotest.fail "self path missing"
+
+let test_dijkstra_unreachable () =
+  let g = Graph.create ~n:4 ~costs:(Array.make 4 1.) ~edges:[ (0, 1); (2, 3) ] in
+  check Alcotest.bool "unreachable" true (Dijkstra.lcp g ~src:0 ~dst:3 = None)
+
+let test_dijkstra_avoid () =
+  let g, _ = Lazy.force fig1 in
+  (* Avoiding C, the X-Z LCP must use A at cost 5. *)
+  match Dijkstra.dist_avoiding g ~avoid:(node "C") ~src:(node "X") ~dst:(node "Z") with
+  | None -> Alcotest.fail "no path avoiding C"
+  | Some c -> checkf "cost 5" 5. c
+
+let test_dijkstra_avoid_endpoint_rejected () =
+  let g, _ = Lazy.force fig1 in
+  Alcotest.check_raises "avoid endpoint"
+    (Invalid_argument "Dijkstra.dist_avoiding: endpoint equals avoided node") (fun () ->
+      ignore (Dijkstra.dist_avoiding g ~avoid:4 ~src:4 ~dst:5))
+
+let test_dijkstra_transit_nodes () =
+  check (Alcotest.list Alcotest.int) "interior" [ 2; 3 ] (Dijkstra.transit_nodes [ 1; 2; 3; 4 ]);
+  check (Alcotest.list Alcotest.int) "adjacent" [] (Dijkstra.transit_nodes [ 1; 2 ]);
+  check (Alcotest.list Alcotest.int) "single" [] (Dijkstra.transit_nodes [ 1 ])
+
+let test_dijkstra_matches_brute_force () =
+  let rng = Rng.create 77 in
+  for trial = 1 to 25 do
+    let g = Gen.erdos_renyi rng ~n:7 ~p:0.4 (Gen.Uniform_int (0, 9)) in
+    for src = 0 to 6 do
+      for dst = 0 to 6 do
+        if src <> dst then begin
+          let fast = Dijkstra.lcp g ~src ~dst in
+          let slow = brute_lcp g ~src ~dst in
+          match (fast, slow) with
+          | Some a, Some b ->
+              if a.Dijkstra.cost <> b.Dijkstra.cost then
+                Alcotest.failf "trial %d: cost mismatch %g vs %g" trial a.Dijkstra.cost
+                  b.Dijkstra.cost;
+              if a.Dijkstra.path <> b.Dijkstra.path then
+                Alcotest.failf "trial %d: canonical path mismatch" trial
+          | None, None -> ()
+          | _ -> Alcotest.failf "trial %d: reachability mismatch" trial
+        end
+      done
+    done
+  done
+
+let test_all_to_dest_consistent () =
+  let g, _ = Lazy.force fig1 in
+  let all = Dijkstra.all_to_dest g in
+  for dst = 0 to 5 do
+    for src = 0 to 5 do
+      let direct = Dijkstra.lcp g ~src ~dst in
+      let tabulated = all.(dst).(src) in
+      match (direct, tabulated) with
+      | Some a, Some b -> checkf "same cost" a.Dijkstra.cost b.Dijkstra.cost
+      | None, None -> ()
+      | _ -> Alcotest.fail "reachability mismatch"
+    done
+  done
+
+let prop_dijkstra_triangle =
+  (* d(u,w) <= d(u,v) + c_v + d(v,w): routing through any intermediate v
+     cannot beat the LCP. *)
+  QCheck.Test.make ~name:"triangle inequality through any node" ~count:50
+    QCheck.(triple small_nat small_nat small_nat)
+    (fun (a, b, c) ->
+      let rng = Rng.create (a + (31 * b) + (997 * c)) in
+      let g = Gen.chordal_ring rng ~n:10 ~chords:5 (Gen.Uniform_int (0, 9)) in
+      let u = a mod 10 and v = b mod 10 and w = c mod 10 in
+      QCheck.assume (u <> v && v <> w && u <> w);
+      match (Dijkstra.dist g ~src:u ~dst:w, Dijkstra.dist g ~src:u ~dst:v,
+             Dijkstra.dist g ~src:v ~dst:w) with
+      | Some duw, Some duv, Some dvw -> duw <= duv +. Graph.cost g v +. dvw +. 1e-9
+      | _ -> false)
+
+let prop_dijkstra_symmetric =
+  (* Undirected graph with node costs: d(u,v) = d(v,u). *)
+  QCheck.Test.make ~name:"distance is symmetric" ~count:50
+    QCheck.(pair small_nat small_nat)
+    (fun (a, b) ->
+      let rng = Rng.create (a + (1009 * b)) in
+      let g = Gen.erdos_renyi rng ~n:9 ~p:0.35 (Gen.Uniform_int (0, 9)) in
+      let u = a mod 9 and v = b mod 9 in
+      QCheck.assume (u <> v);
+      Dijkstra.dist g ~src:u ~dst:v = Dijkstra.dist g ~src:v ~dst:u)
+
+let prop_avoid_no_worse =
+  QCheck.Test.make ~name:"avoiding a node never shortens the path" ~count:50
+    QCheck.(triple small_nat small_nat small_nat)
+    (fun (a, b, c) ->
+      let rng = Rng.create (a + (31 * b) + (101 * c)) in
+      let g = Gen.chordal_ring rng ~n:10 ~chords:6 (Gen.Uniform_int (0, 9)) in
+      let u = a mod 10 and v = b mod 10 and k = c mod 10 in
+      QCheck.assume (u <> v && k <> u && k <> v);
+      match (Dijkstra.dist g ~src:u ~dst:v, Dijkstra.dist_avoiding g ~avoid:k ~src:u ~dst:v) with
+      | Some d, Some d_avoid -> d_avoid >= d -. 1e-9
+      | Some _, None -> false (* chordal rings are biconnected *)
+      | None, _ -> false)
+
+(* --- Biconnectivity --- *)
+
+let test_ap_path_graph () =
+  (* 0-1-2: node 1 is the only articulation point. *)
+  let g = Graph.create ~n:3 ~costs:(Array.make 3 0.) ~edges:[ (0, 1); (1, 2) ] in
+  check (Alcotest.list Alcotest.int) "aps" [ 1 ] (Biconnect.articulation_points g);
+  check Alcotest.bool "not biconnected" false (Biconnect.is_biconnected g)
+
+let test_ap_cycle () =
+  let g = Gen.ring ~n:5 ~costs:(Array.make 5 0.) in
+  check (Alcotest.list Alcotest.int) "no aps" [] (Biconnect.articulation_points g);
+  check Alcotest.bool "biconnected" true (Biconnect.is_biconnected g)
+
+let test_ap_barbell () =
+  (* Two triangles joined at node 2: node 2 is a cut vertex. *)
+  let g =
+    Graph.create ~n:5 ~costs:(Array.make 5 0.)
+      ~edges:[ (0, 1); (1, 2); (0, 2); (2, 3); (3, 4); (2, 4) ]
+  in
+  check (Alcotest.list Alcotest.int) "aps" [ 2 ] (Biconnect.articulation_points g)
+
+let test_ap_bridge () =
+  (* Two triangles joined by a bridge 2-3: both bridge endpoints are cut. *)
+  let g =
+    Graph.create ~n:6 ~costs:(Array.make 6 0.)
+      ~edges:[ (0, 1); (1, 2); (0, 2); (2, 3); (3, 4); (4, 5); (3, 5) ]
+  in
+  check (Alcotest.list Alcotest.int) "aps" [ 2; 3 ] (Biconnect.articulation_points g)
+
+let test_ap_star () =
+  let g = Graph.create ~n:4 ~costs:(Array.make 4 0.) ~edges:[ (0, 1); (0, 2); (0, 3) ] in
+  check (Alcotest.list Alcotest.int) "hub" [ 0 ] (Biconnect.articulation_points g)
+
+let test_ap_disconnected () =
+  let g = Graph.create ~n:4 ~costs:(Array.make 4 0.) ~edges:[ (0, 1); (2, 3) ] in
+  check (Alcotest.list Alcotest.int) "no aps" [] (Biconnect.articulation_points g);
+  check Alcotest.bool "not biconnected (disconnected)" false (Biconnect.is_biconnected g)
+
+let test_components_without () =
+  let g = Graph.create ~n:3 ~costs:(Array.make 3 0.) ~edges:[ (0, 1); (1, 2) ] in
+  let label = Biconnect.components_without g 1 in
+  check Alcotest.int "removed" (-1) label.(1);
+  check Alcotest.bool "split" true (label.(0) <> label.(2))
+
+let prop_ap_matches_removal_oracle =
+  (* v is an articulation point iff removing it disconnects its component:
+     cross-check Hopcroft-Tarjan against the component-counting oracle. *)
+  QCheck.Test.make ~name:"articulation points = removal oracle" ~count:60
+    QCheck.(pair small_nat (float_bound_inclusive 1.))
+    (fun (seed, p) ->
+      let rng = Rng.create (seed + 1) in
+      let n = 8 in
+      let p = 0.15 +. (p *. 0.5) in
+      let edges = ref [] in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          if Rng.bernoulli rng p then edges := (u, v) :: !edges
+        done
+      done;
+      let g = Graph.create ~n ~costs:(Array.make n 0.) ~edges:!edges in
+      let count_components skip =
+        let label = Biconnect.components_without g skip in
+        let ids = Hashtbl.create 8 in
+        Array.iter (fun l -> if l >= 0 then Hashtbl.replace ids l ()) label;
+        Hashtbl.length ids
+      in
+      let base = count_components (-1) in
+      let aps = Biconnect.articulation_points g in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        (* Removing an isolated node or a component by itself can reduce
+           the count; an articulation point strictly increases it. *)
+        let without = count_components v in
+        let is_ap = List.mem v aps in
+        let oracle_ap = without > base - (if Graph.degree g v = 0 then 1 else 0) && Graph.degree g v > 0 in
+        let oracle_ap = oracle_ap && without > base in
+        if is_ap <> oracle_ap then ok := false
+      done;
+      !ok)
+
+(* --- Generators --- *)
+
+let cost_model = Gen.Uniform_int (1, 10)
+
+let test_gen_ring_biconnected () =
+  let g = Gen.ring ~n:10 ~costs:(Array.make 10 1.) in
+  check Alcotest.bool "biconnected" true (Biconnect.is_biconnected g);
+  check Alcotest.int "edges" 10 (Graph.num_edges g)
+
+let test_gen_chordal_ring () =
+  let rng = Rng.create 1 in
+  let g = Gen.chordal_ring rng ~n:20 ~chords:10 cost_model in
+  check Alcotest.bool "biconnected" true (Biconnect.is_biconnected g);
+  check Alcotest.bool "has chords" true (Graph.num_edges g > 20)
+
+let test_gen_erdos_renyi_biconnected () =
+  let rng = Rng.create 2 in
+  for _ = 1 to 10 do
+    let g = Gen.erdos_renyi rng ~n:15 ~p:0.15 cost_model in
+    check Alcotest.bool "biconnected" true (Biconnect.is_biconnected g)
+  done
+
+let test_gen_waxman_biconnected () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 5 do
+    let g = Gen.waxman rng ~n:20 ~alpha:0.6 ~beta:0.3 cost_model in
+    check Alcotest.bool "biconnected" true (Biconnect.is_biconnected g)
+  done
+
+let test_gen_ba_biconnected () =
+  let rng = Rng.create 4 in
+  for _ = 1 to 5 do
+    let g = Gen.barabasi_albert rng ~n:30 ~m:2 cost_model in
+    check Alcotest.bool "biconnected" true (Biconnect.is_biconnected g)
+  done
+
+let test_gen_ba_rejects_m1 () =
+  let rng = Rng.create 5 in
+  Alcotest.check_raises "m=1" (Invalid_argument "Gen.barabasi_albert: need m >= 2")
+    (fun () -> ignore (Gen.barabasi_albert rng ~n:10 ~m:1 cost_model))
+
+let test_gen_costs_in_range () =
+  let rng = Rng.create 6 in
+  let costs = Gen.draw_costs rng (Gen.Uniform_int (2, 5)) 100 in
+  Array.iter
+    (fun c -> check Alcotest.bool "range" true (c >= 2. && c <= 5. && Float.is_integer c))
+    costs;
+  let costs = Gen.draw_costs rng (Gen.Constant 3.5) 10 in
+  Array.iter (fun c -> checkf "constant" 3.5 c) costs
+
+let test_gen_deterministic () =
+  let g1 = Gen.erdos_renyi (Rng.create 42) ~n:12 ~p:0.3 cost_model in
+  let g2 = Gen.erdos_renyi (Rng.create 42) ~n:12 ~p:0.3 cost_model in
+  check Alcotest.bool "same edges" true (Graph.edges g1 = Graph.edges g2);
+  check Alcotest.bool "same costs" true (Graph.costs g1 = Graph.costs g2)
+
+let test_ensure_biconnected_identity () =
+  let rng = Rng.create 7 in
+  let g = Gen.ring ~n:8 ~costs:(Array.make 8 1.) in
+  let g' = Gen.ensure_biconnected rng g in
+  check Alcotest.bool "unchanged" true (Graph.edges g = Graph.edges g')
+
+let test_ensure_biconnected_repairs_path () =
+  let rng = Rng.create 8 in
+  let g = Graph.create ~n:6 ~costs:(Array.make 6 1.) ~edges:[ (0,1); (1,2); (2,3); (3,4); (4,5) ] in
+  let g' = Gen.ensure_biconnected rng g in
+  check Alcotest.bool "now biconnected" true (Biconnect.is_biconnected g')
+
+let test_gen_complete () =
+  let g = Gen.complete ~n:5 ~costs:(Array.make 5 1.) in
+  check Alcotest.int "edges" 10 (Graph.num_edges g);
+  check Alcotest.bool "biconnected" true (Biconnect.is_biconnected g);
+  (* On a clique with uniform costs every LCP is the direct edge. *)
+  for src = 0 to 4 do
+    for dst = 0 to 4 do
+      if src <> dst then
+        match Dijkstra.lcp g ~src ~dst with
+        | Some e -> check Alcotest.int "direct" 2 (List.length e.Dijkstra.path)
+        | None -> Alcotest.fail "clique disconnected?"
+    done
+  done
+
+let test_gen_grid_torus () =
+  let g = Gen.grid ~rows:3 ~cols:4 ~costs:(Array.make 12 1.) in
+  check Alcotest.int "nodes" 12 (Graph.n g);
+  check Alcotest.bool "biconnected" true (Biconnect.is_biconnected g);
+  (* a 3x4 torus is 4-regular except where wrap edges coincide (none here) *)
+  for v = 0 to 11 do
+    check Alcotest.bool "degree 3..4" true (Graph.degree g v >= 3 && Graph.degree g v <= 4)
+  done
+
+let test_gen_grid_2x2 () =
+  (* Wrap edges collapse on a 2x2 torus; it must still be biconnected. *)
+  let g = Gen.grid ~rows:2 ~cols:2 ~costs:(Array.make 4 1.) in
+  check Alcotest.bool "biconnected" true (Biconnect.is_biconnected g)
+
+let test_gen_petersen () =
+  let g = Gen.petersen ~costs:(Array.make 10 1.) in
+  check Alcotest.int "15 edges" 15 (Graph.num_edges g);
+  for v = 0 to 9 do
+    check Alcotest.int "3-regular" 3 (Graph.degree g v)
+  done;
+  check Alcotest.bool "biconnected" true (Biconnect.is_biconnected g);
+  check Alcotest.int "diameter 2" 2 (Graph.hop_diameter g)
+
+let prop_gen_always_biconnected =
+  QCheck.Test.make ~name:"generators always yield biconnected graphs" ~count:40
+    QCheck.(pair small_nat (float_bound_inclusive 1.))
+    (fun (seed, p) ->
+      let rng = Rng.create (seed + 100) in
+      let n = 6 + (seed mod 20) in
+      let p = 0.05 +. (p *. 0.4) in
+      let g = Gen.erdos_renyi rng ~n ~p cost_model in
+      Biconnect.is_biconnected g)
+
+(* --- Metrics --- *)
+
+module Metrics = Damd_graph.Metrics
+
+let test_metrics_ring () =
+  let g = Gen.ring ~n:6 ~costs:(Array.make 6 1.) in
+  let m = Metrics.compute g in
+  check Alcotest.int "nodes" 6 m.Metrics.nodes;
+  check Alcotest.int "edges" 6 m.Metrics.edges;
+  check Alcotest.int "min degree" 2 m.Metrics.min_degree;
+  check Alcotest.int "max degree" 2 m.Metrics.max_degree;
+  checkf "mean degree" 2. m.Metrics.mean_degree;
+  check Alcotest.int "diameter" 3 m.Metrics.hop_diameter;
+  checkf "no triangles" 0. m.Metrics.clustering;
+  check Alcotest.bool "biconnected" true m.Metrics.biconnected
+
+let test_metrics_clique () =
+  let n = 5 in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  let g = Graph.create ~n ~costs:(Array.make n 1.) ~edges:!edges in
+  let m = Metrics.compute g in
+  checkf "full clustering" 1. m.Metrics.clustering;
+  check Alcotest.int "diameter 1" 1 m.Metrics.hop_diameter;
+  checkf "mean distance 1" 1. m.Metrics.mean_hop_distance
+
+let test_metrics_diameter_matches_graph () =
+  let rng = Rng.create 30 in
+  for _ = 1 to 10 do
+    let g = Gen.erdos_renyi rng ~n:12 ~p:0.3 (Gen.Uniform_int (1, 5)) in
+    let m = Metrics.compute g in
+    check Alcotest.int "diameters agree" (Graph.hop_diameter g) m.Metrics.hop_diameter
+  done
+
+let test_degree_histogram () =
+  let g = Graph.create ~n:4 ~costs:(Array.make 4 1.) ~edges:[ (0, 1); (0, 2); (0, 3) ] in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "star histogram" [ (1, 3); (3, 1) ]
+    (Metrics.degree_histogram g)
+
+let prop_metrics_mean_distance_bounds =
+  QCheck.Test.make ~name:"1 <= mean hop distance <= diameter" ~count:40
+    QCheck.(pair small_nat (float_bound_inclusive 1.))
+    (fun (seed, p) ->
+      let rng = Rng.create (seed + 70) in
+      let n = 5 + (seed mod 10) in
+      let g = Gen.erdos_renyi rng ~n ~p:(0.2 +. (p *. 0.5)) (Gen.Uniform_int (1, 5)) in
+      let m = Metrics.compute g in
+      m.Metrics.mean_hop_distance >= 1.
+      && m.Metrics.mean_hop_distance <= float_of_int m.Metrics.hop_diameter +. 1e-9)
+
+let test_metrics_ba_heavy_tail () =
+  (* Preferential attachment yields a more skewed degree distribution than
+     an ER graph of the same density. *)
+  let rng = Rng.create 31 in
+  let ba = Gen.barabasi_albert rng ~n:60 ~m:2 (Gen.Uniform_int (1, 5)) in
+  let m = Metrics.compute ba in
+  check Alcotest.bool "has hub" true (m.Metrics.max_degree >= 3 * m.Metrics.min_degree)
+
+let suites =
+  [
+    ( "graph.core",
+      [
+        Alcotest.test_case "create basic" `Quick test_create_basic;
+        Alcotest.test_case "dedups edges" `Quick test_create_dedups_edges;
+        Alcotest.test_case "rejects self-loop" `Quick test_create_rejects_self_loop;
+        Alcotest.test_case "rejects negative cost" `Quick test_create_rejects_negative_cost;
+        Alcotest.test_case "rejects bad edge" `Quick test_create_rejects_out_of_range_edge;
+        Alcotest.test_case "with_cost functional" `Quick test_with_cost_is_functional;
+        Alcotest.test_case "edges sorted unique" `Quick test_edges_sorted_unique;
+        Alcotest.test_case "connectivity" `Quick test_connectivity;
+        Alcotest.test_case "to_dot" `Quick test_to_dot_mentions_nodes;
+      ] );
+    ( "graph.figure1",
+      [
+        Alcotest.test_case "shape" `Quick test_fig1_shape;
+        Alcotest.test_case "X->Z cost 2 via X-D-C-Z" `Quick test_fig1_x_to_z;
+        Alcotest.test_case "Z->D cost 1 via Z-C-D" `Quick test_fig1_z_to_d;
+        Alcotest.test_case "B->D cost 0" `Quick test_fig1_b_to_d;
+        Alcotest.test_case "Example 1 manipulation" `Quick test_fig1_example1_manipulation;
+        Alcotest.test_case "LCP tree from Z" `Quick test_fig1_lcp_tree;
+      ] );
+    ( "graph.dijkstra",
+      [
+        Alcotest.test_case "same node" `Quick test_dijkstra_same_node;
+        Alcotest.test_case "unreachable" `Quick test_dijkstra_unreachable;
+        Alcotest.test_case "avoid" `Quick test_dijkstra_avoid;
+        Alcotest.test_case "avoid endpoint rejected" `Quick test_dijkstra_avoid_endpoint_rejected;
+        Alcotest.test_case "transit nodes" `Quick test_dijkstra_transit_nodes;
+        Alcotest.test_case "matches brute force" `Quick test_dijkstra_matches_brute_force;
+        Alcotest.test_case "all_to_dest consistent" `Quick test_all_to_dest_consistent;
+        QCheck_alcotest.to_alcotest prop_dijkstra_triangle;
+        QCheck_alcotest.to_alcotest prop_dijkstra_symmetric;
+        QCheck_alcotest.to_alcotest prop_avoid_no_worse;
+      ] );
+    ( "graph.biconnect",
+      [
+        Alcotest.test_case "path graph" `Quick test_ap_path_graph;
+        Alcotest.test_case "cycle" `Quick test_ap_cycle;
+        Alcotest.test_case "barbell" `Quick test_ap_barbell;
+        Alcotest.test_case "bridge" `Quick test_ap_bridge;
+        Alcotest.test_case "star" `Quick test_ap_star;
+        Alcotest.test_case "disconnected" `Quick test_ap_disconnected;
+        Alcotest.test_case "components_without" `Quick test_components_without;
+        QCheck_alcotest.to_alcotest prop_ap_matches_removal_oracle;
+      ] );
+    ( "graph.metrics",
+      [
+        Alcotest.test_case "ring" `Quick test_metrics_ring;
+        Alcotest.test_case "clique" `Quick test_metrics_clique;
+        Alcotest.test_case "diameter agrees" `Quick test_metrics_diameter_matches_graph;
+        Alcotest.test_case "degree histogram" `Quick test_degree_histogram;
+        Alcotest.test_case "BA heavy tail" `Quick test_metrics_ba_heavy_tail;
+        QCheck_alcotest.to_alcotest prop_metrics_mean_distance_bounds;
+      ] );
+    ( "graph.gen",
+      [
+        Alcotest.test_case "ring" `Quick test_gen_ring_biconnected;
+        Alcotest.test_case "chordal ring" `Quick test_gen_chordal_ring;
+        Alcotest.test_case "erdos-renyi" `Quick test_gen_erdos_renyi_biconnected;
+        Alcotest.test_case "waxman" `Quick test_gen_waxman_biconnected;
+        Alcotest.test_case "barabasi-albert" `Quick test_gen_ba_biconnected;
+        Alcotest.test_case "ba rejects m=1" `Quick test_gen_ba_rejects_m1;
+        Alcotest.test_case "costs in range" `Quick test_gen_costs_in_range;
+        Alcotest.test_case "deterministic" `Quick test_gen_deterministic;
+        Alcotest.test_case "ensure_biconnected identity" `Quick test_ensure_biconnected_identity;
+        Alcotest.test_case "repairs a path graph" `Quick test_ensure_biconnected_repairs_path;
+        Alcotest.test_case "complete" `Quick test_gen_complete;
+        Alcotest.test_case "grid torus" `Quick test_gen_grid_torus;
+        Alcotest.test_case "grid 2x2" `Quick test_gen_grid_2x2;
+        Alcotest.test_case "petersen" `Quick test_gen_petersen;
+        QCheck_alcotest.to_alcotest prop_gen_always_biconnected;
+      ] );
+  ]

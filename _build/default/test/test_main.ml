@@ -1,0 +1,16 @@
+(* Aggregates every library's alcotest suites into one executable so that
+   `dune runtest` runs the whole repository's tests. *)
+
+let () =
+  Alcotest.run "damd"
+    (List.concat
+       [
+         Test_util.suites;
+         Test_crypto.suites;
+         Test_graph.suites;
+         Test_mech.suites;
+         Test_sim.suites;
+         Test_fpss.suites;
+         Test_core.suites;
+         Test_faithful.suites;
+       ])

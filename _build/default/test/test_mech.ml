@@ -1,0 +1,396 @@
+(* Tests for Damd_mech: generic VCG (reduces to a second-price auction on
+   the single-item problem; passes randomized strategyproofness sweeps),
+   the strategyproofness harness itself (detects a rigged first-price
+   baseline), and the §3 leader-election toy (naive spec manipulable,
+   second-score spec strategyproof). *)
+
+module Rng = Damd_util.Rng
+module Mechanism = Damd_mech.Mechanism
+module Vcg = Damd_mech.Vcg
+module Strategyproof = Damd_mech.Strategyproof
+module Leader = Damd_mech.Leader_election
+
+let check = Alcotest.check
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+(* Single-item allocation: type = value for the item; outcome = winner. *)
+let auction n =
+  {
+    Vcg.n;
+    outcomes = List.init n (fun i -> i);
+    valuation = (fun i (v : float) winner -> if winner = i then v else 0.);
+  }
+
+let test_vcg_is_second_price () =
+  let p = auction 3 in
+  let winner, transfers = Vcg.run p [| 10.; 7.; 3. |] in
+  check Alcotest.int "highest bidder wins" 0 winner;
+  (* Clarke tax: the winner pays the second-highest bid. *)
+  checkf "winner pays 7" (-7.) transfers.(0);
+  checkf "loser pays nothing" 0. transfers.(1);
+  checkf "loser pays nothing" 0. transfers.(2)
+
+let test_vcg_tie_break_deterministic () =
+  let p = auction 3 in
+  let winner, _ = Vcg.run p [| 5.; 5.; 5. |] in
+  check Alcotest.int "first in outcome order" 0 winner
+
+let test_vcg_public_project () =
+  (* Build (cost shared implicitly via valuations) or not. *)
+  let p =
+    {
+      Vcg.n = 3;
+      outcomes = [ `Build; `Skip ];
+      valuation =
+        (fun _i (v : float) o ->
+          match o with `Build -> v -. 2. (* each pays a 2.0 share *) | `Skip -> 0.);
+    }
+  in
+  let o, transfers = Vcg.run p [| 5.; 1.; 1. |] in
+  check Alcotest.bool "builds when welfare positive" true (o = `Build);
+  (* Node 0 is pivotal: without it, others prefer Skip (welfare -2 < 0). *)
+  check Alcotest.bool "pivotal node taxed" true (transfers.(0) < 0.);
+  checkf "non-pivotal untaxed" 0. transfers.(1)
+
+let test_vcg_empty_outcomes_rejected () =
+  let p = { Vcg.n = 1; outcomes = []; valuation = (fun _ (_ : float) () -> 0.) } in
+  Alcotest.check_raises "empty" (Invalid_argument "Vcg.run: empty outcome set") (fun () ->
+      ignore (Vcg.run p [| 1. |]))
+
+let test_vcg_arity_rejected () =
+  let p = auction 3 in
+  Alcotest.check_raises "arity" (Invalid_argument "Vcg.run: arity") (fun () ->
+      ignore (Vcg.run p [| 1. |]))
+
+let test_mechanism_utility () =
+  let m = Vcg.mechanism (auction 2) in
+  (* Truthful winner: utility = value - second price. *)
+  checkf "winner utility" 3. (Mechanism.utility m 0 8. [| 8.; 5. |]);
+  checkf "loser utility" 0. (Mechanism.utility m 1 5. [| 8.; 5. |])
+
+let test_mechanism_budget () =
+  let m = Vcg.mechanism (auction 2) in
+  checkf "collects second price" (-5.) (Mechanism.budget m [| 8.; 5. |])
+
+let test_mechanism_social_welfare () =
+  let m = Vcg.mechanism (auction 2) in
+  checkf "welfare of best" 8. (Mechanism.social_welfare m [| 8.; 5. |] 0)
+
+(* --- Strategyproofness harness --- *)
+
+let sample_values n rng = Array.init n (fun _ -> Rng.float_in rng 0. 10.)
+let sample_value_lie rng _ v = Float.max 0. (v +. Rng.float_in rng (-5.) 5.)
+
+let test_vcg_auction_strategyproof () =
+  let m = Vcg.mechanism (auction 4) in
+  let rng = Rng.create 101 in
+  let r =
+    Strategyproof.check ~rng ~profiles:200 ~lies_per_agent:5
+      ~sample_profile:(sample_values 4) ~sample_lie:sample_value_lie m
+  in
+  check Alcotest.int "trials" (200 * 4 * 5) r.Strategyproof.trials;
+  check Alcotest.bool "no violations" true (Strategyproof.is_strategyproof r)
+
+let first_price n =
+  (* Deliberately manipulable baseline: winner pays own bid. *)
+  {
+    Mechanism.n;
+    run =
+      (fun bids ->
+        let best = ref 0 in
+        for i = 1 to n - 1 do
+          if bids.(i) > bids.(!best) then best := i
+        done;
+        let transfers = Array.make n 0. in
+        transfers.(!best) <- -.bids.(!best);
+        (!best, transfers));
+    valuation = (fun i v winner -> if winner = i then v else 0.);
+  }
+
+let test_harness_catches_first_price () =
+  let rng = Rng.create 102 in
+  let r =
+    Strategyproof.check ~rng ~profiles:200 ~lies_per_agent:5
+      ~sample_profile:(sample_values 3) ~sample_lie:sample_value_lie (first_price 3)
+  in
+  check Alcotest.bool "violations found" false (Strategyproof.is_strategyproof r);
+  check Alcotest.bool "positive max gain" true (r.Strategyproof.max_gain > 0.);
+  (* Violations are sorted worst-first. *)
+  match r.Strategyproof.violations with
+  | a :: b :: _ -> check Alcotest.bool "sorted" true (a.Strategyproof.gain >= b.Strategyproof.gain)
+  | _ -> ()
+
+let test_harness_exhaustive () =
+  let m = Vcg.mechanism (auction 2) in
+  let profiles = [ [| 1.; 2. |]; [| 2.; 1. |]; [| 3.; 3. |] ] in
+  let lies _ (v : float) = [ 0.; v /. 2.; v *. 2.; v +. 1. ] in
+  let r = Strategyproof.check_exhaustive ~profiles ~lies m in
+  check Alcotest.int "trials" (3 * 2 * 4) r.Strategyproof.trials;
+  check Alcotest.bool "vcg clean" true (Strategyproof.is_strategyproof r)
+
+let test_harness_exhaustive_catches () =
+  let profiles = [ [| 4.; 2. |] ] in
+  let lies _ (v : float) = [ v /. 2. ] in
+  let r = Strategyproof.check_exhaustive ~profiles ~lies (first_price 2) in
+  (* Bidding 2 instead of 4 still wins (ties at 2 go to lowest index) and
+     halves the price: gain = 2. *)
+  check Alcotest.int "one violation" 1 (List.length r.Strategyproof.violations);
+  checkf "gain" 2. r.Strategyproof.max_gain
+
+(* --- Leader election --- *)
+
+let test_naive_elects_reported_max () =
+  let m = Leader.naive ~n:3 in
+  let o, _ =
+    m.Mechanism.run
+      [|
+        { Leader.power = 5.; cost = 1. };
+        { Leader.power = 9.; cost = 1. };
+        { Leader.power = 2.; cost = 1. };
+      |]
+  in
+  check Alcotest.int "max power" 1 o.Leader.leader
+
+let test_naive_understating_profitable () =
+  let m = Leader.naive ~n:3 in
+  let profile =
+    [|
+      { Leader.power = 5.; cost = 1. };
+      { Leader.power = 9.; cost = 2. };
+      { Leader.power = 2.; cost = 1. };
+    |]
+  in
+  let truthful = Mechanism.utility m 1 profile.(1) profile in
+  let reports = Array.copy profile in
+  reports.(1) <- Leader.selfish_report profile.(1);
+  let deviant = Mechanism.utility m 1 profile.(1) reports in
+  checkf "drafted at a loss" (-2.) truthful;
+  checkf "dodges the draft" 0. deviant;
+  check Alcotest.bool "profitable deviation" true (deviant > truthful)
+
+let test_naive_not_strategyproof () =
+  let rng = Rng.create 103 in
+  let r =
+    Strategyproof.check ~rng ~profiles:100 ~lies_per_agent:5
+      ~sample_profile:(Leader.sample_profile ~n:4) ~sample_lie:Leader.sample_lie
+      (Leader.naive ~n:4)
+  in
+  check Alcotest.bool "manipulable" false (Strategyproof.is_strategyproof r)
+
+let test_second_score_strategyproof () =
+  let rng = Rng.create 104 in
+  let r =
+    Strategyproof.check ~rng ~profiles:300 ~lies_per_agent:6
+      ~sample_profile:(Leader.sample_profile ~n:4) ~sample_lie:Leader.sample_lie
+      (Leader.second_score ~n:4 ~benefit:2.)
+  in
+  check Alcotest.bool "strategyproof" true (Strategyproof.is_strategyproof r)
+
+let test_second_score_selfish_report_not_profitable () =
+  let rng = Rng.create 105 in
+  let m = Leader.second_score ~n:4 ~benefit:2. in
+  for _ = 1 to 200 do
+    let profile = Leader.sample_profile ~n:4 rng in
+    for i = 0 to 3 do
+      let truthful = Mechanism.utility m i profile.(i) profile in
+      let reports = Array.copy profile in
+      reports.(i) <- Leader.selfish_report profile.(i);
+      let deviant = Mechanism.utility m i profile.(i) reports in
+      check Alcotest.bool "no gain from dodging" true (deviant <= truthful +. 1e-9)
+    done
+  done
+
+let test_second_score_elects_welfare_optimal () =
+  let rng = Rng.create 106 in
+  let m = Leader.second_score ~n:5 ~benefit:2. in
+  for _ = 1 to 100 do
+    let profile = Leader.sample_profile ~n:5 rng in
+    let o, _ = m.Mechanism.run profile in
+    check Alcotest.int "welfare optimal" (Leader.welfare_optimal ~benefit:2. profile)
+      o.Leader.leader
+  done
+
+let test_second_score_winner_utility_nonneg () =
+  (* Individual rationality under truthful play: the winner's verified
+     payment covers its cost whenever it truly has the best score. *)
+  let rng = Rng.create 107 in
+  let m = Leader.second_score ~n:5 ~benefit:2. in
+  for _ = 1 to 100 do
+    let profile = Leader.sample_profile ~n:5 rng in
+    let o, _ = m.Mechanism.run profile in
+    let u = Mechanism.utility m o.Leader.leader profile.(o.Leader.leader) profile in
+    check Alcotest.bool "winner IR" true (u >= -1e-9)
+  done
+
+let test_most_powerful () =
+  let profile =
+    [|
+      { Leader.power = 5.; cost = 0. };
+      { Leader.power = 9.; cost = 0. };
+      { Leader.power = 9.; cost = 0. };
+    |]
+  in
+  check Alcotest.int "ties to lowest index" 1 (Leader.most_powerful profile)
+
+let prop_vcg_auction_no_profitable_lie =
+  QCheck.Test.make ~name:"single-item VCG: no profitable lie" ~count:300
+    QCheck.(triple (array_of_size (QCheck.Gen.return 4) (float_bound_inclusive 10.)) small_nat (float_bound_inclusive 10.))
+    (fun (values, agent, lie) ->
+      QCheck.assume (Array.length values = 4);
+      let agent = agent mod 4 in
+      let m = Vcg.mechanism (auction 4) in
+      let truthful = Mechanism.utility m agent values.(agent) values in
+      let reports = Array.copy values in
+      reports.(agent) <- lie;
+      Mechanism.utility m agent values.(agent) reports <= truthful +. 1e-9)
+
+let prop_second_score_no_profitable_lie =
+  QCheck.Test.make ~name:"leader election second-score: no profitable lie" ~count:300
+    QCheck.(quad small_nat (float_bound_inclusive 10.) (float_bound_inclusive 10.) (float_bound_inclusive 5.))
+    (fun (seed, lie_power, lie_cost, _) ->
+      let rng = Rng.create (seed + 1000) in
+      let profile = Leader.sample_profile ~n:4 rng in
+      let agent = seed mod 4 in
+      let m = Leader.second_score ~n:4 ~benefit:2. in
+      let truthful = Mechanism.utility m agent profile.(agent) profile in
+      let reports = Array.copy profile in
+      reports.(agent) <- { Leader.power = lie_power; cost = lie_cost };
+      Mechanism.utility m agent profile.(agent) reports <= truthful +. 1e-9)
+
+(* --- Properties --- *)
+
+module Properties = Damd_mech.Properties
+
+let test_vcg_auction_ir () =
+  let m = Vcg.mechanism (auction 4) in
+  let rng = Rng.create 401 in
+  let r =
+    Properties.individually_rational ~rng ~trials:200 ~sample_profile:(sample_values 4) m
+  in
+  check Alcotest.bool "IR" true (Properties.all_pass r);
+  check Alcotest.int "trials" 200 r.Properties.trials
+
+let test_vcg_auction_no_deficit () =
+  let m = Vcg.mechanism (auction 4) in
+  let rng = Rng.create 402 in
+  let r = Properties.budget_balanced ~rng ~trials:200 ~sample_profile:(sample_values 4) m in
+  (* the Clarke tax collects money; it never pays out on net *)
+  check Alcotest.bool "no deficit" true (Properties.all_pass r)
+
+let test_vcg_auction_efficient () =
+  let m = Vcg.mechanism (auction 4) in
+  let rng = Rng.create 403 in
+  let r =
+    Properties.efficient ~rng ~trials:200 ~sample_profile:(sample_values 4)
+      ~candidates:[ 0; 1; 2; 3 ] m
+  in
+  check Alcotest.bool "efficient" true (Properties.all_pass r)
+
+let test_properties_catch_deficit () =
+  (* A mechanism that pays everyone a subsidy runs a deficit. *)
+  let subsidized =
+    {
+      Mechanism.n = 2;
+      run = (fun (_ : float array) -> (0, [| 1.; 1. |]));
+      valuation = (fun i v winner -> if winner = i then v else 0.);
+    }
+  in
+  let rng = Rng.create 404 in
+  let r =
+    Properties.budget_balanced ~rng ~trials:10 ~sample_profile:(sample_values 2)
+      subsidized
+  in
+  check Alcotest.int "all fail" 10 r.Properties.failures;
+  Alcotest.check (Alcotest.float 1e-9) "worst deficit" (-2.) r.Properties.worst
+
+let test_properties_catch_inefficiency () =
+  (* Always pick agent 0, regardless of values. *)
+  let dictatorial =
+    {
+      Mechanism.n = 2;
+      run = (fun (_ : float array) -> (0, [| 0.; 0. |]));
+      valuation = (fun i v winner -> if winner = i then v else 0.);
+    }
+  in
+  let rng = Rng.create 405 in
+  let r =
+    Properties.efficient ~rng ~trials:100 ~sample_profile:(sample_values 2)
+      ~candidates:[ 0; 1 ] dictatorial
+  in
+  check Alcotest.bool "inefficiency found" false (Properties.all_pass r)
+
+let test_properties_catch_ir_violation () =
+  (* Charge the winner more than its value. *)
+  let extortion =
+    {
+      Mechanism.n = 2;
+      run =
+        (fun (bids : float array) ->
+          let w = if bids.(0) >= bids.(1) then 0 else 1 in
+          let t = [| 0.; 0. |] in
+          t.(w) <- -.(bids.(w) +. 1.);
+          (w, t));
+      valuation = (fun i v winner -> if winner = i then v else 0.);
+    }
+  in
+  let rng = Rng.create 406 in
+  let r =
+    Properties.individually_rational ~rng ~trials:50 ~sample_profile:(sample_values 2)
+      extortion
+  in
+  check Alcotest.int "every profile violates" 50 r.Properties.failures
+
+let test_leader_second_score_ir () =
+  let m = Leader.second_score ~n:5 ~benefit:2. in
+  let rng = Rng.create 407 in
+  let r =
+    Properties.individually_rational ~rng ~trials:200
+      ~sample_profile:(Leader.sample_profile ~n:5) m
+  in
+  check Alcotest.bool "IR" true (Properties.all_pass r)
+
+let suites =
+  [
+    ( "mech.vcg",
+      [
+        Alcotest.test_case "second-price reduction" `Quick test_vcg_is_second_price;
+        Alcotest.test_case "deterministic tie-break" `Quick test_vcg_tie_break_deterministic;
+        Alcotest.test_case "public project pivot" `Quick test_vcg_public_project;
+        Alcotest.test_case "empty outcomes rejected" `Quick test_vcg_empty_outcomes_rejected;
+        Alcotest.test_case "arity rejected" `Quick test_vcg_arity_rejected;
+        Alcotest.test_case "utility" `Quick test_mechanism_utility;
+        Alcotest.test_case "budget" `Quick test_mechanism_budget;
+        Alcotest.test_case "social welfare" `Quick test_mechanism_social_welfare;
+        QCheck_alcotest.to_alcotest prop_vcg_auction_no_profitable_lie;
+      ] );
+    ( "mech.strategyproof",
+      [
+        Alcotest.test_case "VCG auction passes" `Quick test_vcg_auction_strategyproof;
+        Alcotest.test_case "first-price caught" `Quick test_harness_catches_first_price;
+        Alcotest.test_case "exhaustive sweep" `Quick test_harness_exhaustive;
+        Alcotest.test_case "exhaustive catches" `Quick test_harness_exhaustive_catches;
+      ] );
+    ( "mech.properties",
+      [
+        Alcotest.test_case "VCG auction IR" `Quick test_vcg_auction_ir;
+        Alcotest.test_case "VCG auction no deficit" `Quick test_vcg_auction_no_deficit;
+        Alcotest.test_case "VCG auction efficient" `Quick test_vcg_auction_efficient;
+        Alcotest.test_case "catches deficit" `Quick test_properties_catch_deficit;
+        Alcotest.test_case "catches inefficiency" `Quick test_properties_catch_inefficiency;
+        Alcotest.test_case "catches IR violation" `Quick test_properties_catch_ir_violation;
+        Alcotest.test_case "leader second-score IR" `Quick test_leader_second_score_ir;
+      ] );
+    ( "mech.leader_election",
+      [
+        Alcotest.test_case "naive elects reported max" `Quick test_naive_elects_reported_max;
+        Alcotest.test_case "naive: understating profitable" `Quick test_naive_understating_profitable;
+        Alcotest.test_case "naive not strategyproof" `Quick test_naive_not_strategyproof;
+        Alcotest.test_case "second-score strategyproof" `Quick test_second_score_strategyproof;
+        Alcotest.test_case "selfish report not profitable" `Quick
+          test_second_score_selfish_report_not_profitable;
+        Alcotest.test_case "elects welfare optimal" `Quick test_second_score_elects_welfare_optimal;
+        Alcotest.test_case "winner IR" `Quick test_second_score_winner_utility_nonneg;
+        Alcotest.test_case "most_powerful ties" `Quick test_most_powerful;
+        QCheck_alcotest.to_alcotest prop_second_score_no_profitable_lie;
+      ] );
+  ]

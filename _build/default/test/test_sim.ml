@@ -1,0 +1,249 @@
+(* Tests for Damd_sim.Engine: delivery semantics, deterministic ordering,
+   per-link FIFO, taps (drop / rewrite), timers, accounting, and repeated
+   run-to-quiescence — the execution pattern the faithful protocol uses. *)
+
+module Engine = Damd_sim.Engine
+
+let check = Alcotest.check
+
+let test_basic_delivery () =
+  let e = Engine.create ~n:2 () in
+  let got = ref [] in
+  Engine.set_handler e 1 (fun ~sender msg -> got := (sender, msg) :: !got);
+  Engine.send e ~src:0 ~dst:1 "hello";
+  check Alcotest.bool "quiescent" true (Engine.run e = Engine.Quiescent);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+    "delivered" [ (0, "hello") ] !got
+
+let test_time_advances_by_latency () =
+  let e = Engine.create ~latency:(fun ~src:_ ~dst:_ -> 2.5) ~n:2 () in
+  let at = ref 0. in
+  Engine.set_handler e 1 (fun ~sender:_ _ -> at := Engine.now e);
+  Engine.send e ~src:0 ~dst:1 ();
+  ignore (Engine.run e);
+  Alcotest.check (Alcotest.float 1e-9) "latency" 2.5 !at
+
+let test_fifo_per_link () =
+  let e = Engine.create ~n:2 () in
+  let got = ref [] in
+  Engine.set_handler e 1 (fun ~sender:_ msg -> got := msg :: !got);
+  List.iter (fun m -> Engine.send e ~src:0 ~dst:1 m) [ 1; 2; 3; 4; 5 ];
+  ignore (Engine.run e);
+  check (Alcotest.list Alcotest.int) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !got)
+
+let test_cascading_sends () =
+  (* A ring relay: 0 -> 1 -> 2 -> 0 decrementing a hop counter. *)
+  let e = Engine.create ~n:3 () in
+  let hops = ref 0 in
+  for i = 0 to 2 do
+    Engine.set_handler e i (fun ~sender:_ ttl ->
+        incr hops;
+        if ttl > 0 then Engine.send e ~src:i ~dst:((i + 1) mod 3) (ttl - 1))
+  done;
+  Engine.send e ~src:0 ~dst:1 9;
+  ignore (Engine.run e);
+  check Alcotest.int "10 deliveries" 10 !hops
+
+let test_event_limit () =
+  (* Two nodes ping-pong forever; the event limit must stop it. *)
+  let e = Engine.create ~n:2 () in
+  Engine.set_handler e 0 (fun ~sender:_ () -> Engine.send e ~src:0 ~dst:1 ());
+  Engine.set_handler e 1 (fun ~sender:_ () -> Engine.send e ~src:1 ~dst:0 ());
+  Engine.send e ~src:0 ~dst:1 ();
+  check Alcotest.bool "limited" true (Engine.run ~max_events:100 e = Engine.Event_limit)
+
+let test_no_handler_discards () =
+  let e = Engine.create ~n:2 () in
+  Engine.send e ~src:0 ~dst:1 "lost";
+  check Alcotest.bool "quiescent" true (Engine.run e = Engine.Quiescent);
+  check Alcotest.int "still counted" 1 (Engine.messages_delivered e)
+
+let test_tap_drop () =
+  let e = Engine.create ~n:2 () in
+  let got = ref 0 in
+  Engine.set_handler e 1 (fun ~sender:_ _ -> incr got);
+  Engine.set_tap e (fun ~src:_ ~dst:_ msg -> if msg = "drop" then None else Some msg);
+  Engine.send e ~src:0 ~dst:1 "drop";
+  Engine.send e ~src:0 ~dst:1 "keep";
+  ignore (Engine.run e);
+  check Alcotest.int "one delivered" 1 !got;
+  check Alcotest.int "one dropped" 1 (Engine.messages_dropped e);
+  check Alcotest.int "one sent" 1 (Engine.messages_sent e)
+
+let test_tap_rewrite_and_clear () =
+  let e = Engine.create ~n:2 () in
+  let got = ref [] in
+  Engine.set_handler e 1 (fun ~sender:_ msg -> got := msg :: !got);
+  Engine.set_tap e (fun ~src:_ ~dst:_ msg -> Some (msg ^ "!"));
+  Engine.send e ~src:0 ~dst:1 "a";
+  Engine.clear_tap e;
+  Engine.send e ~src:0 ~dst:1 "b";
+  ignore (Engine.run e);
+  check (Alcotest.list Alcotest.string) "rewrite then clean" [ "a!"; "b" ] (List.rev !got)
+
+let test_timers_interleave () =
+  let e = Engine.create ~n:1 () in
+  let order = ref [] in
+  Engine.set_handler e 0 (fun ~sender:_ tag -> order := tag :: !order);
+  Engine.schedule e ~delay:0.5 (fun () -> order := "timer-early" :: !order);
+  Engine.send e ~src:0 ~dst:0 "msg-at-1";
+  Engine.schedule e ~delay:2.0 (fun () -> order := "timer-late" :: !order);
+  ignore (Engine.run e);
+  check (Alcotest.list Alcotest.string) "time order"
+    [ "timer-early"; "msg-at-1"; "timer-late" ]
+    (List.rev !order)
+
+let test_negative_delay_rejected () =
+  let e = Engine.create ~n:1 () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      Engine.schedule e ~delay:(-1.) (fun () -> ()))
+
+let test_out_of_range_send_rejected () =
+  let e : unit Engine.t = Engine.create ~n:2 () in
+  Alcotest.check_raises "bad dst" (Invalid_argument "Engine.send: node out of range")
+    (fun () -> Engine.send e ~src:0 ~dst:7 ())
+
+let test_stats_accounting () =
+  let e = Engine.create ~n:3 () in
+  Engine.set_size e String.length;
+  Engine.set_handler e 1 (fun ~sender:_ _ -> ());
+  Engine.set_handler e 2 (fun ~sender:_ _ -> ());
+  Engine.send e ~src:0 ~dst:1 "four";
+  Engine.send e ~src:0 ~dst:2 "sixsix";
+  Engine.send e ~src:1 ~dst:2 "a";
+  ignore (Engine.run e);
+  check Alcotest.int "sent" 3 (Engine.messages_sent e);
+  check Alcotest.int "delivered" 3 (Engine.messages_delivered e);
+  check Alcotest.int "bytes" 11 (Engine.bytes_sent e);
+  check Alcotest.int "sent by 0" 2 (Engine.sent_by e 0);
+  check Alcotest.int "received by 2" 2 (Engine.received_by e 2);
+  Engine.reset_stats e;
+  check Alcotest.int "reset" 0 (Engine.messages_sent e)
+
+let test_rerun_after_quiescence () =
+  (* The faithful protocol's pattern: run to quiescence, act (bank
+     checkpoint), inject new messages, run again. Time must persist. *)
+  let e = Engine.create ~n:2 () in
+  let log = ref [] in
+  Engine.set_handler e 1 (fun ~sender:_ msg -> log := (Engine.now e, msg) :: !log);
+  Engine.send e ~src:0 ~dst:1 "phase1";
+  check Alcotest.bool "first run" true (Engine.run e = Engine.Quiescent);
+  Engine.send e ~src:0 ~dst:1 "phase2";
+  check Alcotest.bool "second run" true (Engine.run e = Engine.Quiescent);
+  match List.rev !log with
+  | [ (t1, "phase1"); (t2, "phase2") ] ->
+      check Alcotest.bool "time persists" true (t2 > t1)
+  | _ -> Alcotest.fail "unexpected log"
+
+let test_deterministic_replay () =
+  (* Two identical runs produce identical delivery traces. *)
+  let trace () =
+    let e = Engine.create ~n:4 () in
+    let log = ref [] in
+    for i = 0 to 3 do
+      Engine.set_handler e i (fun ~sender msg ->
+          log := (i, sender, msg) :: !log;
+          if msg > 0 then Engine.send e ~src:i ~dst:((i + msg) mod 4) (msg - 1))
+    done;
+    Engine.send e ~src:0 ~dst:1 5;
+    Engine.send e ~src:0 ~dst:2 5;
+    ignore (Engine.run e);
+    List.rev !log
+  in
+  check Alcotest.bool "identical traces" true (trace () = trace ())
+
+let test_self_send () =
+  let e = Engine.create ~n:1 () in
+  let got = ref false in
+  Engine.set_handler e 0 (fun ~sender msg ->
+      got := sender = 0 && msg = "self");
+  Engine.send e ~src:0 ~dst:0 "self";
+  ignore (Engine.run e);
+  check Alcotest.bool "self delivered" true !got
+
+let test_heterogeneous_latency_ordering () =
+  (* A slower link's message arrives after a faster link's later send. *)
+  let latency ~src ~dst:_ = if src = 0 then 5.0 else 1.0 in
+  let e = Engine.create ~latency ~n:3 () in
+  let got = ref [] in
+  Engine.set_handler e 2 (fun ~sender msg -> got := (sender, msg) :: !got);
+  Engine.send e ~src:0 ~dst:2 "slow";
+  Engine.send e ~src:1 ~dst:2 "fast";
+  ignore (Engine.run e);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+    "fast first"
+    [ (1, "fast"); (0, "slow") ]
+    (List.rev !got)
+
+let test_fifo_preserved_per_link_with_heterogeneous_latency () =
+  let latency ~src ~dst:_ = if src = 0 then 3.0 else 1.0 in
+  let e = Engine.create ~latency ~n:2 () in
+  let got = ref [] in
+  Engine.set_handler e 1 (fun ~sender:_ msg -> got := msg :: !got);
+  List.iter (fun m -> Engine.send e ~src:0 ~dst:1 m) [ 1; 2; 3 ];
+  ignore (Engine.run e);
+  check (Alcotest.list Alcotest.int) "per-link fifo" [ 1; 2; 3 ] (List.rev !got)
+
+let test_default_size_is_one_byte () =
+  let e = Engine.create ~n:2 () in
+  Engine.send e ~src:0 ~dst:1 "whatever";
+  check Alcotest.int "one byte" 1 (Engine.bytes_sent e)
+
+let test_run_on_empty_engine () =
+  let e : unit Engine.t = Engine.create ~n:0 () in
+  check Alcotest.bool "empty quiescent" true (Engine.run e = Engine.Quiescent)
+
+let test_tap_sees_original_sender_and_dst () =
+  let e = Engine.create ~n:3 () in
+  let observed = ref [] in
+  Engine.set_tap e (fun ~src ~dst msg ->
+      observed := (src, dst) :: !observed;
+      Some msg);
+  Engine.send e ~src:1 ~dst:2 ();
+  Engine.send e ~src:0 ~dst:1 ();
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "tap observations" [ (1, 2); (0, 1) ]
+    (List.rev !observed)
+
+let test_timer_can_send () =
+  let e = Engine.create ~n:2 () in
+  let got = ref false in
+  Engine.set_handler e 1 (fun ~sender:_ () -> got := true);
+  Engine.schedule e ~delay:2. (fun () -> Engine.send e ~src:0 ~dst:1 ());
+  ignore (Engine.run e);
+  check Alcotest.bool "timer-driven send delivered" true !got
+
+let suites =
+  [
+    ( "sim.engine",
+      [
+        Alcotest.test_case "basic delivery" `Quick test_basic_delivery;
+        Alcotest.test_case "latency" `Quick test_time_advances_by_latency;
+        Alcotest.test_case "fifo per link" `Quick test_fifo_per_link;
+        Alcotest.test_case "cascading sends" `Quick test_cascading_sends;
+        Alcotest.test_case "event limit" `Quick test_event_limit;
+        Alcotest.test_case "no handler discards" `Quick test_no_handler_discards;
+        Alcotest.test_case "tap drop" `Quick test_tap_drop;
+        Alcotest.test_case "tap rewrite and clear" `Quick test_tap_rewrite_and_clear;
+        Alcotest.test_case "timers interleave" `Quick test_timers_interleave;
+        Alcotest.test_case "negative delay rejected" `Quick test_negative_delay_rejected;
+        Alcotest.test_case "out of range rejected" `Quick test_out_of_range_send_rejected;
+        Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
+        Alcotest.test_case "rerun after quiescence" `Quick test_rerun_after_quiescence;
+        Alcotest.test_case "deterministic replay" `Quick test_deterministic_replay;
+        Alcotest.test_case "self send" `Quick test_self_send;
+        Alcotest.test_case "heterogeneous latency ordering" `Quick
+          test_heterogeneous_latency_ordering;
+        Alcotest.test_case "fifo with heterogeneous latency" `Quick
+          test_fifo_preserved_per_link_with_heterogeneous_latency;
+        Alcotest.test_case "default size" `Quick test_default_size_is_one_byte;
+        Alcotest.test_case "empty engine" `Quick test_run_on_empty_engine;
+        Alcotest.test_case "tap observes endpoints" `Quick
+          test_tap_sees_original_sender_and_dst;
+        Alcotest.test_case "timer can send" `Quick test_timer_can_send;
+      ] );
+  ]

@@ -1,0 +1,352 @@
+(* Tests for Damd_util: RNG determinism and distribution sanity, statistics,
+   the priority queue, and the table renderer. *)
+
+module Rng = Damd_util.Rng
+module Stats = Damd_util.Stats
+module Pqueue = Damd_util.Pqueue
+module Table = Damd_util.Table
+
+let check = Alcotest.check
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+(* --- Rng --- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.bits64 a <> Rng.bits64 b then differs := true
+  done;
+  check Alcotest.bool "different seeds differ" true !differs
+
+let test_rng_copy_independent () =
+  let a = Rng.create 7 in
+  let _ = Rng.bits64 a in
+  let b = Rng.copy a in
+  let va = Rng.bits64 a in
+  let vb = Rng.bits64 b in
+  check Alcotest.int64 "copy continues identically" va vb;
+  (* advancing the copy does not disturb the original *)
+  let _ = Rng.bits64 b in
+  let a' = Rng.copy a in
+  check Alcotest.int64 "original unaffected" (Rng.bits64 a) (Rng.bits64 a')
+
+let test_rng_split_independent () =
+  let a = Rng.create 9 in
+  let b = Rng.split a in
+  let xs = List.init 50 (fun _ -> Rng.bits64 a) in
+  let ys = List.init 50 (fun _ -> Rng.bits64 b) in
+  check Alcotest.bool "streams differ" true (xs <> ys)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    check Alcotest.bool "in [0,17)" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_in_bounds () =
+  let rng = Rng.create 4 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in rng (-5) 5 in
+    check Alcotest.bool "in [-5,5]" true (v >= -5 && v <= 5)
+  done
+
+let test_rng_int_covers_range () =
+  let rng = Rng.create 5 in
+  let seen = Array.make 6 false in
+  for _ = 1 to 1000 do
+    seen.(Rng.int rng 6) <- true
+  done;
+  check Alcotest.bool "all values hit" true (Array.for_all (fun b -> b) seen)
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 6 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    check Alcotest.bool "in [0,2.5)" true (v >= 0. && v < 2.5)
+  done
+
+let test_rng_float_mean () =
+  let rng = Rng.create 8 in
+  let xs = List.init 20000 (fun _ -> Rng.float rng 1.0) in
+  let m = Stats.mean xs in
+  check Alcotest.bool "mean near 0.5" true (Float.abs (m -. 0.5) < 0.02)
+
+let test_rng_bernoulli () =
+  let rng = Rng.create 10 in
+  let hits = ref 0 in
+  for _ = 1 to 10000 do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. 10000. in
+  check Alcotest.bool "rate near 0.3" true (Float.abs (rate -. 0.3) < 0.03)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 11 in
+  let xs = List.init 20000 (fun _ -> Rng.exponential rng 2.0) in
+  let m = Stats.mean xs in
+  check Alcotest.bool "mean near 1/rate" true (Float.abs (m -. 0.5) < 0.03)
+
+let test_rng_permutation () =
+  let rng = Rng.create 12 in
+  let p = Rng.permutation rng 50 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "is a permutation"
+    (Array.init 50 (fun i -> i))
+    sorted
+
+let test_rng_subset () =
+  let rng = Rng.create 13 in
+  for _ = 1 to 100 do
+    let s = Rng.subset rng 5 20 in
+    check Alcotest.int "size" 5 (List.length s);
+    check Alcotest.bool "sorted distinct" true (List.sort_uniq compare s = s);
+    List.iter (fun x -> check Alcotest.bool "range" true (x >= 0 && x < 20)) s
+  done
+
+let test_rng_shuffle_preserves_elements () =
+  let rng = Rng.create 14 in
+  let a = Array.init 30 (fun i -> i * i) in
+  let orig = Array.copy a in
+  Rng.shuffle rng a;
+  Array.sort compare a;
+  Array.sort compare orig;
+  check (Alcotest.array Alcotest.int) "same multiset" orig a
+
+(* --- Stats --- *)
+
+let test_stats_mean () =
+  checkf "mean" 2.5 (Stats.mean [ 1.; 2.; 3.; 4. ]);
+  checkf "empty mean" 0. (Stats.mean [])
+
+let test_stats_stddev () =
+  checkf "stddev" (sqrt (14. /. 3.)) (Stats.stddev [ 1.; 2.; 3.; 6. ]);
+  checkf "singleton" 0. (Stats.stddev [ 5. ])
+
+let test_stats_percentile () =
+  let xs = [ 1.; 2.; 3.; 4.; 5. ] in
+  checkf "p0" 1. (Stats.percentile 0. xs);
+  checkf "p50" 3. (Stats.percentile 50. xs);
+  checkf "p100" 5. (Stats.percentile 100. xs);
+  checkf "p25 interpolates" 2. (Stats.percentile 25. xs)
+
+let test_stats_median_even () = checkf "median" 2.5 (Stats.median [ 1.; 2.; 3.; 4. ])
+
+let test_stats_summary () =
+  let s = Stats.summarize [ 3.; 1.; 2. ] in
+  check Alcotest.int "n" 3 s.Stats.n;
+  checkf "min" 1. s.Stats.min;
+  checkf "max" 3. s.Stats.max;
+  checkf "median" 2. s.Stats.median
+
+let test_stats_empty_raises () =
+  Alcotest.check_raises "empty summarize" (Invalid_argument "Stats.summarize: empty list")
+    (fun () -> ignore (Stats.summarize []))
+
+let test_stats_histogram () =
+  let h = Stats.histogram ~bins:2 [ 0.; 1.; 2.; 3. ] in
+  check Alcotest.int "bins" 2 (Array.length h);
+  let total = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
+  check Alcotest.int "counts sum" 4 total
+
+(* --- Pqueue --- *)
+
+let test_pq_order () =
+  let q = Pqueue.create () in
+  List.iter (fun (p, v) -> Pqueue.push q p v) [ (3., "c"); (1., "a"); (2., "b") ];
+  let pop () = match Pqueue.pop q with Some (_, v) -> v | None -> "!" in
+  check Alcotest.string "a" "a" (pop ());
+  check Alcotest.string "b" "b" (pop ());
+  check Alcotest.string "c" "c" (pop ());
+  check Alcotest.bool "empty" true (Pqueue.is_empty q)
+
+let test_pq_fifo_ties () =
+  let q = Pqueue.create () in
+  List.iter (fun v -> Pqueue.push q 1.0 v) [ "first"; "second"; "third" ];
+  let pop () = match Pqueue.pop q with Some (_, v) -> v | None -> "!" in
+  check Alcotest.string "fifo 1" "first" (pop ());
+  check Alcotest.string "fifo 2" "second" (pop ());
+  check Alcotest.string "fifo 3" "third" (pop ())
+
+let test_pq_interleaved () =
+  let q = Pqueue.create () in
+  Pqueue.push q 5. 5;
+  Pqueue.push q 1. 1;
+  (match Pqueue.pop q with
+  | Some (p, v) ->
+      checkf "prio" 1. p;
+      check Alcotest.int "val" 1 v
+  | None -> Alcotest.fail "unexpected empty");
+  Pqueue.push q 0.5 0;
+  Pqueue.push q 9. 9;
+  let order = List.init 3 (fun _ -> match Pqueue.pop q with Some (_, v) -> v | None -> -1) in
+  check (Alcotest.list Alcotest.int) "order" [ 0; 5; 9 ] order
+
+let test_pq_sorts_random () =
+  let rng = Rng.create 20 in
+  let q = Pqueue.create () in
+  let xs = List.init 500 (fun _ -> Rng.float rng 100.) in
+  List.iter (fun x -> Pqueue.push q x x) xs;
+  check Alcotest.int "length" 500 (Pqueue.length q);
+  let rec drain acc =
+    match Pqueue.pop q with None -> List.rev acc | Some (_, v) -> drain (v :: acc)
+  in
+  let out = drain [] in
+  check (Alcotest.list (Alcotest.float 0.)) "sorted" (List.sort compare xs) out
+
+let test_pq_peek () =
+  let q = Pqueue.create () in
+  check Alcotest.bool "peek empty" true (Pqueue.peek q = None);
+  Pqueue.push q 2. "x";
+  Pqueue.push q 1. "y";
+  (match Pqueue.peek q with
+  | Some (_, v) -> check Alcotest.string "peek min" "y" v
+  | None -> Alcotest.fail "unexpected empty");
+  check Alcotest.int "peek does not pop" 2 (Pqueue.length q)
+
+let test_pq_clear () =
+  let q = Pqueue.create () in
+  Pqueue.push q 1. ();
+  Pqueue.clear q;
+  check Alcotest.bool "cleared" true (Pqueue.is_empty q)
+
+(* --- Table --- *)
+
+let test_table_renders () =
+  let t = Table.create [ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let s = Table.render t in
+  check Alcotest.bool "contains header" true
+    (Astring.String.is_infix ~affix:"name" s);
+  check Alcotest.bool "contains cell" true
+    (Astring.String.is_infix ~affix:"alpha" s)
+
+let test_table_alignment () =
+  let t = Table.create [ "k"; "v" ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "longer"; "100" ];
+  let lines = String.split_on_char '\n' (Table.render t) in
+  let widths = List.filter_map (fun l -> if l = "" then None else Some (String.length l)) lines in
+  (match widths with
+  | [] -> Alcotest.fail "no output"
+  | w :: rest -> List.iter (fun w' -> check Alcotest.int "uniform width" w w') rest)
+
+let test_table_too_many_cells () =
+  let t = Table.create [ "a" ] in
+  Alcotest.check_raises "too many" (Invalid_argument "Table.add_row: too many cells")
+    (fun () -> Table.add_row t [ "1"; "2" ])
+
+let test_table_pads_short_rows () =
+  let t = Table.create [ "a"; "b"; "c" ] in
+  Table.add_row t [ "only" ];
+  let s = Table.render t in
+  check Alcotest.bool "renders" true (String.length s > 0)
+
+let test_cell_float () =
+  check Alcotest.string "integer valued" "3" (Table.cell_float 3.0);
+  check Alcotest.string "fractional" "3.14" (Table.cell_float 3.14159);
+  check Alcotest.string "decimals" "3.1416" (Table.cell_float ~decimals:4 3.14159)
+
+let test_cell_pct () = check Alcotest.string "pct" "50.0%" (Table.cell_pct 0.5)
+
+let test_table_to_csv () =
+  let t = Table.create [ "a"; "b" ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_rule t;
+  Table.add_row t [ "has,comma"; "has\"quote" ];
+  check Alcotest.string "csv" "a,b\nx,1\n\"has,comma\",\"has\"\"quote\"\n"
+    (Table.to_csv t)
+
+(* --- qcheck properties --- *)
+
+let prop_percentile_bounds =
+  QCheck.Test.make ~name:"percentile within min..max" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 50) (float_bound_inclusive 100.)) (float_bound_inclusive 100.))
+    (fun (xs, p) ->
+      let v = Stats.percentile p xs in
+      let lo = List.fold_left min infinity xs and hi = List.fold_left max neg_infinity xs in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+let prop_pq_is_sorting =
+  QCheck.Test.make ~name:"pqueue drains sorted" ~count:200
+    QCheck.(list (float_bound_inclusive 1000.))
+    (fun xs ->
+      let q = Pqueue.create () in
+      List.iter (fun x -> Pqueue.push q x x) xs;
+      let rec drain acc =
+        match Pqueue.pop q with None -> List.rev acc | Some (_, v) -> drain (v :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+let prop_subset_valid =
+  QCheck.Test.make ~name:"subset is sorted distinct in range" ~count:200
+    QCheck.(pair small_nat small_nat)
+    (fun (a, b) ->
+      let n = max a b and k = min a b in
+      let rng = Rng.create (a + (31 * b)) in
+      let s = Rng.subset rng k n in
+      List.length s = k
+      && List.sort_uniq compare s = s
+      && List.for_all (fun x -> x >= 0 && x < n) s)
+
+let suites =
+  [
+    ( "util.rng",
+      [
+        Alcotest.test_case "determinism" `Quick test_rng_determinism;
+        Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+        Alcotest.test_case "copy independent" `Quick test_rng_copy_independent;
+        Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+        Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+        Alcotest.test_case "int_in bounds" `Quick test_rng_int_in_bounds;
+        Alcotest.test_case "int covers range" `Quick test_rng_int_covers_range;
+        Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+        Alcotest.test_case "float mean" `Quick test_rng_float_mean;
+        Alcotest.test_case "bernoulli rate" `Quick test_rng_bernoulli;
+        Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+        Alcotest.test_case "permutation" `Quick test_rng_permutation;
+        Alcotest.test_case "subset" `Quick test_rng_subset;
+        Alcotest.test_case "shuffle preserves elements" `Quick test_rng_shuffle_preserves_elements;
+        QCheck_alcotest.to_alcotest prop_subset_valid;
+      ] );
+    ( "util.stats",
+      [
+        Alcotest.test_case "mean" `Quick test_stats_mean;
+        Alcotest.test_case "stddev" `Quick test_stats_stddev;
+        Alcotest.test_case "percentile" `Quick test_stats_percentile;
+        Alcotest.test_case "median even" `Quick test_stats_median_even;
+        Alcotest.test_case "summary" `Quick test_stats_summary;
+        Alcotest.test_case "empty raises" `Quick test_stats_empty_raises;
+        Alcotest.test_case "histogram" `Quick test_stats_histogram;
+        QCheck_alcotest.to_alcotest prop_percentile_bounds;
+      ] );
+    ( "util.pqueue",
+      [
+        Alcotest.test_case "order" `Quick test_pq_order;
+        Alcotest.test_case "fifo ties" `Quick test_pq_fifo_ties;
+        Alcotest.test_case "interleaved" `Quick test_pq_interleaved;
+        Alcotest.test_case "sorts random" `Quick test_pq_sorts_random;
+        Alcotest.test_case "peek" `Quick test_pq_peek;
+        Alcotest.test_case "clear" `Quick test_pq_clear;
+        QCheck_alcotest.to_alcotest prop_pq_is_sorting;
+      ] );
+    ( "util.table",
+      [
+        Alcotest.test_case "renders" `Quick test_table_renders;
+        Alcotest.test_case "alignment" `Quick test_table_alignment;
+        Alcotest.test_case "too many cells" `Quick test_table_too_many_cells;
+        Alcotest.test_case "pads short rows" `Quick test_table_pads_short_rows;
+        Alcotest.test_case "cell_float" `Quick test_cell_float;
+        Alcotest.test_case "cell_pct" `Quick test_cell_pct;
+        Alcotest.test_case "to_csv" `Quick test_table_to_csv;
+      ] );
+  ]
