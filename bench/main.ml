@@ -1,9 +1,13 @@
 (* Bechamel benchmarks — one Test.make per experiment (matching the
    experiment index in DESIGN.md) plus a microbenchmark group for the substrates.
 
-     dune exec bench/main.exe
+     dune exec bench/main.exe -- [--json FILE] [--quota SECONDS] [--limit N]
 
-   Prints one row per benchmark with the OLS-estimated time per run. *)
+   Prints one row per benchmark with the OLS-estimated time per run.
+   [--json FILE] additionally writes the estimates as a BENCH_*.json
+   trajectory file (schema documented in DESIGN.md §9); [--quota]/[--limit]
+   shrink the per-benchmark measurement budget, which the test suite uses
+   to smoke-test the JSON path cheaply. *)
 
 open Bechamel
 open Toolkit
@@ -172,9 +176,9 @@ let micro_tests =
              ignore (Gen.erdos_renyi (Rng.create 4) ~n:64 ~p:0.1 (Gen.Uniform_int (1, 10)))));
     ]
 
-let run_and_report tests =
+let run_and_report ~quota ~limit tests =
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:None () in
+  let cfg = Benchmark.cfg ~limit ~quota:(Time.second quota) ~kde:None () in
   let raw = Benchmark.all cfg instances tests in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Instance.monotonic_clock raw in
@@ -200,11 +204,56 @@ let run_and_report tests =
       in
       Damd_util.Table.add_row t [ name; human ])
     rows;
-  Damd_util.Table.print t
+  Damd_util.Table.print t;
+  rows
+
+(* The BENCH_*.json trajectory format (DESIGN.md §9): one object per
+   benchmark with the raw OLS nanosecond estimate, so successive PRs can be
+   diffed mechanically. *)
+let json_of_rows ~quota ~limit rows =
+  let module Json = Damd_util.Json in
+  Json.Obj
+    [
+      ("schema", Json.String "damd-bench/1");
+      ("unit", Json.String "ns_per_run");
+      ("quota_s", Json.Float quota);
+      ("limit", Json.Int limit);
+      ( "results",
+        Json.List
+          (List.map
+             (fun (name, ns) ->
+               Json.Obj
+                 [
+                   ("name", Json.String name);
+                   ("time_per_run_ns", Json.Float ns);
+                 ])
+             rows) );
+    ]
+
+let usage = "usage: main.exe [--json FILE] [--quota SECONDS] [--limit N]"
 
 let () =
+  let json_path = ref None in
+  let quota = ref 0.5 in
+  let limit = ref 300 in
+  let spec =
+    [
+      ("--json", Arg.String (fun f -> json_path := Some f),
+       "FILE  also write estimates as a BENCH_*.json trajectory file");
+      ("--quota", Arg.Set_float quota,
+       "SECONDS  per-benchmark time budget (default 0.5)");
+      ("--limit", Arg.Set_int limit,
+       "N  max samples per benchmark (default 300)");
+    ]
+  in
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
   print_endline "== damd benchmarks (Bechamel, OLS time-per-run estimates) ==";
   print_newline ();
-  run_and_report experiment_tests;
+  let rows = run_and_report ~quota:!quota ~limit:!limit experiment_tests in
   print_newline ();
-  run_and_report micro_tests
+  let micro_rows = run_and_report ~quota:!quota ~limit:!limit micro_tests in
+  match !json_path with
+  | None -> ()
+  | Some path ->
+      Damd_util.Json.to_file path
+        (json_of_rows ~quota:!quota ~limit:!limit (rows @ micro_rows))

@@ -6,7 +6,9 @@ type t = {
   id : int;
   n : int;
   neighbors : int list;
+  neighbors_arr : int array;
   neighbor_sets : int list array;
+  neighbor_arrs : int array array;
   deviation : Adversary.t;
   true_cost : float;
   copies : bool;
@@ -27,13 +29,30 @@ type t = {
 
 let set_assoc key value l = (key, value) :: List.remove_assoc key l
 
+(* Membership in a sorted int array — the O(log deg) fast path for the
+   provenance checks that run on every message. *)
+let mem_sorted (a : int array) v =
+  let lo = ref 0 and hi = ref (Array.length a - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) = v then found := true
+    else if a.(mid) < v then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
 let create ?(copies = true) ~id ~n ~neighbor_sets ~true_cost ~deviation () =
+  let neighbors = List.sort compare neighbor_sets.(id) in
   let node =
     {
       id;
       n;
-      neighbors = List.sort compare neighbor_sets.(id);
+      neighbors;
+      neighbors_arr = Array.of_list neighbors;
       neighbor_sets;
+      neighbor_arrs =
+        Array.map (fun l -> Array.of_list (List.sort compare l)) neighbor_sets;
       deviation;
       true_cost;
       copies;
@@ -99,11 +118,11 @@ let announce_cost node (send : send) =
   (* The node's own view of its declaration is the value it would tell its
      first neighbor. *)
   node.learned_costs.(node.id) <- Some (declared_cost_for node ~neighbor_index:0);
-  List.iteri
+  Array.iteri
     (fun idx nbr ->
       let cost = declared_cost_for node ~neighbor_index:idx in
       send ~dst:nbr (Protocol.Update (Protocol.Cost_announce { origin = node.id; cost })))
-    node.neighbors
+    node.neighbors_arr
 
 let on_cost_msg node (send : send) ~sender update =
   match update with
@@ -117,13 +136,13 @@ let on_cost_msg node (send : send) ~sender update =
             | Adversary.Corrupt_cost_forward delta -> cost +. delta
             | _ -> cost
           in
-          List.iter
+          Array.iter
             (fun nbr ->
               if nbr <> sender then
                 send ~dst:nbr
                   (Protocol.Update
                      (Protocol.Cost_announce { origin; cost = forwarded_cost })))
-            node.neighbors)
+            node.neighbors_arr)
   | _ -> flag node "PHASE1" "non-cost update during phase 1"
 
 let finalize_costs node =
@@ -180,12 +199,12 @@ let announce_routing node (send : send) =
   | Some table ->
       if not (Protocol.routing_equal table node.announced_routing) then begin
         node.announced_routing <- table;
-        List.iter
+        Array.iter
           (fun nbr ->
             record_own_routing_to node nbr table;
             send ~dst:nbr
               (Protocol.Update (Protocol.Routing_update { origin = node.id; table })))
-          node.neighbors
+          node.neighbors_arr
       end
 
 let announce_pricing node (send : send) =
@@ -194,18 +213,18 @@ let announce_pricing node (send : send) =
   | Some table ->
       if not (Protocol.pricing_equal table node.announced_pricing) then begin
         node.announced_pricing <- table;
-        List.iter
+        Array.iter
           (fun nbr ->
             record_own_pricing_to node nbr table;
             send ~dst:nbr
               (Protocol.Update (Protocol.Pricing_update { origin = node.id; table })))
-          node.neighbors
+          node.neighbors_arr
       end
 
 (* --- Checker-side intake of copies --- *)
 
 let checker_accepts node ~principal ~via ~origin =
-  if not (List.mem principal node.neighbors) then begin
+  if not (mem_sorted node.neighbors_arr principal) then begin
     flag node "CHECK" "copy from a non-neighbor principal";
     false
   end
@@ -213,7 +232,7 @@ let checker_accepts node ~principal ~via ~origin =
     flag node "CHECK2" "copy whose inner origin does not match its via tag";
     false
   end
-  else if not (List.mem via node.neighbor_sets.(principal)) then begin
+  else if not (mem_sorted node.neighbor_arrs.(principal) via) then begin
     (* §4.3 [CHECK2]: ignore messages whose identity is not a checker node
        of the principal. *)
     flag node "CHECK2" "copy via a node that is not a checker of the principal";
@@ -235,32 +254,24 @@ let spoof_target node ~sender =
 let forward_routing_copies node (send : send) ~sender table =
   if not node.copies then ()
   else begin
-  let checkers = List.filter (fun c -> c <> sender) node.neighbors in
+  let copy_to_checkers table =
+    Array.iter
+      (fun c ->
+        if c <> sender then
+          send ~dst:c
+            (Protocol.Copy
+               {
+                 principal = node.id;
+                 via = sender;
+                 inner = Protocol.Routing_update { origin = sender; table };
+               }))
+      node.neighbors_arr
+  in
   (match node.deviation with
   | Adversary.Drop_routing_copies -> ()
   | Adversary.Corrupt_routing_copies delta | Adversary.Combined_routing_attack delta ->
-      let table = distort_routing_table delta table in
-      List.iter
-        (fun c ->
-          send ~dst:c
-            (Protocol.Copy
-               {
-                 principal = node.id;
-                 via = sender;
-                 inner = Protocol.Routing_update { origin = sender; table };
-               }))
-        checkers
-  | _ ->
-      List.iter
-        (fun c ->
-          send ~dst:c
-            (Protocol.Copy
-               {
-                 principal = node.id;
-                 via = sender;
-                 inner = Protocol.Routing_update { origin = sender; table };
-               }))
-        checkers);
+      copy_to_checkers (distort_routing_table delta table)
+  | _ -> copy_to_checkers table);
   match node.deviation with
   | Adversary.Spoof_routing_update delta | Adversary.Combined_routing_attack delta ->
       let via = spoof_target node ~sender in
@@ -293,7 +304,7 @@ let recompute_routing node =
 let on_routing_msg node (send : send) ~sender msg =
   match msg with
   | Protocol.Update (Protocol.Routing_update { origin; table }) ->
-      if (not (List.mem sender node.neighbors)) || origin <> sender then
+      if (not (mem_sorted node.neighbors_arr sender)) || origin <> sender then
         flag node "PRINC1" "routing update with inconsistent provenance"
       else begin
         node.nbr_routing <- set_assoc sender table node.nbr_routing;
@@ -316,32 +327,24 @@ let on_routing_msg node (send : send) ~sender msg =
 let forward_pricing_copies node (send : send) ~sender table =
   if not node.copies then ()
   else begin
-  let checkers = List.filter (fun c -> c <> sender) node.neighbors in
+  let copy_to_checkers table =
+    Array.iter
+      (fun c ->
+        if c <> sender then
+          send ~dst:c
+            (Protocol.Copy
+               {
+                 principal = node.id;
+                 via = sender;
+                 inner = Protocol.Pricing_update { origin = sender; table };
+               }))
+      node.neighbors_arr
+  in
   (match node.deviation with
   | Adversary.Drop_pricing_copies -> ()
   | Adversary.Corrupt_pricing_copies delta | Adversary.Combined_pricing_attack delta ->
-      let table = distort_pricing_table delta table in
-      List.iter
-        (fun c ->
-          send ~dst:c
-            (Protocol.Copy
-               {
-                 principal = node.id;
-                 via = sender;
-                 inner = Protocol.Pricing_update { origin = sender; table };
-               }))
-        checkers
-  | _ ->
-      List.iter
-        (fun c ->
-          send ~dst:c
-            (Protocol.Copy
-               {
-                 principal = node.id;
-                 via = sender;
-                 inner = Protocol.Pricing_update { origin = sender; table };
-               }))
-        checkers);
+      copy_to_checkers (distort_pricing_table delta table)
+  | _ -> copy_to_checkers table);
   match node.deviation with
   | Adversary.Spoof_pricing_update delta | Adversary.Combined_pricing_attack delta ->
       let via = spoof_target node ~sender in
@@ -372,7 +375,7 @@ let start_pricing node (send : send) =
 let on_pricing_msg node (send : send) ~sender msg =
   match msg with
   | Protocol.Update (Protocol.Pricing_update { origin; table }) ->
-      if (not (List.mem sender node.neighbors)) || origin <> sender then
+      if (not (mem_sorted node.neighbors_arr sender)) || origin <> sender then
         flag node "PRINC2" "pricing update with inconsistent provenance"
       else begin
         node.nbr_pricing <- set_assoc sender table node.nbr_pricing;

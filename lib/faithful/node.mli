@@ -21,7 +21,10 @@ type t = {
   id : int;
   n : int;
   neighbors : int list;  (** sorted *)
+  neighbors_arr : int array;  (** [neighbors] as an array — hot-loop fast path *)
   neighbor_sets : int list array;  (** everyone's neighbor lists (checker common knowledge) *)
+  neighbor_arrs : int array array;
+      (** [neighbor_sets] as sorted arrays, for O(log deg) provenance checks *)
   deviation : Adversary.t;
   true_cost : float;
   copies : bool;

@@ -49,3 +49,12 @@ val run : ?max_rounds:int -> ?warm_start:Tables.t -> Damd_graph.Graph.t -> resul
 val flood_costs : Damd_graph.Graph.t -> int * int
 (** Just the DATA1 flood: (rounds, messages). Every node learns every
     declared transit cost; rounds equal the graph's hop diameter. *)
+
+val run_reference :
+  ?max_rounds:int -> ?warm_start:Tables.t -> Damd_graph.Graph.t -> result
+(** The pre-optimization full-sweep fixpoints: every round recomputes all
+    n^2 table entries and compares whole rows. [run] keeps per-node dirty
+    destination sets and recomputes only entries whose inputs changed; this
+    reference is retained solely as the oracle for the equivalence tests,
+    which assert that [run] produces identical tables, round counts and
+    message counts. Do not use it outside tests. *)

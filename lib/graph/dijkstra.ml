@@ -45,7 +45,7 @@ let to_dest ?avoid g ~dst =
                 end
               end
             in
-            List.iter relax (Graph.neighbors g v)
+            Array.iter relax (Graph.neighbors_arr g v)
         | _ -> ());
         drain ()
   in

@@ -50,6 +50,19 @@ let grid ~rows ~cols ~costs =
   let edges = ref [] in
   for r = 0 to rows - 1 do
     for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  Graph.create ~n ~costs ~edges:!edges
+
+let torus ~rows ~cols ~costs =
+  if rows < 2 || cols < 2 then invalid_arg "Gen.torus: need rows, cols >= 2";
+  let n = rows * cols in
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
       edges := (id r c, id r ((c + 1) mod cols)) :: !edges;
       edges := (id r c, id ((r + 1) mod rows) c) :: !edges
     done

@@ -28,8 +28,13 @@ val complete : n:int -> costs:float array -> Graph.t
     work assumes (footnote 5 of the paper). *)
 
 val grid : rows:int -> cols:int -> costs:float array -> Graph.t
-(** A rows x cols mesh with wrap-around on both axes (a torus), so it is
-    biconnected for any dimensions >= 2; [costs] has length rows*cols. *)
+(** A true rows x cols mesh — no wrap-around. Rectangular grids with both
+    dimensions >= 2 are biconnected; [costs] has length rows*cols. *)
+
+val torus : rows:int -> cols:int -> costs:float array -> Graph.t
+(** A rows x cols mesh with wrap-around on both axes. When a dimension is
+    2 the wrap edge coincides with the mesh edge and is collapsed by
+    [Graph.create], so a 2 x 2 torus is just the 4-cycle. *)
 
 val petersen : costs:float array -> Graph.t
 (** The Petersen graph (10 nodes, 3-regular, girth 5) — a classic

@@ -2,6 +2,7 @@ type t = {
   n : int;
   costs : float array;
   adj : int list array;  (* sorted, no duplicates, no self-loops *)
+  adj_arr : int array array;  (* same adjacency, as arrays, for hot paths *)
 }
 
 let validate_cost c =
@@ -23,7 +24,7 @@ let create ~n ~costs ~edges =
   List.iter add edges;
   let dedup l = List.sort_uniq compare l in
   Array.iteri (fun i l -> adj.(i) <- dedup l) adj;
-  { n; costs = Array.copy costs; adj }
+  { n; costs = Array.copy costs; adj; adj_arr = Array.map Array.of_list adj }
 
 let n g = g.n
 
@@ -44,7 +45,9 @@ let with_costs g costs =
 
 let neighbors g i = g.adj.(i)
 
-let degree g i = List.length g.adj.(i)
+let neighbors_arr g i = g.adj_arr.(i)
+
+let degree g i = Array.length g.adj_arr.(i)
 
 let has_edge g u v = List.mem v g.adj.(u)
 

@@ -34,6 +34,11 @@ val with_costs : t -> float array -> t
 val neighbors : t -> int -> int list
 (** Sorted adjacency list. *)
 
+val neighbors_arr : t -> int -> int array
+(** The same adjacency as a sorted array — the allocation-free fast path
+    used by Dijkstra and the FPSS fixpoints. The array is owned by the
+    graph: callers must not mutate it. *)
+
 val degree : t -> int -> int
 
 val has_edge : t -> int -> int -> bool

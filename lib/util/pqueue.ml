@@ -1,10 +1,14 @@
 type 'a entry = { prio : float; seq : int; value : 'a }
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable data : 'a entry option array;  (* [Some] in [0, size), [None] above *)
   mutable size : int;
   mutable next_seq : int;
 }
+
+(* Slots at or beyond [size] are [None] so that dequeued entries are not
+   retained: a long-lived simulation engine would otherwise pin every dead
+   message until its slot happened to be overwritten. *)
 
 let create () = { data = [||]; size = 0; next_seq = 0 }
 
@@ -16,24 +20,26 @@ let is_empty q = q.size = 0
    breaking ties — this determinism matters for reproducible simulation. *)
 let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
 
-let grow q entry =
+let entry q i = match q.data.(i) with Some e -> e | None -> assert false
+
+let grow q =
   let cap = Array.length q.data in
   if q.size = cap then begin
     let ncap = if cap = 0 then 16 else 2 * cap in
-    let ndata = Array.make ncap entry in
+    let ndata = Array.make ncap None in
     Array.blit q.data 0 ndata 0 q.size;
     q.data <- ndata
   end
 
 let push q prio value =
-  let entry = { prio; seq = q.next_seq; value } in
+  let e = { prio; seq = q.next_seq; value } in
   q.next_seq <- q.next_seq + 1;
-  grow q entry;
-  q.data.(q.size) <- entry;
+  grow q;
+  q.data.(q.size) <- Some e;
   q.size <- q.size + 1;
   (* Sift up. *)
   let i = ref (q.size - 1) in
-  while !i > 0 && less q.data.(!i) q.data.((!i - 1) / 2) do
+  while !i > 0 && less (entry q !i) (entry q ((!i - 1) / 2)) do
     let parent = (!i - 1) / 2 in
     let tmp = q.data.(!i) in
     q.data.(!i) <- q.data.(parent);
@@ -44,18 +50,19 @@ let push q prio value =
 let pop q =
   if q.size = 0 then None
   else begin
-    let top = q.data.(0) in
+    let top = entry q 0 in
     q.size <- q.size - 1;
+    q.data.(0) <- q.data.(q.size);
+    q.data.(q.size) <- None;
     if q.size > 0 then begin
-      q.data.(0) <- q.data.(q.size);
       (* Sift down. *)
       let i = ref 0 in
       let continue = ref true in
       while !continue do
         let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
         let smallest = ref !i in
-        if l < q.size && less q.data.(l) q.data.(!smallest) then smallest := l;
-        if r < q.size && less q.data.(r) q.data.(!smallest) then smallest := r;
+        if l < q.size && less (entry q l) (entry q !smallest) then smallest := l;
+        if r < q.size && less (entry q r) (entry q !smallest) then smallest := r;
         if !smallest = !i then continue := false
         else begin
           let tmp = q.data.(!i) in
@@ -68,8 +75,16 @@ let pop q =
     Some (top.prio, top.value)
   end
 
-let peek q = if q.size = 0 then None else Some (q.data.(0).prio, q.data.(0).value)
+let peek q =
+  if q.size = 0 then None
+  else
+    let e = entry q 0 in
+    Some (e.prio, e.value)
 
 let clear q =
+  (* Drop the backing array entirely: [clear] is how long-lived engines
+     recycle a queue, and keeping the old array would retain every entry
+     still sitting in it. *)
+  q.data <- [||];
   q.size <- 0;
   q.next_seq <- 0

@@ -23,15 +23,15 @@ let stddev xs =
     let sq = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
     sqrt (sq /. float_of_int (n - 1))
 
+(* [Float.compare] rather than polymorphic [compare]: same total order on
+   well-behaved inputs, but no per-element boxing through the generic
+   comparator and a defined (total) order when NaNs slip in. *)
 let sorted_array xs =
   let a = Array.of_list xs in
-  Array.sort compare a;
+  Array.sort Float.compare a;
   a
 
-let percentile p xs =
-  if xs = [] then invalid_arg "Stats.percentile: empty list";
-  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
-  let a = sorted_array xs in
+let percentile_of_sorted a p =
   let n = Array.length a in
   if n = 1 then a.(0)
   else
@@ -43,19 +43,36 @@ let percentile p xs =
       let frac = rank -. float_of_int lo in
       a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
 
+let percentile p xs =
+  if xs = [] then invalid_arg "Stats.percentile: empty list";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  percentile_of_sorted (sorted_array xs) p
+
 let median xs = percentile 50. xs
 
 let summarize xs =
   if xs = [] then invalid_arg "Stats.summarize: empty list";
+  (* One sort serves min/max/median/p95; mean and stddev are computed from
+     the same array instead of re-traversing the list three more times. *)
   let a = sorted_array xs in
+  let n = Array.length a in
+  let mean = Array.fold_left ( +. ) 0. a /. float_of_int n in
+  let stddev =
+    if n < 2 then 0.
+    else
+      let sq =
+        Array.fold_left (fun acc x -> acc +. ((x -. mean) *. (x -. mean))) 0. a
+      in
+      sqrt (sq /. float_of_int (n - 1))
+  in
   {
-    n = Array.length a;
-    mean = mean xs;
-    stddev = stddev xs;
+    n;
+    mean;
+    stddev;
     min = a.(0);
-    max = a.(Array.length a - 1);
-    median = median xs;
-    p95 = percentile 95. xs;
+    max = a.(n - 1);
+    median = percentile_of_sorted a 50.;
+    p95 = percentile_of_sorted a 95.;
   }
 
 let pp_summary ppf s =

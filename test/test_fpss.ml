@@ -317,6 +317,97 @@ let test_warm_start_identity_when_unchanged () =
   (* Convergence is immediate: the first round discovers no change. *)
   check Alcotest.int "routing converged instantly" 0 warm.Distributed.rounds_routing
 
+(* --- Change-driven fixpoints vs the full-sweep reference ---
+
+   [Distributed.run] recomputes only entries whose neighbor inputs changed;
+   [Distributed.run_reference] is the retained full sweep. The two must be
+   indistinguishable: byte-identical tables (structural equality over every
+   cost, path and price entry) and identical round and message counts. *)
+
+let check_equiv_with_reference name g =
+  let d = Distributed.run g in
+  let r = Distributed.run_reference g in
+  check Alcotest.bool (name ^ ": routing tables byte-identical") true
+    (d.Distributed.tables.Tables.routing = r.Distributed.tables.Tables.routing);
+  check Alcotest.bool (name ^ ": pricing tables byte-identical") true
+    (d.Distributed.tables.Tables.prices = r.Distributed.tables.Tables.prices);
+  check Alcotest.int (name ^ ": flood rounds") r.Distributed.rounds_flood
+    d.Distributed.rounds_flood;
+  check Alcotest.int (name ^ ": routing rounds") r.Distributed.rounds_routing
+    d.Distributed.rounds_routing;
+  check Alcotest.int (name ^ ": pricing rounds") r.Distributed.rounds_pricing
+    d.Distributed.rounds_pricing;
+  check Alcotest.int (name ^ ": messages") r.Distributed.messages
+    d.Distributed.messages;
+  (* And both agree with the centralized mechanism (int costs: exact). *)
+  let c = Pricing.compute g in
+  check Alcotest.bool (name ^ ": = centralized routing") true
+    (Tables.routing_equal d.Distributed.tables c);
+  check Alcotest.bool (name ^ ": = centralized prices") true
+    (Tables.prices_equal d.Distributed.tables c)
+
+let test_change_driven_equals_reference () =
+  let g1, _ = Lazy.force fig1 in
+  check_equiv_with_reference "fig1" g1;
+  let rng = Rng.create 313 in
+  for i = 1 to 3 do
+    check_equiv_with_reference
+      (Printf.sprintf "chordal%d" i)
+      (Gen.chordal_ring rng ~n:16 ~chords:4 (Gen.Uniform_int (1, 10)))
+  done;
+  check_equiv_with_reference "er32"
+    (Gen.erdos_renyi (Rng.create 314) ~n:32 ~p:0.15 (Gen.Uniform_int (0, 10)))
+
+let test_change_driven_equals_reference_warm () =
+  (* The ~warm_start path after a cost change: same tables, same rounds,
+     same messages as the reference warm start. *)
+  let rng = Rng.create 315 in
+  for _ = 1 to 4 do
+    let g = Gen.chordal_ring rng ~n:16 ~chords:4 (Gen.Uniform_int (1, 10)) in
+    let cold = Distributed.run g in
+    let cold_ref = Distributed.run_reference g in
+    let changed =
+      Graph.with_cost g (Rng.int rng 16) (float_of_int (Rng.int_in rng 1 10))
+    in
+    let warm = Distributed.run ~warm_start:cold.Distributed.tables changed in
+    let warm_ref =
+      Distributed.run_reference ~warm_start:cold_ref.Distributed.tables changed
+    in
+    check Alcotest.bool "warm routing byte-identical" true
+      (warm.Distributed.tables.Tables.routing
+      = warm_ref.Distributed.tables.Tables.routing);
+    check Alcotest.bool "warm prices byte-identical" true
+      (warm.Distributed.tables.Tables.prices
+      = warm_ref.Distributed.tables.Tables.prices);
+    check Alcotest.int "warm routing rounds" warm_ref.Distributed.rounds_routing
+      warm.Distributed.rounds_routing;
+    check Alcotest.int "warm pricing rounds" warm_ref.Distributed.rounds_pricing
+      warm.Distributed.rounds_pricing;
+    check Alcotest.int "warm messages" warm_ref.Distributed.messages
+      warm.Distributed.messages;
+    let reference = Pricing.compute changed in
+    check Alcotest.bool "warm = centralized" true
+      (Tables.routing_equal warm.Distributed.tables reference
+      && Tables.prices_equal warm.Distributed.tables reference)
+  done
+
+let prop_change_driven_equals_reference =
+  QCheck.Test.make ~name:"change-driven = full-sweep reference (tables+counts)"
+    ~count:20
+    QCheck.(pair small_nat (float_bound_inclusive 1.))
+    (fun (seed, p) ->
+      let rng = Rng.create (seed + 700) in
+      let n = 6 + (seed mod 10) in
+      let p = 0.2 +. (p *. 0.4) in
+      let g = Gen.erdos_renyi rng ~n ~p (Gen.Uniform_int (0, 10)) in
+      let d = Distributed.run g in
+      let r = Distributed.run_reference g in
+      d.Distributed.tables.Tables.routing = r.Distributed.tables.Tables.routing
+      && d.Distributed.tables.Tables.prices = r.Distributed.tables.Tables.prices
+      && d.Distributed.rounds_routing = r.Distributed.rounds_routing
+      && d.Distributed.rounds_pricing = r.Distributed.rounds_pricing
+      && d.Distributed.messages = r.Distributed.messages)
+
 let prop_distributed_equals_centralized =
   QCheck.Test.make ~name:"distributed = centralized on random graphs" ~count:20
     QCheck.(pair small_nat (float_bound_inclusive 1.))
@@ -470,6 +561,11 @@ let suites =
         Alcotest.test_case "warm start exact" `Quick test_warm_start_reconverges_exactly;
         Alcotest.test_case "warm start cheaper" `Quick test_warm_start_cheaper_on_average;
         Alcotest.test_case "warm start identity" `Quick test_warm_start_identity_when_unchanged;
+        Alcotest.test_case "change-driven = reference (cold)" `Quick
+          test_change_driven_equals_reference;
+        Alcotest.test_case "change-driven = reference (warm)" `Quick
+          test_change_driven_equals_reference_warm;
+        QCheck_alcotest.to_alcotest prop_change_driven_equals_reference;
         QCheck_alcotest.to_alcotest prop_warm_start_exact;
         QCheck_alcotest.to_alcotest prop_distributed_equals_centralized;
       ] );

@@ -434,18 +434,42 @@ let test_gen_complete () =
     done
   done
 
-let test_gen_grid_torus () =
+let test_gen_grid_mesh () =
+  (* A true mesh: rows*(cols-1) + cols*(rows-1) edges, corner degree 2,
+     boundary degree 3, interior degree 4 — no wrap-around edges. *)
   let g = Gen.grid ~rows:3 ~cols:4 ~costs:(Array.make 12 1.) in
   check Alcotest.int "nodes" 12 (Graph.n g);
+  check Alcotest.int "edges" 17 (Graph.num_edges g);
   check Alcotest.bool "biconnected" true (Biconnect.is_biconnected g);
-  (* a 3x4 torus is 4-regular except where wrap edges coincide (none here) *)
-  for v = 0 to 11 do
-    check Alcotest.bool "degree 3..4" true (Graph.degree g v >= 3 && Graph.degree g v <= 4)
-  done
+  check Alcotest.bool "no wrap edge" false (Graph.has_edge g 0 3);
+  let degs = List.init 12 (Graph.degree g) |> List.sort compare in
+  check (Alcotest.list Alcotest.int) "degree profile"
+    [ 2; 2; 2; 2; 3; 3; 3; 3; 3; 3; 4; 4 ] degs
 
-let test_gen_grid_2x2 () =
-  (* Wrap edges collapse on a 2x2 torus; it must still be biconnected. *)
-  let g = Gen.grid ~rows:2 ~cols:2 ~costs:(Array.make 4 1.) in
+let test_gen_grid_2x3_edge_set () =
+  let g = Gen.grid ~rows:2 ~cols:3 ~costs:(Array.make 6 1.) in
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)) "exact edges"
+    [ (0, 1); (0, 3); (1, 2); (1, 4); (2, 5); (3, 4); (4, 5) ]
+    (Graph.edges g)
+
+let test_gen_torus () =
+  (* Both dimensions >= 3: the torus is 4-regular with 2n edges. *)
+  let g = Gen.torus ~rows:3 ~cols:4 ~costs:(Array.make 12 1.) in
+  check Alcotest.int "nodes" 12 (Graph.n g);
+  check Alcotest.int "edges" 24 (Graph.num_edges g);
+  check Alcotest.bool "biconnected" true (Biconnect.is_biconnected g);
+  for v = 0 to 11 do
+    check Alcotest.int "4-regular" 4 (Graph.degree g v)
+  done;
+  check Alcotest.bool "wrap edge present" true (Graph.has_edge g 0 8)
+
+let test_gen_torus_2x2 () =
+  (* Wrap edges collapse on a 2x2 torus: it degenerates to the 4-cycle but
+     must still be biconnected. *)
+  let g = Gen.torus ~rows:2 ~cols:2 ~costs:(Array.make 4 1.) in
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)) "exact edges"
+    [ (0, 1); (0, 2); (1, 3); (2, 3) ]
+    (Graph.edges g);
   check Alcotest.bool "biconnected" true (Biconnect.is_biconnected g)
 
 let test_gen_petersen () =
@@ -600,8 +624,10 @@ let suites =
         Alcotest.test_case "ensure_biconnected identity" `Quick test_ensure_biconnected_identity;
         Alcotest.test_case "repairs a path graph" `Quick test_ensure_biconnected_repairs_path;
         Alcotest.test_case "complete" `Quick test_gen_complete;
-        Alcotest.test_case "grid torus" `Quick test_gen_grid_torus;
-        Alcotest.test_case "grid 2x2" `Quick test_gen_grid_2x2;
+        Alcotest.test_case "grid mesh" `Quick test_gen_grid_mesh;
+        Alcotest.test_case "grid 2x3 edge set" `Quick test_gen_grid_2x3_edge_set;
+        Alcotest.test_case "torus" `Quick test_gen_torus;
+        Alcotest.test_case "torus 2x2" `Quick test_gen_torus_2x2;
         Alcotest.test_case "petersen" `Quick test_gen_petersen;
         QCheck_alcotest.to_alcotest prop_gen_always_biconnected;
       ] );

@@ -5,6 +5,7 @@ module Rng = Damd_util.Rng
 module Stats = Damd_util.Stats
 module Pqueue = Damd_util.Pqueue
 module Table = Damd_util.Table
+module Json = Damd_util.Json
 
 let check = Alcotest.check
 let checkf = Alcotest.check (Alcotest.float 1e-9)
@@ -147,6 +148,24 @@ let test_stats_summary () =
   checkf "max" 3. s.Stats.max;
   checkf "median" 2. s.Stats.median
 
+let test_stats_single_element () =
+  let s = Stats.summarize [ 7. ] in
+  check Alcotest.int "n" 1 s.Stats.n;
+  checkf "mean" 7. s.Stats.mean;
+  checkf "stddev" 0. s.Stats.stddev;
+  checkf "min" 7. s.Stats.min;
+  checkf "max" 7. s.Stats.max;
+  checkf "median" 7. s.Stats.median;
+  checkf "p95" 7. s.Stats.p95
+
+let test_stats_summary_unsorted_negative () =
+  (* Float.compare (not polymorphic compare on boxed floats) must sort
+     negatives below positives. *)
+  let s = Stats.summarize [ 2.; -3.; 0.5; -1. ] in
+  checkf "min" (-3.) s.Stats.min;
+  checkf "max" 2. s.Stats.max;
+  checkf "median" (-0.25) s.Stats.median
+
 let test_stats_empty_raises () =
   Alcotest.check_raises "empty summarize" (Invalid_argument "Stats.summarize: empty list")
     (fun () -> ignore (Stats.summarize []))
@@ -218,6 +237,36 @@ let test_pq_clear () =
   Pqueue.clear q;
   check Alcotest.bool "cleared" true (Pqueue.is_empty q)
 
+let test_pq_clear_then_reuse () =
+  let q = Pqueue.create () in
+  List.iter (fun x -> Pqueue.push q x (int_of_float x)) [ 4.; 2.; 8.; 1. ];
+  Pqueue.clear q;
+  check Alcotest.int "empty after clear" 0 (Pqueue.length q);
+  check Alcotest.bool "pop after clear" true (Pqueue.pop q = None);
+  (* Reuse must behave like a fresh queue: ordering and FIFO ties intact. *)
+  List.iter (fun x -> Pqueue.push q x (int_of_float x)) [ 7.; 3.; 5. ];
+  Pqueue.push q 3. 30;
+  let rec drain acc =
+    match Pqueue.pop q with None -> List.rev acc | Some (_, v) -> drain (v :: acc)
+  in
+  check (Alcotest.list Alcotest.int) "order after reuse" [ 3; 30; 5; 7 ] (drain [])
+
+let test_pq_pop_releases_slot () =
+  (* After popping, the vacated slot must not retain the element: push a
+     sentinel and confirm the queue still behaves (the leak itself is only
+     observable via the GC, but this pins the pop/None-slot bookkeeping). *)
+  let q = Pqueue.create () in
+  for i = 1 to 64 do
+    Pqueue.push q (float_of_int i) i
+  done;
+  for i = 1 to 64 do
+    match Pqueue.pop q with
+    | Some (_, v) -> check Alcotest.int "drain order" i v
+    | None -> Alcotest.fail "unexpected empty"
+  done;
+  Pqueue.push q 1. 99;
+  check Alcotest.bool "usable after full drain" true (Pqueue.pop q = Some (1., 99))
+
 (* --- Table --- *)
 
 let test_table_renders () =
@@ -265,6 +314,34 @@ let test_table_to_csv () =
   Table.add_row t [ "has,comma"; "has\"quote" ];
   check Alcotest.string "csv" "a,b\nx,1\n\"has,comma\",\"has\"\"quote\"\n"
     (Table.to_csv t)
+
+(* --- Json --- *)
+
+let test_json_renders () =
+  let j =
+    Json.Obj
+      [
+        ("s", Json.String "a\"b\n");
+        ("i", Json.Int 42);
+        ("f", Json.Float 1.5);
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.Int 2 ]);
+      ]
+  in
+  let s = Json.to_string ~indent:0 j in
+  check Alcotest.string "compact object"
+    "{\"s\":\"a\\\"b\\n\",\"i\":42,\"f\":1.5,\"b\":true,\"n\":null,\"l\":[1,2]}" s
+
+let test_json_floats () =
+  check Alcotest.string "integral float" "[1]" (Json.to_string ~indent:0 (Json.List [ Json.Float 1. ]));
+  check Alcotest.string "non-finite is null" "[null,null,null]"
+    (Json.to_string ~indent:0
+       (Json.List [ Json.Float nan; Json.Float infinity; Json.Float neg_infinity ]));
+  (* round-trips exactly through the printed representation *)
+  let x = 0.1 +. 0.2 in
+  let s = Json.to_string ~indent:0 (Json.Float x) in
+  checkf "float round-trip" x (float_of_string s)
 
 (* --- qcheck properties --- *)
 
@@ -325,6 +402,8 @@ let suites =
         Alcotest.test_case "percentile" `Quick test_stats_percentile;
         Alcotest.test_case "median even" `Quick test_stats_median_even;
         Alcotest.test_case "summary" `Quick test_stats_summary;
+        Alcotest.test_case "single element" `Quick test_stats_single_element;
+        Alcotest.test_case "unsorted negative" `Quick test_stats_summary_unsorted_negative;
         Alcotest.test_case "empty raises" `Quick test_stats_empty_raises;
         Alcotest.test_case "histogram" `Quick test_stats_histogram;
         QCheck_alcotest.to_alcotest prop_percentile_bounds;
@@ -337,7 +416,14 @@ let suites =
         Alcotest.test_case "sorts random" `Quick test_pq_sorts_random;
         Alcotest.test_case "peek" `Quick test_pq_peek;
         Alcotest.test_case "clear" `Quick test_pq_clear;
+        Alcotest.test_case "clear then reuse" `Quick test_pq_clear_then_reuse;
+        Alcotest.test_case "pop releases slot" `Quick test_pq_pop_releases_slot;
         QCheck_alcotest.to_alcotest prop_pq_is_sorting;
+      ] );
+    ( "util.json",
+      [
+        Alcotest.test_case "renders" `Quick test_json_renders;
+        Alcotest.test_case "floats" `Quick test_json_floats;
       ] );
     ( "util.table",
       [
