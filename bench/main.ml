@@ -30,6 +30,7 @@ module Node = Damd_faithful.Node
 module Bank = Damd_faithful.Bank
 module Runner = Damd_faithful.Runner
 module Replication = Damd_faithful.Replication
+module Campaign = Damd_gauntlet.Campaign
 
 (* Shared fixtures, built once. *)
 let fig1, _names = Gen.figure1 ()
@@ -72,6 +73,27 @@ let converged_nodes =
   Array.iteri (fun i node -> Node.start_pricing node (send_of i)) nodes;
   drain (fun dst ~sender msg -> Node.on_pricing_msg nodes.(dst) (send_of dst) ~sender msg);
   nodes
+
+(* A fixed n=16 campaign (4x4 mesh, a two-node coalition, jittered and
+   duplicating schedule) so the gauntlet's grading cost — the full run
+   plus one unilateral baseline per deviant — is tracked across PRs. *)
+let gauntlet_descr16 =
+  {
+    Campaign.seed = 0;
+    topology = Campaign.Mesh (4, 4);
+    graph_seed = 1234;
+    traffic_rate = 1.;
+    deviants =
+      [ (5, Adversary.Miscompute_routing 2.); (6, Adversary.Collude_with 5) ];
+    perturb =
+      {
+        Runner.jitter = 0.2;
+        dup_p = 0.05;
+        drop_p = 0.;
+        drop_budget = 0;
+        perturb_seed = 99;
+      };
+  }
 
 let experiment_tests =
   Test.make_grouped ~name:"experiments"
@@ -154,6 +176,8 @@ let experiment_tests =
               ignore
                 (Election.run ~graph:graph8 ~profile
                    ~deviations:(Array.make 8 Election.Honest) ())));
+      Test.make ~name:"gauntlet_campaigns_n16"
+        (Staged.stage (fun () -> ignore (Campaign.grade gauntlet_descr16)));
     ]
 
 let micro_tests =

@@ -309,6 +309,127 @@ let run_election topology seed deviants no_checking benefit =
 let benefit_arg =
   Arg.(value & opt float 2. & info [ "benefit" ] ~docv:"B" ~doc:"Per-unit-power benefit.")
 
+(* --- the adversarial gauntlet --- *)
+
+let run_gauntlet campaigns seed weaken_s json_path replay no_shrink =
+  let module Campaign = Damd_gauntlet.Campaign in
+  let weaken =
+    match Campaign.weaken_of_string weaken_s with
+    | Some w -> w
+    | None ->
+        raise
+          (Invalid_argument
+             (Printf.sprintf
+                "bad --weaken %S (expected none | pricing | settlement | all)"
+                weaken_s))
+  in
+  match replay with
+  | Some cseed ->
+      (* Replay one campaign from its printed seed: the JSON below is
+         byte-identical to the campaign's entry in the batch report. *)
+      let gr = Campaign.grade ~weaken (Campaign.of_seed cseed) in
+      print_endline (Damd_util.Json.to_string ~indent:2 (Campaign.json_of_graded gr));
+      if gr.Campaign.verdict = Campaign.Violation then exit 1
+  | None ->
+      let gradeds = Campaign.run_batch ~weaken ~campaigns ~seed () in
+      let violations =
+        List.filter (fun g -> g.Campaign.verdict = Campaign.Violation) gradeds
+      in
+      let shrunk =
+        if no_shrink then []
+        else List.map (Campaign.shrink ~weaken) violations
+      in
+      let count v =
+        List.length (List.filter (fun g -> g.Campaign.verdict = v) gradeds)
+      in
+      Printf.printf
+        "gauntlet: %d campaigns, master seed %d, weaken=%s\n\
+         verdicts: %d detected, %d undetected-unprofitable, %d VIOLATION\n"
+        campaigns seed
+        (Campaign.weaken_name weaken)
+        (count Campaign.Detected)
+        (count Campaign.Undetected_unprofitable)
+        (count Campaign.Violation);
+      if violations <> [] then begin
+        print_newline ();
+        print_endline "faithfulness violations (replay with: damd gauntlet --replay SEED):";
+        let t = Table.create [ "seed"; "topology"; "deviations"; "kind"; "max delta" ] in
+        List.iter
+          (fun (g : Campaign.graded) ->
+            let d = g.Campaign.descr in
+            Table.add_row t
+              [
+                string_of_int d.Campaign.seed;
+                Campaign.topology_name d.Campaign.topology;
+                String.concat " "
+                  (List.map
+                     (fun (i, dev) ->
+                       Printf.sprintf "%d:%s" i (Adversary.name dev))
+                     d.Campaign.deviants);
+                Option.value ~default:"?" g.Campaign.violation_kind;
+                (match g.Campaign.max_delta with
+                | Some x -> Table.cell_float x
+                | None -> "n/a");
+              ])
+          violations;
+        Table.print t;
+        if shrunk <> [] then begin
+          print_newline ();
+          print_endline "shrunk (greedy minimization, still violating):";
+          List.iter
+            (fun (g : Campaign.graded) ->
+              let d = g.Campaign.descr in
+              Printf.printf "  %s n=%d deviants=[%s] jitter=%g dup=%g drops=%d\n"
+                (Campaign.topology_name d.Campaign.topology)
+                (Campaign.topology_n d.Campaign.topology)
+                (String.concat " "
+                   (List.map
+                      (fun (i, dev) ->
+                        Printf.sprintf "%d:%s" i (Adversary.name dev))
+                      d.Campaign.deviants))
+                d.Campaign.perturb.Runner.jitter d.Campaign.perturb.Runner.dup_p
+                d.Campaign.perturb.Runner.drop_budget)
+            shrunk
+        end
+      end;
+      (match json_path with
+      | None -> ()
+      | Some path ->
+          Damd_util.Json.to_file path
+            (Campaign.report ~shrunk ~weaken ~seed gradeds);
+          Printf.printf "\nreport written to %s (schema damd-gauntlet/1)\n" path);
+      if violations <> [] then exit 1
+
+let campaigns_arg =
+  Arg.(
+    value & opt int 50
+    & info [ "n"; "campaigns" ] ~docv:"N" ~doc:"Number of campaigns to run.")
+
+let weaken_arg =
+  Arg.(
+    value & opt string "none"
+    & info [ "weaken" ] ~docv:"WHICH"
+        ~doc:
+          "Deliberately weaken the bank: none | pricing (skip the BANK2 \
+           hash comparison) | settlement (naive execution clearing) | all \
+           (no checking). Used to prove the violation oracle has teeth.")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Write the damd-gauntlet/1 report here.")
+
+let replay_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "replay" ] ~docv:"SEED"
+        ~doc:"Replay one campaign from its printed seed and dump its JSON.")
+
+let no_shrink_arg =
+  Arg.(value & flag & info [ "no-shrink" ] ~doc:"Skip minimizing violations.")
+
 let routing_cmd =
   let doc = "run the faithful interdomain-routing protocol (the FPSS case study)" in
   Cmd.v (Cmd.info "routing" ~doc)
@@ -321,6 +442,16 @@ let election_cmd =
   Cmd.v (Cmd.info "election" ~doc)
     Term.(const run_election $ topology $ seed $ deviants $ no_checking $ benefit_arg)
 
+let gauntlet_cmd =
+  let doc =
+    "randomized adversarial campaigns with seed replay, shrinking and \
+     empirical Theorem 1 verdicts"
+  in
+  Cmd.v (Cmd.info "gauntlet" ~doc)
+    Term.(
+      const run_gauntlet $ campaigns_arg $ seed $ weaken_arg $ json_arg
+      $ replay_arg $ no_shrink_arg)
+
 let cmd =
   let doc = "faithful distributed mechanisms, end to end" in
   let default =
@@ -328,6 +459,6 @@ let cmd =
       const run_routing $ topology $ seed $ deviants $ no_checking $ no_copies
       $ deferred $ latency $ loss $ hotspots $ rate $ verbose)
   in
-  Cmd.group ~default (Cmd.info "damd" ~doc) [ routing_cmd; election_cmd ]
+  Cmd.group ~default (Cmd.info "damd" ~doc) [ routing_cmd; election_cmd; gauntlet_cmd ]
 
 let () = exit (Cmd.eval cmd)

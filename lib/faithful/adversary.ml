@@ -102,7 +102,44 @@ let detectable = function
   | Faithful | Misreport_cost _ -> false
   (* a lying checker alone changes nothing the bank compares unless some
      principal actually deviates; colluders are only caught when the
-     coalition does not cover a full neighborhood *)
+     coalition does not cover a full neighborhood — [detectable_in] is the
+     topology-aware refinement *)
   | Lying_checker -> false
   | Collude_with _ -> false
   | _ -> true
+
+let colluding t ~principal =
+  match t with
+  | Lying_checker -> true
+  | Collude_with p -> p = principal
+  | _ -> false
+
+(* Deviations caught only through the principal's own checkers (the
+   BANK1/BANK2 mirror + announcement comparison of §4.2) — exactly the
+   ones a neighborhood coalition can shield. DATA1 (global digest
+   comparison), phase-1 finalization failures (silence) and execution
+   clearing happen at the bank over evidence checkers do not mediate, so
+   no coalition shields them. *)
+let checker_caught = function
+  | Drop_routing_copies | Drop_pricing_copies | Corrupt_routing_copies _
+  | Corrupt_pricing_copies _ | Spoof_routing_update _ | Spoof_pricing_update _
+  | Miscompute_routing _ | Miscompute_pricing _ | Combined_routing_attack _
+  | Combined_pricing_attack _ ->
+      true
+  | _ -> false
+
+let detectable_in ~neighbors ~profile i =
+  let caught_principal p =
+    let d = profile.(p) in
+    detectable d
+    && ((not (checker_caught d))
+       || List.exists
+            (fun c -> not (colluding profile.(c) ~principal:p))
+            (neighbors p))
+  in
+  match profile.(i) with
+  | Collude_with p when p >= 0 && p < Array.length profile ->
+      (* A colluder is exposed exactly when the coalition fails: the
+         principal it shields is still caught by some honest checker. *)
+      caught_principal p
+  | _ -> caught_principal i

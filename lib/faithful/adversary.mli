@@ -96,6 +96,28 @@ val library : t list
     Excludes [Faithful]. *)
 
 val detectable : t -> bool
-(** Whether the extended specification is expected to catch it.
+(** Whether the extended specification is expected to catch it *in
+    isolation* (a single deviant among faithful nodes).
     [Misreport_cost] is *not* detectable — it is a consistent revelation
-    action, neutralized by strategyproofness rather than by checking. *)
+    action, neutralized by strategyproofness rather than by checking.
+    [Collude_with] is conservatively [false] here because detectability of
+    a coalition depends on the topology; see [detectable_in]. *)
+
+val colluding : t -> principal:int -> bool
+(** Whether this deviation suppresses checker evidence about [principal]:
+    [Lying_checker] colludes with everyone, [Collude_with p] with [p]. *)
+
+val detectable_in : neighbors:(int -> int list) -> profile:t array -> int -> bool
+(** Topology-aware refinement of [detectable] for full deviation profiles.
+    [detectable_in ~neighbors ~profile i] predicts whether node [i]'s
+    deviation in [profile] is caught by the bank:
+
+    - checker-mediated deviations (BANK1/BANK2: miscompute, corrupt/drop
+      copies, spoof, combined attacks) are caught iff at least one
+      neighbor of the principal is not [colluding] with it — a coalition
+      escapes only by covering the full neighborhood (experiment E14);
+    - globally-compared deviations (DATA1 inconsistency, corrupt cost
+      forwarding, silence, execution-phase fraud) cannot be shielded by
+      any coalition;
+    - a [Collude_with p] node is judged through its principal: the
+      coalition member is exposed exactly when [p] is still caught. *)

@@ -5,16 +5,42 @@ module Signer = Damd_crypto.Signer
 module Traffic = Damd_fpss.Traffic
 module Tables = Damd_fpss.Tables
 
+type bank_checks = {
+  costs_check : bool;
+  routing_check : bool;
+  pricing_check : bool;
+  settlement_check : bool;
+}
+
+let all_checks =
+  {
+    costs_check = true;
+    routing_check = true;
+    pricing_check = true;
+    settlement_check = true;
+  }
+
+type perturb = {
+  jitter : float;
+  dup_p : float;
+  drop_p : float;
+  drop_budget : int;
+  perturb_seed : int;
+}
+
 type params = {
   value_per_packet : float;
   progress_penalty : float;
   epsilon : float;
   max_restarts : int;
   checking : bool;
+  checks : bank_checks;
   copies : bool;
   deferred_certification : bool;
   latency_seed : int option;
   channel_loss : (float * int) option;
+  perturbation : perturb option;
+  max_events : int;
 }
 
 let default_params =
@@ -24,10 +50,13 @@ let default_params =
     epsilon = 1.;
     max_restarts = 2;
     checking = true;
+    checks = all_checks;
     copies = true;
     deferred_certification = false;
     latency_seed = None;
     channel_loss = None;
+    perturbation = None;
+    max_events = 10_000_000;
   }
 
 type result = {
@@ -68,26 +97,93 @@ let run ?(params = default_params) ~graph ~traffic ~deviations () =
           ~true_cost:(Graph.cost graph id) ~deviation:deviations.(id) ())
   in
   let latency =
-    match params.latency_seed with
-    | None -> fun ~src:_ ~dst:_ -> 1.0
-    | Some seed ->
-        (* Heterogeneous but per-link constant delays: asynchrony without
-           breaking the per-link FIFO the table-overwrite semantics rely
-           on. *)
-        let rng = Damd_util.Rng.create seed in
-        let m = Array.init n (fun _ -> Array.init n (fun _ -> Damd_util.Rng.float_in rng 0.5 1.5)) in
+    match params.perturbation with
+    | Some pb when pb.jitter > 0. ->
+        (* Jittered but still per-link constant delays (same FIFO argument
+           as [latency_seed] below): draw each link's latency once from
+           [max(0.1, 1-j), 1+j). *)
+        let rng = Damd_util.Rng.create (pb.perturb_seed lxor 0x5bd1e995) in
+        let lo = Float.max 0.1 (1. -. pb.jitter) and hi = 1. +. pb.jitter in
+        let m =
+          Array.init n (fun _ -> Array.init n (fun _ -> Damd_util.Rng.float_in rng lo hi))
+        in
         fun ~src ~dst -> m.(src).(dst)
+    | _ -> (
+        match params.latency_seed with
+        | None -> fun ~src:_ ~dst:_ -> 1.0
+        | Some seed ->
+            (* Heterogeneous but per-link constant delays: asynchrony without
+               breaking the per-link FIFO the table-overwrite semantics rely
+               on. *)
+            let rng = Damd_util.Rng.create seed in
+            let m = Array.init n (fun _ -> Array.init n (fun _ -> Damd_util.Rng.float_in rng 0.5 1.5)) in
+            fun ~src ~dst -> m.(src).(dst))
   in
   let engine : Protocol.msg Engine.t = Engine.create ~latency ~n () in
   Engine.set_size engine Protocol.msg_size;
-  (match params.channel_loss with
-  | None -> ()
-  | Some (p, seed) ->
-      let rng = Damd_util.Rng.create seed in
-      Engine.set_tap engine (fun ~src:_ ~dst:_ msg ->
-          match msg with
-          | Protocol.Packet _ -> Some msg (* loss injected on construction only *)
-          | _ -> if Damd_util.Rng.bernoulli rng p then None else Some msg));
+  let loss_tap =
+    match params.channel_loss with
+    | None -> None
+    | Some (p, seed) ->
+        let rng = Damd_util.Rng.create seed in
+        Some
+          (fun msg ->
+            match msg with
+            | Protocol.Packet _ -> Some msg (* loss injected on construction only *)
+            | _ -> if Damd_util.Rng.bernoulli rng p then None else Some msg)
+  in
+  let perturb_tap =
+    match params.perturbation with
+    | Some pb when pb.dup_p > 0. || (pb.drop_budget > 0 && pb.drop_p > 0.) ->
+        let rng = Damd_util.Rng.create (pb.perturb_seed lxor 0x27d4eb2f) in
+        let drop_budget = ref pb.drop_budget in
+        let in_dup = ref false in
+        Some
+          (fun ~src ~dst msg ->
+            if !in_dup then Some msg
+            else
+              match msg with
+              | Protocol.Packet _ ->
+                  (* Execution traffic is never perturbed: drops/dups there
+                     would change utilities and turn a schedule fault into a
+                     spurious Theorem-1 counterexample. *)
+                  Some msg
+              | Protocol.Copy _
+                when !drop_budget > 0 && Damd_util.Rng.bernoulli rng pb.drop_p ->
+                  (* Bounded drops target the checker-copy channel only: a
+                     lost copy desynchronizes a mirror, fails the next
+                     checkpoint and is absorbed by a restart — it exercises
+                     the recovery path without perturbing the certified
+                     tables (unbounded loss of protocol updates is the §5
+                     omission-fault model, [channel_loss]). *)
+                  decr drop_budget;
+                  None
+              | (Protocol.Update _ | Protocol.Copy _) as msg
+                when pb.dup_p > 0. && Damd_util.Rng.bernoulli rng pb.dup_p ->
+                  (* Duplicate delivery: re-send the same message at the same
+                     clock instant so the copy lands immediately after the
+                     original (same timestamp, later sequence number). The
+                     construction handlers are idempotent, so duplication
+                     reorders/extends the schedule without changing state. *)
+                  Engine.schedule engine ~delay:0. (fun () ->
+                      in_dup := true;
+                      Engine.send engine ~src ~dst msg;
+                      in_dup := false);
+                  Some msg
+              | msg -> Some msg)
+    | _ -> None
+  in
+  (match (loss_tap, perturb_tap) with
+  | None, None -> ()
+  | loss, perturb ->
+      Engine.set_tap engine (fun ~src ~dst msg ->
+          let after_loss =
+            match loss with None -> Some msg | Some f -> f msg
+          in
+          match (after_loss, perturb) with
+          | None, _ -> None
+          | Some msg, None -> Some msg
+          | Some msg, Some f -> f ~src ~dst msg));
   (* Nodes can only transmit on physical links. *)
   let send_from src ~dst msg =
     if not (List.mem dst neighbor_sets.(src)) then
@@ -103,7 +199,7 @@ let run ?(params = default_params) ~graph ~traffic ~deviations () =
   let detections = ref [] in
   let note ds = detections := !detections @ ds in
   let quiesce name =
-    match Engine.run engine with
+    match Engine.run ~max_events:params.max_events engine with
     | Engine.Quiescent -> Ok ()
     | Engine.Event_limit -> Error (name ^ ": event limit reached (livelock)")
   in
@@ -127,7 +223,11 @@ let run ?(params = default_params) ~graph ~traffic ~deviations () =
           if not complete then Error "some node is missing transit costs"
           else if params.deferred_certification then Ok ()
           else begin
-            let ds = if params.checking then Bank.checkpoint_costs nodes else [] in
+            let ds =
+              if params.checking && params.checks.costs_check then
+                Bank.checkpoint_costs nodes
+              else []
+            in
             note ds;
             match ds with
             | [] -> Ok ()
@@ -146,7 +246,11 @@ let run ?(params = default_params) ~graph ~traffic ~deviations () =
           match quiesce "phase2a" with Ok () -> () | Error e -> note [ { Bank.rule = "LIVELOCK"; culprit = None; detail = e } ]);
       certify =
         (fun () ->
-          if (not params.checking) || params.deferred_certification then Ok ()
+          if
+            (not params.checking)
+            || (not params.checks.routing_check)
+            || params.deferred_certification
+          then Ok ()
           else begin
             let ds = Bank.checkpoint_routing nodes in
             note ds;
@@ -167,7 +271,11 @@ let run ?(params = default_params) ~graph ~traffic ~deviations () =
           match quiesce "phase2b" with Ok () -> () | Error e -> note [ { Bank.rule = "LIVELOCK"; culprit = None; detail = e } ]);
       certify =
         (fun () ->
-          if (not params.checking) || params.deferred_certification then Ok ()
+          if
+            (not params.checking)
+            || (not params.checks.pricing_check)
+            || params.deferred_certification
+          then Ok ()
           else begin
             let ds = Bank.checkpoint_pricing nodes in
             note ds;
@@ -202,8 +310,12 @@ let run ?(params = default_params) ~graph ~traffic ~deviations () =
   | Phase.Completed progress
     when params.deferred_certification && params.checking
          && (let ds =
-               Bank.checkpoint_costs nodes @ Bank.checkpoint_routing nodes
-               @ Bank.checkpoint_pricing nodes
+               (if params.checks.costs_check then Bank.checkpoint_costs nodes else [])
+               @ (if params.checks.routing_check then Bank.checkpoint_routing nodes
+                  else [])
+               @
+               if params.checks.pricing_check then Bank.checkpoint_pricing nodes
+               else []
              in
              note ds;
              ds <> []) ->
@@ -237,8 +349,9 @@ let run ?(params = default_params) ~graph ~traffic ~deviations () =
       let execution_messages = Engine.messages_sent engine in
       let registry = Signer.create_registry ~seed:7 in
       let settlement =
-        Bank.settle ~checking:params.checking ~epsilon:params.epsilon ~registry ~nodes
-          ~traffic
+        Bank.settle
+          ~checking:(params.checking && params.checks.settlement_check)
+          ~epsilon:params.epsilon ~registry ~nodes ~traffic
       in
       note settlement.Bank.detections;
       let utilities =

@@ -15,6 +15,41 @@
     certifies (the paper's assumption that every node strongly prefers
     the mechanism to make progress). *)
 
+type bank_checks = {
+  costs_check : bool;  (** DATA1 phase-1 digest comparison *)
+  routing_check : bool;  (** BANK1 routing checkpoint *)
+  pricing_check : bool;  (** BANK2 pricing checkpoint *)
+  settlement_check : bool;
+      (** verified execution clearing (DATA4 comparison + route audit) *)
+}
+(** Per-checkpoint bank switches, all [true] in [all_checks]. Turning one
+    off deliberately weakens the mechanism — the gauntlet uses this to
+    prove its faithfulness-violation oracle has teeth (a weakened bank
+    must let some sampled deviation profit). [checking = false] overrides
+    them all. *)
+
+val all_checks : bank_checks
+
+type perturb = {
+  jitter : float;
+      (** per-link latency spread: each link's constant delay is drawn
+          from [max(0.1, 1-jitter), 1+jitter) — per-link FIFO preserved *)
+  dup_p : float;
+      (** probability of duplicating each construction message; the copy
+          arrives immediately after the original (same timestamp, later
+          pqueue sequence number) *)
+  drop_p : float;  (** drop probability while [drop_budget] remains *)
+  drop_budget : int;
+      (** at most this many checker-copy messages are dropped; each drop
+          costs one phase restart, so keep it within [max_restarts] *)
+  perturb_seed : int;  (** all perturbation draws derive from this *)
+}
+(** Adversarial schedule perturbation for gauntlet campaigns: reorders and
+    extends the event schedule (jitter, duplicates) and exercises the
+    restart machinery (bounded copy drops) without changing the certified
+    tables or utilities — so a utility delta under perturbation is still
+    attributable to the deviation, not the schedule. *)
+
 type params = {
   value_per_packet : float;  (** utility per unit of own traffic delivered *)
   progress_penalty : float;
@@ -24,6 +59,7 @@ type params = {
   checking : bool;
       (** false = disable checkers and bank verification (the unfaithful
           baseline of experiment E7) *)
+  checks : bank_checks;  (** fine-grained switches, see [bank_checks] *)
   copies : bool;
       (** false = principals do not relay checker copies at all — the
           plain-FPSS overhead baseline of experiment E6 (implies no
@@ -42,6 +78,15 @@ type params = {
           paper's §5 flags exactly this: other failure classes can make
           the system "falsely detect and punish manipulation"; experiment
           E12 measures it *)
+  perturbation : perturb option;
+      (** gauntlet schedule perturbation; composes with [channel_loss]
+          (loss applies first). Overrides [latency_seed] when
+          [jitter > 0]. *)
+  max_events : int;
+      (** per-quiescence event budget; exceeding it is a LIVELOCK
+          detection. The default (10^7) effectively never fires on honest
+          runs; the gauntlet lowers it so livelocking deviations fail
+          fast. *)
 }
 
 val default_params : params

@@ -1,0 +1,479 @@
+module Rng = Damd_util.Rng
+module Json = Damd_util.Json
+module Graph = Damd_graph.Graph
+module Gen = Damd_graph.Gen
+module Biconnect = Damd_graph.Biconnect
+module Traffic = Damd_fpss.Traffic
+module Pricing = Damd_fpss.Pricing
+module Tables = Damd_fpss.Tables
+module Adversary = Damd_faithful.Adversary
+module Runner = Damd_faithful.Runner
+module Bank = Damd_faithful.Bank
+
+type topology =
+  | Mesh of int * int
+  | Torus of int * int
+  | Chordal of int * int
+  | Er of int * float
+
+let topology_n = function
+  | Mesh (r, c) | Torus (r, c) -> r * c
+  | Chordal (n, _) | Er (n, _) -> n
+
+let topology_name = function
+  | Mesh (r, c) -> Printf.sprintf "mesh:%dx%d" r c
+  | Torus (r, c) -> Printf.sprintf "torus:%dx%d" r c
+  | Chordal (n, k) -> Printf.sprintf "chordal:%d:%d" n k
+  | Er (n, p) -> Printf.sprintf "er:%d:%g" n p
+
+type descr = {
+  seed : int;
+  topology : topology;
+  graph_seed : int;
+  traffic_rate : float;
+  deviants : (int * Adversary.t) list;
+  perturb : Runner.perturb;
+}
+
+type weaken = No_weaken | Weaken_pricing | Weaken_settlement | Weaken_all
+
+let weaken_name = function
+  | No_weaken -> "none"
+  | Weaken_pricing -> "pricing"
+  | Weaken_settlement -> "settlement"
+  | Weaken_all -> "all"
+
+let weaken_of_string = function
+  | "none" -> Some No_weaken
+  | "pricing" -> Some Weaken_pricing
+  | "settlement" -> Some Weaken_settlement
+  | "all" -> Some Weaken_all
+  | _ -> None
+
+type verdict = Detected | Undetected_unprofitable | Violation
+
+let verdict_name = function
+  | Detected -> "detected"
+  | Undetected_unprofitable -> "undetected-unprofitable"
+  | Violation -> "violation"
+
+type graded = {
+  descr : descr;
+  verdict : verdict;
+  violation_kind : string option;
+  completed : bool;
+  stuck_phase : string option;
+  detected_in : string option;
+  restarts : int;
+  detections : (string * int option) list;
+  deltas : (int * float) list;
+  max_delta : float option;
+  tables_match : bool option;
+  sim_time : float;
+}
+
+let cost_model = Gen.Uniform_int (1, 9)
+
+let graph_of descr =
+  let rng = Rng.create descr.graph_seed in
+  let g =
+    match descr.topology with
+    | Mesh (r, c) ->
+        Gen.grid ~rows:r ~cols:c ~costs:(Gen.draw_costs rng cost_model (r * c))
+    | Torus (r, c) ->
+        Gen.torus ~rows:r ~cols:c ~costs:(Gen.draw_costs rng cost_model (r * c))
+    | Chordal (n, k) -> Gen.chordal_ring rng ~n ~chords:k cost_model
+    | Er (n, p) -> Gen.erdos_renyi rng ~n ~p cost_model
+  in
+  assert (Biconnect.is_biconnected g);
+  g
+
+let seed_bits rng = Int64.to_int (Rng.bits64 rng) land max_int
+
+(* Construction deviations a coalition meaningfully shields (caught via
+   the principal's own checkers) — the menu for sampled coalitions. *)
+let coalition_menu =
+  [
+    Adversary.Miscompute_routing (-2.);
+    Adversary.Miscompute_routing 2.;
+    Adversary.Miscompute_pricing 2.;
+    Adversary.Corrupt_routing_copies 2.;
+    Adversary.Corrupt_pricing_copies 2.;
+    Adversary.Spoof_routing_update 3.;
+    Adversary.Combined_routing_attack 2.;
+  ]
+
+(* Theorem-1 scope enforcement: the paper's guarantee is "ex post Nash
+   without collusion"; a profile where lying checkers/colluders happen to
+   cover a deviant's whole neighborhood escapes by design (experiment
+   E14), so the sampler must never emit one. Demote colluding neighbors
+   to Faithful (smallest id first) until [Adversary.detectable_in] agrees
+   every isolated-detectable deviant is still caught in the full
+   profile. *)
+let enforce_scope g deviants =
+  let n = Graph.n g in
+  let profile = Array.make n Adversary.Faithful in
+  List.iter (fun (i, d) -> profile.(i) <- d) deviants;
+  let neighbors = Graph.neighbors g in
+  List.iter
+    (fun (i, d) ->
+      if Adversary.detectable d then
+        while not (Adversary.detectable_in ~neighbors ~profile i) do
+          match
+            List.find_opt
+              (fun c -> Adversary.colluding profile.(c) ~principal:i)
+              (neighbors i)
+          with
+          | Some c -> profile.(c) <- Adversary.Faithful
+          | None ->
+              (* not shieldable by neighbors at all (checker_caught is
+                 false): nothing to demote, the predicate cannot change *)
+              raise Exit
+        done)
+    deviants;
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    if profile.(i) <> Adversary.Faithful then out := (i, profile.(i)) :: !out
+  done;
+  !out
+
+let enforce_scope g deviants =
+  try enforce_scope g deviants with Exit -> deviants
+
+let of_seed seed =
+  let rng = Rng.create seed in
+  let topology =
+    match Rng.int rng 4 with
+    | 0 -> Mesh (Rng.int_in rng 3 4, Rng.int_in rng 3 4)
+    | 1 -> Torus (3, Rng.int_in rng 3 4)
+    | 2 -> Chordal (Rng.int_in rng 8 12, Rng.int_in rng 2 4)
+    | _ -> Er (Rng.int_in rng 8 12, 0.3 +. (0.05 *. float_of_int (Rng.int rng 5)))
+  in
+  let graph_seed = seed_bits rng in
+  let traffic_rate = Rng.sample rng [| 0.5; 1.; 2. |] in
+  let perturb =
+    {
+      Runner.jitter = Rng.sample rng [| 0.; 0.2; 0.4 |];
+      dup_p = Rng.sample rng [| 0.; 0.05; 0.1 |];
+      drop_p = 0.5;
+      drop_budget = (if Rng.bernoulli rng 0.25 then Rng.int_in rng 1 2 else 0);
+      perturb_seed = seed_bits rng;
+    }
+  in
+  let perturb =
+    if perturb.Runner.drop_budget = 0 then { perturb with Runner.drop_p = 0. }
+    else perturb
+  in
+  let descr0 =
+    { seed; topology; graph_seed; traffic_rate; deviants = []; perturb }
+  in
+  let g = graph_of descr0 in
+  let n = Graph.n g in
+  let deviants =
+    if Rng.bernoulli rng 0.3 then begin
+      (* A coalition: one principal with a checker-caught construction
+         deviation, shielded by a strict subset of its neighbors. *)
+      let p = Rng.int rng n in
+      let d = Rng.choose rng coalition_menu in
+      let nbrs = Array.of_list (Graph.neighbors g p) in
+      Rng.shuffle rng nbrs;
+      let deg = Array.length nbrs in
+      (* strict neighbor subset, capped so campaigns stay 1..3 deviants
+         (each deviant costs one unilateral baseline run when grading) *)
+      let k = if deg <= 1 then 0 else Rng.int_in rng 1 (min 2 (deg - 1)) in
+      (p, d)
+      :: List.init k (fun j -> (nbrs.(j), Adversary.Collude_with p))
+    end
+    else begin
+      let ndev = Rng.int_in rng 1 (min 3 (n - 1)) in
+      let nodes = Rng.subset rng ndev n in
+      List.map (fun v -> (v, Rng.choose rng Adversary.library)) nodes
+    end
+  in
+  let deviants =
+    enforce_scope g deviants |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  { descr0 with deviants }
+
+let checks_of = function
+  | No_weaken | Weaken_all -> Runner.all_checks
+  | Weaken_pricing -> { Runner.all_checks with Runner.pricing_check = false }
+  | Weaken_settlement -> { Runner.all_checks with Runner.settlement_check = false }
+
+let params_of weaken descr =
+  {
+    Runner.default_params with
+    Runner.checking = weaken <> Weaken_all;
+    checks = checks_of weaken;
+    perturbation = Some descr.perturb;
+    (* Livelocking deviations (oscillating announcements under a corrupted
+       fixpoint) must fail fast, not grind out 10M events per restart
+       attempt: a couple hundred thousand events is orders of magnitude
+       above any honest construction at gauntlet sizes (n <= 16). *)
+    max_events = 200_000;
+  }
+
+(* The oracle's input: [Misreport_cost] is a *consistent* declaration the
+   mechanism must honor (strategyproofness, not checking, neutralizes
+   it), so the centralized reference runs on the declared costs. *)
+let declared_graph g deviants =
+  List.fold_left
+    (fun g (i, d) ->
+      match d with
+      | Adversary.Misreport_cost c -> Graph.with_cost g i c
+      | _ -> g)
+    g deviants
+
+let profit_tolerance = 1e-6
+
+let grade ?(weaken = No_weaken) descr =
+  let g = graph_of descr in
+  let n = Graph.n g in
+  let traffic = Traffic.uniform ~n ~rate:descr.traffic_rate in
+  let params = params_of weaken descr in
+  let deviations = Array.make n Adversary.Faithful in
+  List.iter (fun (i, d) -> deviations.(i) <- d) descr.deviants;
+  let full = Runner.run ~params ~graph:g ~traffic ~deviations () in
+  let detections =
+    List.map (fun d -> (d.Bank.rule, d.Bank.culprit)) full.Runner.detections
+  in
+  let attributed i =
+    List.find_map
+      (fun (rule, c) -> if c = Some i then Some rule else None)
+      detections
+  in
+  if not full.Runner.completed then
+    {
+      descr;
+      verdict = Detected;
+      violation_kind = None;
+      completed = false;
+      stuck_phase = full.Runner.stuck_phase;
+      detected_in = full.Runner.stuck_phase;
+      restarts = full.Runner.restarts;
+      detections;
+      deltas = [];
+      max_delta = None;
+      tables_match = None;
+      sim_time = full.Runner.sim_time;
+    }
+  else begin
+    let tables_match =
+      match full.Runner.tables with
+      | None -> false
+      | Some t ->
+          let oracle = Pricing.compute (declared_graph g descr.deviants) in
+          Tables.routing_equal t oracle && Tables.prices_equal t oracle
+    in
+    (* Unilateral baselines: deviant i against the same campaign with only
+       its own deviation reverted — the Definition 8 comparison, valid
+       under multi-deviant profiles because VCG truthfulness and the
+       epsilon-above-gain fines are dominant-strategy arguments. *)
+    let deltas =
+      List.map
+        (fun (i, _) ->
+          let dev' = Array.copy deviations in
+          dev'.(i) <- Adversary.Faithful;
+          let base = Runner.run ~params ~graph:g ~traffic ~deviations:dev' () in
+          let delta =
+            if base.Runner.completed then
+              full.Runner.utilities.(i) -. base.Runner.utilities.(i)
+            else neg_infinity
+          in
+          (i, delta))
+        descr.deviants
+    in
+    let max_delta =
+      List.fold_left (fun acc (_, d) -> Float.max acc d) neg_infinity deltas
+    in
+    let undetected =
+      List.filter (fun (i, _) -> attributed i = None) descr.deviants
+    in
+    let profit =
+      List.exists
+        (fun (i, _) ->
+          match List.assoc_opt i deltas with
+          | Some d -> d > profit_tolerance
+          | None -> false)
+        undetected
+    in
+    let integrity = (not tables_match) && undetected <> [] in
+    let verdict, violation_kind, detected_in =
+      if profit then (Violation, Some "profit", None)
+      else if integrity then (Violation, Some "integrity", None)
+      else
+        match
+          List.find_map (fun (i, _) -> attributed i) descr.deviants
+        with
+        | Some rule -> (Detected, None, Some rule)
+        | None -> (Undetected_unprofitable, None, None)
+    in
+    {
+      descr;
+      verdict;
+      violation_kind;
+      completed = true;
+      stuck_phase = None;
+      detected_in;
+      restarts = full.Runner.restarts;
+      detections;
+      deltas;
+      max_delta = Some max_delta;
+      tables_match = Some tables_match;
+      sim_time = full.Runner.sim_time;
+    }
+  end
+
+(* --- greedy shrinking --- *)
+
+let max_deviant_id descr =
+  List.fold_left (fun m (i, _) -> max m i) 0 descr.deviants
+
+let topology_shrinks descr =
+  let fits topo = topology_n topo > max_deviant_id descr in
+  let cands =
+    match descr.topology with
+    | Mesh (r, c) ->
+        (if r > 2 then [ Mesh (r - 1, c) ] else [])
+        @ if c > 2 then [ Mesh (r, c - 1) ] else []
+    | Torus (r, c) ->
+        (if r > 3 then [ Torus (r - 1, c) ] else [])
+        @ if c > 3 then [ Torus (r, c - 1) ] else []
+    | Chordal (n, k) ->
+        if n > 5 then [ Chordal (n - 1, min k (n - 4)) ] else []
+    | Er (n, p) -> if n > 5 then [ Er (n - 1, p) ] else []
+  in
+  List.filter fits cands |> List.map (fun t -> { descr with topology = t })
+
+let shrink ?(weaken = No_weaken) ?(max_grades = 60) graded =
+  if graded.verdict <> Violation then graded
+  else begin
+    let budget = ref max_grades in
+    let regrade d =
+      if !budget <= 0 then None
+      else begin
+        decr budget;
+        let g = grade ~weaken d in
+        if g.verdict = Violation then Some g else None
+      end
+    in
+    let current = ref graded in
+    let progress = ref true in
+    while !progress && !budget > 0 do
+      progress := false;
+      let d = !current.descr in
+      let p = d.perturb in
+      let candidates =
+        (if List.length d.deviants > 1 then
+           List.map
+             (fun (i, _) ->
+               {
+                 d with
+                 deviants = List.filter (fun (j, _) -> j <> i) d.deviants;
+               })
+             d.deviants
+         else [])
+        @ (if p.Runner.drop_budget > 0 then
+             [ { d with perturb = { p with Runner.drop_budget = 0; drop_p = 0. } } ]
+           else [])
+        @ (if p.Runner.dup_p > 0. then
+             [ { d with perturb = { p with Runner.dup_p = 0. } } ]
+           else [])
+        @ (if p.Runner.jitter > 0. then
+             [ { d with perturb = { p with Runner.jitter = 0. } } ]
+           else [])
+        @ topology_shrinks d
+      in
+      match List.find_map regrade candidates with
+      | Some smaller ->
+          current := smaller;
+          progress := true
+      | None -> ()
+    done;
+    !current
+  end
+
+(* --- batch driving and reporting --- *)
+
+let campaign_seed ~master i = seed_bits (Rng.fork (Rng.create master) i)
+
+let run_batch ?(weaken = No_weaken) ~campaigns ~seed () =
+  List.init campaigns (fun i -> grade ~weaken (of_seed (campaign_seed ~master:seed i)))
+
+let json_opt f = function None -> Json.Null | Some v -> f v
+
+let json_of_graded gr =
+  let d = gr.descr in
+  let p = d.perturb in
+  Json.Obj
+    [
+      ("seed", Json.Int d.seed);
+      ("topology", Json.String (topology_name d.topology));
+      ("n", Json.Int (topology_n d.topology));
+      ("traffic_rate", Json.Float d.traffic_rate);
+      ( "deviations",
+        Json.List
+          (List.map
+             (fun (i, dev) ->
+               Json.Obj
+                 [
+                   ("node", Json.Int i);
+                   ("deviation", Json.String (Adversary.name dev));
+                 ])
+             d.deviants) );
+      ( "perturb",
+        Json.Obj
+          [
+            ("jitter", Json.Float p.Runner.jitter);
+            ("dup_p", Json.Float p.Runner.dup_p);
+            ("drop_p", Json.Float p.Runner.drop_p);
+            ("drop_budget", Json.Int p.Runner.drop_budget);
+          ] );
+      ("verdict", Json.String (verdict_name gr.verdict));
+      ("violation_kind", json_opt (fun s -> Json.String s) gr.violation_kind);
+      ("completed", Json.Bool gr.completed);
+      ("stuck_phase", json_opt (fun s -> Json.String s) gr.stuck_phase);
+      ("detected_in", json_opt (fun s -> Json.String s) gr.detected_in);
+      ("restarts", Json.Int gr.restarts);
+      ( "detections",
+        Json.List
+          (List.map
+             (fun (rule, culprit) ->
+               Json.Obj
+                 [
+                   ("rule", Json.String rule);
+                   ("culprit", json_opt (fun c -> Json.Int c) culprit);
+                 ])
+             gr.detections) );
+      ( "deltas",
+        Json.List
+          (List.map
+             (fun (i, delta) ->
+               Json.Obj [ ("node", Json.Int i); ("delta", Json.Float delta) ])
+             gr.deltas) );
+      ("max_delta", json_opt (fun x -> Json.Float x) gr.max_delta);
+      ("tables_match", json_opt (fun b -> Json.Bool b) gr.tables_match);
+      ("sim_time", Json.Float gr.sim_time);
+    ]
+
+let report ?(shrunk = []) ~weaken ~seed gradeds =
+  let count v =
+    List.length (List.filter (fun gr -> gr.verdict = v) gradeds)
+  in
+  Json.Obj
+    [
+      ("schema", Json.String "damd-gauntlet/1");
+      ("master_seed", Json.Int seed);
+      ("campaigns", Json.Int (List.length gradeds));
+      ("weaken", Json.String (weaken_name weaken));
+      ( "summary",
+        Json.Obj
+          [
+            ("detected", Json.Int (count Detected));
+            ( "undetected_unprofitable",
+              Json.Int (count Undetected_unprofitable) );
+            ("violation", Json.Int (count Violation));
+          ] );
+      ("results", Json.List (List.map json_of_graded gradeds));
+      ("violations_shrunk", Json.List (List.map json_of_graded shrunk));
+    ]

@@ -1,0 +1,127 @@
+(** Randomized adversarial campaigns — the empirical Theorem 1 gauntlet.
+
+    A {e campaign} is one fully-specified adversarial scenario: a sampled
+    biconnected topology, one or more deviations from the manipulation
+    catalogue (including multi-node profiles and [Collude_with]
+    coalitions) seated on sampled principals, and a perturbed event
+    schedule (latency jitter, duplicate deliveries, bounded checker-copy
+    drops). The campaign runs end-to-end through [Faithful.Runner] and is
+    graded against the centralized VCG oracle ([Fpss.Pricing.compute])
+    with an explicit verdict:
+
+    - {e detected}: the construction never certified (the restart
+      machinery starved the deviation), or a bank detection attributed a
+      deviant by name;
+    - {e undetected-but-unprofitable}: the run certified, no detection
+      named a deviant, and no deviant improved its own utility over the
+      unilateral baseline (same campaign with only that deviant reverted
+      to [Faithful] — the ex post Nash comparison of Definition 8);
+    - {e faithfulness violation}: a deviant escaped detection AND either
+      profited (utility delta above tolerance, "profit") or left the
+      certified tables disagreeing with the VCG oracle on the declared
+      costs ("integrity").
+
+    Every campaign is a pure function of a single integer seed, so any
+    verdict replays bit-for-bit; failing campaigns are minimized by a
+    greedy shrinker before reporting. Theorem 1 predicts zero violations
+    on the stock mechanism; the [weaken] switches disable individual bank
+    checkpoints to prove the verdict oracle has teeth. *)
+
+module Adversary := Damd_faithful.Adversary
+module Runner := Damd_faithful.Runner
+
+type topology =
+  | Mesh of int * int  (** rows x cols grid, no wrap (both >= 2) *)
+  | Torus of int * int  (** rows x cols with wrap (both >= 3) *)
+  | Chordal of int * int  (** n-cycle plus this many random chords *)
+  | Er of int * float  (** G(n, p), repaired to biconnectivity *)
+
+val topology_n : topology -> int
+val topology_name : topology -> string
+
+type descr = {
+  seed : int;  (** the campaign's replay seed ([of_seed seed] = this) *)
+  topology : topology;
+  graph_seed : int;  (** drives cost draw and random wiring *)
+  traffic_rate : float;  (** uniform all-pairs demand *)
+  deviants : (int * Adversary.t) list;  (** sorted by node id *)
+  perturb : Runner.perturb;
+}
+(** A fully explicit campaign description. [of_seed] produces one from a
+    seed; the shrinker mutates it directly (at which point it no longer
+    equals any [of_seed] output and is reported in full). *)
+
+type weaken = No_weaken | Weaken_pricing | Weaken_settlement | Weaken_all
+(** Deliberate bank sabotage for oracle-validation runs: skip the BANK2
+    pricing-hash comparison, skip verified execution clearing, or disable
+    checking entirely. *)
+
+val weaken_name : weaken -> string
+val weaken_of_string : string -> weaken option
+
+type verdict = Detected | Undetected_unprofitable | Violation
+
+val verdict_name : verdict -> string
+
+type graded = {
+  descr : descr;
+  verdict : verdict;
+  violation_kind : string option;  (** ["profit"] or ["integrity"] *)
+  completed : bool;
+  stuck_phase : string option;
+  detected_in : string option;
+      (** the detection round: the stuck phase name, or the rule
+          ("BANK1", "EXEC", ...) of the first detection naming a
+          deviant *)
+  restarts : int;
+  detections : (string * int option) list;  (** (rule, culprit) *)
+  deltas : (int * float) list;
+      (** per-deviant unilateral utility delta; [[]] when the run never
+          certified (everyone just eats the progress penalty) *)
+  max_delta : float option;
+  tables_match : bool option;
+      (** certified tables vs [Pricing.compute] on the declared-cost
+          graph; [None] when the construction never certified *)
+  sim_time : float;
+}
+
+val of_seed : int -> descr
+(** Deterministically sample a campaign from its seed. Invariants: the
+    topology is biconnected; between 1 and 3 deviants (a coalition counts
+    its colluders); every checker-caught deviant keeps at least one
+    honest neighbor, so sampled coalitions never cover a full
+    neighborhood — full-cover escapes are the documented boundary of the
+    paper's no-collusion assumption, not a mechanism failure
+    ([Adversary.detectable_in] enforces the scope). *)
+
+val graph_of : descr -> Damd_graph.Graph.t
+(** Rebuild the campaign's graph (pure in [topology] and [graph_seed];
+    asserts biconnectivity). *)
+
+val grade : ?weaken:weaken -> descr -> graded
+(** Run the campaign and every needed unilateral baseline, and pronounce
+    the verdict. Deterministic: byte-identical [graded] (and JSON) for
+    equal inputs. *)
+
+val shrink : ?weaken:weaken -> ?max_grades:int -> graded -> graded
+(** Greedy minimization of a [Violation] campaign: repeatedly try
+    dropping one deviant, zeroing drops, duplication and jitter, and
+    shrinking the topology one step — keeping any mutation that still
+    grades [Violation] — until a fixpoint or the [max_grades] re-grade
+    budget (default 60). Identity on non-violations. *)
+
+val campaign_seed : master:int -> int -> int
+(** [campaign_seed ~master i] is the replay seed printed for campaign [i]
+    of a batch run with master seed [master] (an [Rng.fork] derivation:
+    independent of every other index). *)
+
+val run_batch : ?weaken:weaken -> campaigns:int -> seed:int -> unit -> graded list
+(** Grade campaigns [0 .. campaigns-1] derived from the master seed. *)
+
+val json_of_graded : graded -> Damd_util.Json.t
+(** One campaign as JSON — also exactly what [--replay] prints. *)
+
+val report :
+  ?shrunk:graded list -> weaken:weaken -> seed:int -> graded list -> Damd_util.Json.t
+(** The [damd-gauntlet/1] document: config, per-verdict summary counts,
+    every campaign ([json_of_graded]), and minimized violations. *)

@@ -14,6 +14,7 @@ type 'msg t = {
   mutable tap : (src:int -> dst:int -> 'msg -> 'msg option) option;
   mutable size_of : 'msg -> int;
   mutable clock : float;
+  mutable processed : int;
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
@@ -32,6 +33,7 @@ let create ?(latency = fun ~src:_ ~dst:_ -> 1.0) ~n () =
     tap = None;
     size_of = (fun _ -> 1);
     clock = 0.;
+    processed = 0;
     sent = 0;
     delivered = 0;
     dropped = 0;
@@ -85,6 +87,7 @@ let run ?(max_events = 10_000_000) t =
       | None -> Quiescent
       | Some (time, event) ->
           decr budget;
+          t.processed <- t.processed + 1;
           t.clock <- time;
           (match event with
           | Timer callback -> callback ()
@@ -97,6 +100,8 @@ let run ?(max_events = 10_000_000) t =
           loop ()
   in
   loop ()
+
+let events_processed t = t.processed
 
 let messages_sent t = t.sent
 

@@ -14,6 +14,14 @@
     scheduler breaks equal-time ties by insertion order, and constant
     per-link latency keeps timestamps monotone per link).
 
+    Determinism guarantee: equal-time events — across *all* links and
+    timers, not just within one link — are processed in the exact order
+    they were enqueued. The backing [Damd_util.Pqueue] stamps every entry
+    with a monotonically increasing sequence number and orders ties by it,
+    so two runs fed the same sends produce byte-identical delivery traces
+    even under perturbed (jittered/duplicated) schedules. The gauntlet's
+    seed-replay machinery rests on this.
+
     The paper's adversaries are *rational nodes*, i.e. deviant handlers —
     they simply send different messages — so deviation needs no special
     engine support. The [tap] hook exists for instrumentation and for
@@ -60,6 +68,11 @@ val run : ?max_events:int -> 'msg t -> outcome
     (default [10_000_000]) events have been processed. May be called again
     after new sends — the faithful protocol alternates [run]-to-quiescence
     with bank checkpoints. *)
+
+val events_processed : 'msg t -> int
+(** Total events (deliveries and timers) processed over the engine's
+    lifetime. Monotone: NOT zeroed by [reset_stats], so it can serve as a
+    schedule-length fingerprint across phases. *)
 
 (** Accounting, reset with [reset_stats]. *)
 

@@ -19,6 +19,16 @@ let split t =
   let seed = bits64 t in
   { state = seed }
 
+let fork t k =
+  (* Keyed derivation: mix the index into the *current* state without
+     advancing [t], so [fork t 0 .. fork t (m-1)] are m independent
+     streams that do not depend on the order they are created in. *)
+  let keyed =
+    Int64.add t.state (Int64.mul golden_gamma (Int64.of_int (k + 1)))
+  in
+  let probe = { state = keyed } in
+  { state = bits64 probe }
+
 (* Non-negative 62-bit int extracted from the 64-bit output. *)
 let positive_int t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
 

@@ -22,6 +22,12 @@ val split : t -> t
     statistically independent of [t]'s subsequent output.  Used to give
     each simulated node its own stream. *)
 
+val fork : t -> int -> t
+(** [fork t k] derives an independent generator keyed by the index [k]
+    without advancing [t]: [fork t k] is a pure function of [t]'s current
+    state and [k], and distinct keys give independent streams.  Used to
+    give campaign [k] of a gauntlet run its own replayable stream. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -549,6 +549,40 @@ let test_full_neighborhood_collusion_escapes () =
   let r = Runner.run ~graph:g ~traffic:fig1_traffic ~deviations () in
   check Alcotest.bool "escapes" true r.Runner.completed
 
+let test_detectable_in_partial_coalition () =
+  (* Topology-aware prediction matching test_partial_collusion_still_caught:
+     one honest checker remains, so C is still detectable — and the
+     colluder shares its principal's verdict. *)
+  let g, _ = Lazy.force fig1 in
+  let c = 2 in
+  let profile = Array.make 6 Adversary.Faithful in
+  profile.(c) <- Adversary.Miscompute_routing 2.;
+  profile.(3) <- Adversary.Collude_with c;
+  let neighbors = Graph.neighbors g in
+  check Alcotest.bool "principal detectable" true
+    (Adversary.detectable_in ~neighbors ~profile c);
+  check Alcotest.bool "colluder shares verdict" true
+    (Adversary.detectable_in ~neighbors ~profile 3)
+
+let test_detectable_in_covering_coalition () =
+  (* Every neighbor of C colludes: no honest checker remains, so the
+     checker-mediated deviation is predicted to escape — matching
+     test_full_neighborhood_collusion_escapes. A deviation the bank
+     catches globally (DATA1) stays detectable regardless. *)
+  let g, _ = Lazy.force fig1 in
+  let c = 2 in
+  let profile = Array.make 6 Adversary.Faithful in
+  profile.(c) <- Adversary.Miscompute_routing 2.;
+  List.iter (fun nb -> profile.(nb) <- Adversary.Collude_with c) (Graph.neighbors g c);
+  let neighbors = Graph.neighbors g in
+  check Alcotest.bool "covered principal escapes" false
+    (Adversary.detectable_in ~neighbors ~profile c);
+  check Alcotest.bool "colluders escape with it" false
+    (Adversary.detectable_in ~neighbors ~profile (List.hd (Graph.neighbors g c)));
+  profile.(c) <- Adversary.Inconsistent_cost (1., 8.);
+  check Alcotest.bool "DATA1-caught deviation immune to coalition" true
+    (Adversary.detectable_in ~neighbors ~profile c)
+
 let test_channel_loss_false_positives () =
   (* Heavy omission faults against all-faithful nodes: the §5 caveat —
      the machinery falsely detects and the mechanism stalls. *)
@@ -694,7 +728,7 @@ let test_zero_cost_nodes () =
   | None -> Alcotest.fail "no tables"
 
 let prop_faithful_random_graphs =
-  QCheck.Test.make ~name:"faithful run certifies and matches on random graphs" ~count:10
+  QCheck.Test.make ~name:"faithful run certifies and matches on random graphs" ~count:50
     QCheck.(pair small_nat (float_bound_inclusive 1.))
     (fun (seed, p) ->
       let rng = Rng.create (seed + 900) in
@@ -1222,6 +1256,10 @@ let suites =
           test_partial_collusion_still_caught;
         Alcotest.test_case "full-neighborhood collusion escapes" `Quick
           test_full_neighborhood_collusion_escapes;
+        Alcotest.test_case "detectable_in: partial coalition" `Quick
+          test_detectable_in_partial_coalition;
+        Alcotest.test_case "detectable_in: covering coalition" `Quick
+          test_detectable_in_covering_coalition;
         Alcotest.test_case "channel loss: false positives" `Quick
           test_channel_loss_false_positives;
         Alcotest.test_case "zero loss clean" `Quick test_zero_channel_loss_is_clean;
@@ -1240,7 +1278,10 @@ let suites =
         Alcotest.test_case "zero traffic" `Quick test_zero_traffic_execution_trivial;
         Alcotest.test_case "triangle" `Quick test_triangle_minimal_biconnected;
         Alcotest.test_case "zero-cost nodes" `Quick test_zero_cost_nodes;
-        QCheck_alcotest.to_alcotest prop_faithful_random_graphs;
+        (* seeded so the 50 sampled graphs are the same on every run *)
+        QCheck_alcotest.to_alcotest
+          ~rand:(Random.State.make [| 0x5eed |])
+          prop_faithful_random_graphs;
         QCheck_alcotest.to_alcotest prop_detection_random_graphs;
       ] );
     ( "faithful.economics",

@@ -1,0 +1,139 @@
+(* Tests for Damd_gauntlet.Campaign: seed-determinism of sampling and
+   grading, Theorem 1 on small stock batches, the weakened-bank violation
+   oracle, and the greedy shrinker's contract. *)
+
+module Json = Damd_util.Json
+module Adversary = Damd_faithful.Adversary
+module Biconnect = Damd_graph.Biconnect
+module Campaign = Damd_gauntlet.Campaign
+
+let check = Alcotest.check
+
+let test_of_seed_deterministic () =
+  (* Sampling is a pure function of the seed — byte-identical descr. *)
+  List.iter
+    (fun seed ->
+      check Alcotest.bool "same descr" true
+        (Campaign.of_seed seed = Campaign.of_seed seed))
+    [ 0; 1; 42; 123456789; max_int ]
+
+let test_grade_replays_byte_identical () =
+  (* The replay guarantee: grading twice yields byte-identical JSON. *)
+  let d = Campaign.of_seed 42 in
+  let j () = Json.to_string ~indent:2 (Campaign.json_of_graded (Campaign.grade d)) in
+  check Alcotest.string "byte-identical replay" (j ()) (j ())
+
+let test_sampled_graphs_biconnected_and_scoped () =
+  (* Every sampled campaign: biconnected topology, 1..3 deviants seated
+     in range, and no full-neighborhood coalition (every checker-caught
+     deviant stays detectable under the topology-aware refinement). *)
+  for i = 0 to 19 do
+    let d = Campaign.of_seed (Campaign.campaign_seed ~master:7 i) in
+    let g = Campaign.graph_of d in
+    check Alcotest.bool "biconnected" true (Biconnect.is_biconnected g);
+    let n = Damd_graph.Graph.n g in
+    let k = List.length d.Campaign.deviants in
+    check Alcotest.bool "1..3 deviants" true (k >= 1 && k <= 3);
+    let profile = Array.make n Adversary.Faithful in
+    List.iter
+      (fun (i, dev) ->
+        check Alcotest.bool "deviant in range" true (i >= 0 && i < n);
+        profile.(i) <- dev)
+      d.Campaign.deviants;
+    List.iter
+      (fun (i, dev) ->
+        if Adversary.detectable dev then
+          check Alcotest.bool "still detectable in profile" true
+            (Adversary.detectable_in
+               ~neighbors:(Damd_graph.Graph.neighbors g)
+               ~profile i))
+      d.Campaign.deviants
+  done
+
+let test_stock_batch_no_violation () =
+  (* Theorem 1 on a small batch: the stock mechanism never lets a
+     sampled deviation both escape and profit (or corrupt the tables). *)
+  let graded = Campaign.run_batch ~campaigns:10 ~seed:42 () in
+  check Alcotest.int "batch size" 10 (List.length graded);
+  List.iter
+    (fun gr ->
+      check Alcotest.bool "no violation" true
+        (gr.Campaign.verdict <> Campaign.Violation))
+    graded
+
+let test_weakened_bank_violates () =
+  (* The oracle has teeth: with verified clearing disabled, some sampled
+     execution deviation must profit undetected. The first ten campaigns
+     of master seed 42 are known to contain one. *)
+  let graded =
+    Campaign.run_batch ~weaken:Campaign.Weaken_settlement ~campaigns:10 ~seed:42 ()
+  in
+  let violations =
+    List.filter (fun gr -> gr.Campaign.verdict = Campaign.Violation) graded
+  in
+  check Alcotest.bool "at least one violation" true (violations <> []);
+  List.iter
+    (fun gr ->
+      check (Alcotest.option Alcotest.string) "profit kind" (Some "profit")
+        gr.Campaign.violation_kind)
+    violations;
+  (* Shrinking preserves the violation and never grows the campaign. *)
+  let gr = List.hd violations in
+  let s = Campaign.shrink ~weaken:Campaign.Weaken_settlement gr in
+  check Alcotest.bool "shrunk still violates" true
+    (s.Campaign.verdict = Campaign.Violation);
+  check Alcotest.bool "no more deviants than before" true
+    (List.length s.Campaign.descr.Campaign.deviants
+    <= List.length gr.Campaign.descr.Campaign.deviants);
+  check Alcotest.bool "topology no larger" true
+    (Campaign.topology_n s.Campaign.descr.Campaign.topology
+    <= Campaign.topology_n gr.Campaign.descr.Campaign.topology)
+
+let test_shrink_identity_on_non_violation () =
+  let d = Campaign.of_seed 42 in
+  let gr = Campaign.grade d in
+  check Alcotest.bool "no violation at seed 42" true
+    (gr.Campaign.verdict <> Campaign.Violation);
+  check Alcotest.bool "shrink is identity" true (Campaign.shrink gr = gr)
+
+let test_weaken_of_string_roundtrip () =
+  List.iter
+    (fun w ->
+      check Alcotest.bool "round-trips" true
+        (Campaign.weaken_of_string (Campaign.weaken_name w) = Some w))
+    [
+      Campaign.No_weaken;
+      Campaign.Weaken_pricing;
+      Campaign.Weaken_settlement;
+      Campaign.Weaken_all;
+    ];
+  check Alcotest.bool "unknown rejected" true
+    (Campaign.weaken_of_string "bogus" = None)
+
+let test_campaign_seeds_distinct () =
+  (* Fork-derived per-index seeds are pairwise distinct and independent
+     of batch position. *)
+  let seeds = List.init 50 (Campaign.campaign_seed ~master:42) in
+  check Alcotest.int "distinct" 50 (List.length (List.sort_uniq compare seeds));
+  check Alcotest.int "index stable" (Campaign.campaign_seed ~master:42 7)
+    (List.nth seeds 7)
+
+let suites =
+  [
+    ( "gauntlet.campaign",
+      [
+        Alcotest.test_case "of_seed deterministic" `Quick test_of_seed_deterministic;
+        Alcotest.test_case "grade replays byte-identical" `Quick
+          test_grade_replays_byte_identical;
+        Alcotest.test_case "sampled campaigns well-formed" `Quick
+          test_sampled_graphs_biconnected_and_scoped;
+        Alcotest.test_case "stock batch: no violation" `Slow
+          test_stock_batch_no_violation;
+        Alcotest.test_case "weakened bank violates" `Slow test_weakened_bank_violates;
+        Alcotest.test_case "shrink identity on non-violation" `Quick
+          test_shrink_identity_on_non_violation;
+        Alcotest.test_case "weaken_of_string round-trip" `Quick
+          test_weaken_of_string_roundtrip;
+        Alcotest.test_case "campaign seeds distinct" `Quick test_campaign_seeds_distinct;
+      ] );
+  ]

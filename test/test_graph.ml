@@ -491,6 +491,68 @@ let prop_gen_always_biconnected =
       let g = Gen.erdos_renyi rng ~n ~p cost_model in
       Biconnect.is_biconnected g)
 
+let prop_grid_invariants =
+  (* A rows x cols mesh has exactly rows(cols-1) + cols(rows-1) edges and
+     every degree in 2..4 (corners 2, edges 3, interior 4). *)
+  QCheck.Test.make ~name:"grid edge count and degree bounds" ~count:60
+    QCheck.(pair (int_range 2 6) (int_range 2 6))
+    (fun (rows, cols) ->
+      let rng = Rng.create ((rows * 31) + cols) in
+      let g =
+        Gen.grid ~rows ~cols ~costs:(Gen.draw_costs rng cost_model (rows * cols))
+      in
+      Graph.n g = rows * cols
+      && Graph.num_edges g = (rows * (cols - 1)) + (cols * (rows - 1))
+      && Graph.fold_nodes
+           (fun v acc -> acc && Graph.degree g v >= 2 && Graph.degree g v <= 4)
+           g true)
+
+let prop_torus_invariants =
+  (* With both dimensions >= 3 no wrap edge collapses: 4-regular, 2*rows*cols
+     edges. *)
+  QCheck.Test.make ~name:"torus 4-regular with 2rc edges" ~count:60
+    QCheck.(pair (int_range 3 6) (int_range 3 6))
+    (fun (rows, cols) ->
+      let rng = Rng.create ((rows * 37) + cols) in
+      let g =
+        Gen.torus ~rows ~cols ~costs:(Gen.draw_costs rng cost_model (rows * cols))
+      in
+      Graph.n g = rows * cols
+      && Graph.num_edges g = 2 * rows * cols
+      && Graph.fold_nodes (fun v acc -> acc && Graph.degree g v = 4) g true)
+
+let prop_dijkstra_matches_bellman_ford =
+  (* Independent oracle: n rounds of Bellman-Ford relaxation over the
+     FPSS node-cost metric (transit nodes pay, endpoints do not). *)
+  QCheck.Test.make ~name:"dijkstra matches bellman-ford oracle" ~count:60
+    QCheck.(triple small_nat small_nat (float_bound_inclusive 1.))
+    (fun (seed, dst0, p) ->
+      let rng = Rng.create (seed + 7100) in
+      let n = 5 + (seed mod 6) in
+      let p = 0.3 +. (p *. 0.4) in
+      let g = Gen.erdos_renyi rng ~n ~p cost_model in
+      let dst = dst0 mod n in
+      let d = Array.make n infinity in
+      d.(dst) <- 0.;
+      for _ = 1 to n do
+        for v = 0 to n - 1 do
+          if v <> dst then
+            List.iter
+              (fun u ->
+                let cand = if u = dst then 0. else Graph.cost g u +. d.(u) in
+                if cand < d.(v) then d.(v) <- cand)
+              (Graph.neighbors g v)
+        done
+      done;
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        if v <> dst then
+          match Dijkstra.dist g ~src:v ~dst with
+          | Some c -> if abs_float (c -. d.(v)) > 1e-9 then ok := false
+          | None -> if d.(v) < infinity then ok := false
+      done;
+      !ok)
+
 (* --- Metrics --- *)
 
 module Metrics = Damd_graph.Metrics
@@ -587,6 +649,7 @@ let suites =
         Alcotest.test_case "transit nodes" `Quick test_dijkstra_transit_nodes;
         Alcotest.test_case "matches brute force" `Quick test_dijkstra_matches_brute_force;
         Alcotest.test_case "all_to_dest consistent" `Quick test_all_to_dest_consistent;
+        QCheck_alcotest.to_alcotest prop_dijkstra_matches_bellman_ford;
         QCheck_alcotest.to_alcotest prop_dijkstra_triangle;
         QCheck_alcotest.to_alcotest prop_dijkstra_symmetric;
         QCheck_alcotest.to_alcotest prop_avoid_no_worse;
@@ -630,5 +693,7 @@ let suites =
         Alcotest.test_case "torus 2x2" `Quick test_gen_torus_2x2;
         Alcotest.test_case "petersen" `Quick test_gen_petersen;
         QCheck_alcotest.to_alcotest prop_gen_always_biconnected;
+        QCheck_alcotest.to_alcotest prop_grid_invariants;
+        QCheck_alcotest.to_alcotest prop_torus_invariants;
       ] );
   ]

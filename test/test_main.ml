@@ -13,4 +13,5 @@ let () =
          Test_fpss.suites;
          Test_core.suites;
          Test_faithful.suites;
+         Test_gauntlet.suites;
        ])

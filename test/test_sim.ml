@@ -217,6 +217,121 @@ let test_timer_can_send () =
   ignore (Engine.run e);
   check Alcotest.bool "timer-driven send delivered" true !got
 
+let test_equal_time_cross_link_order () =
+  (* Three messages on distinct links all arrive at t=1.0; the sequence
+     number assigned at enqueue time must break the tie, so delivery
+     follows send order — the guarantee gauntlet replay rests on. *)
+  let e = Engine.create ~n:4 () in
+  let got = ref [] in
+  Engine.set_handler e 3 (fun ~sender msg -> got := (sender, msg) :: !got);
+  Engine.send e ~src:2 ~dst:3 "c";
+  Engine.send e ~src:0 ~dst:3 "a";
+  Engine.send e ~src:1 ~dst:3 "b";
+  ignore (Engine.run e);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+    "enqueue order at equal timestamps"
+    [ (2, "c"); (0, "a"); (1, "b") ]
+    (List.rev !got)
+
+let test_identical_traces_with_timers_and_ties () =
+  (* Interleaved cascading sends and a timer, with many equal timestamps
+     (every link has latency 1): two independent engines must produce
+     identical (time, node, sender, msg) traces and identical processed
+     event counts. *)
+  let trace () =
+    let e = Engine.create ~n:3 () in
+    let log = ref [] in
+    for i = 0 to 2 do
+      Engine.set_handler e i (fun ~sender msg ->
+          log := (Engine.now e, i, sender, msg) :: !log;
+          if msg > 0 then begin
+            Engine.send e ~src:i ~dst:((i + 1) mod 3) (msg - 1);
+            Engine.send e ~src:i ~dst:((i + 2) mod 3) (msg - 1)
+          end)
+    done;
+    Engine.schedule e ~delay:1. (fun () ->
+        log := (Engine.now e, -1, -1, 99) :: !log);
+    Engine.send e ~src:0 ~dst:1 3;
+    Engine.send e ~src:0 ~dst:2 3;
+    ignore (Engine.run e);
+    (List.rev !log, Engine.events_processed e)
+  in
+  check Alcotest.bool "identical traces and event counts" true
+    (trace () = trace ())
+
+let test_dropped_excluded_from_byte_accounting () =
+  (* A tap-dropped message must not count toward sent/bytes/sent_by —
+     only toward messages_dropped. *)
+  let e = Engine.create ~n:2 () in
+  Engine.set_size e String.length;
+  Engine.set_handler e 1 (fun ~sender:_ _ -> ());
+  Engine.set_tap e (fun ~src:_ ~dst:_ msg ->
+      if String.length msg > 4 then None else Some msg);
+  Engine.send e ~src:0 ~dst:1 "tiny";
+  Engine.send e ~src:0 ~dst:1 "dropped!";
+  ignore (Engine.run e);
+  check Alcotest.int "bytes exclude dropped" 4 (Engine.bytes_sent e);
+  check Alcotest.int "sent excludes dropped" 1 (Engine.messages_sent e);
+  check Alcotest.int "sent_by excludes dropped" 1 (Engine.sent_by e 0);
+  check Alcotest.int "dropped counted" 1 (Engine.messages_dropped e)
+
+let test_reset_stats_keeps_clock_and_processed () =
+  (* reset_stats zeroes the counters but must not rewind simulated time
+     or the lifetime processed-event count. *)
+  let e = Engine.create ~n:2 () in
+  Engine.set_handler e 1 (fun ~sender:_ _ -> ());
+  Engine.send e ~src:0 ~dst:1 ();
+  ignore (Engine.run e);
+  let t1 = Engine.now e in
+  let p1 = Engine.events_processed e in
+  Engine.reset_stats e;
+  check Alcotest.int "counters reset" 0 (Engine.messages_sent e);
+  check (Alcotest.float 1e-9) "clock untouched" t1 (Engine.now e);
+  check Alcotest.int "processed untouched" p1 (Engine.events_processed e);
+  Engine.send e ~src:0 ~dst:1 ();
+  ignore (Engine.run e);
+  check Alcotest.bool "clock monotone after reset" true (Engine.now e > t1);
+  check Alcotest.bool "processed monotone after reset" true
+    (Engine.events_processed e > p1)
+
+let test_event_limit_vs_quiescent_boundary () =
+  (* The budget check precedes the pop, so a budget exactly equal to the
+     pending event count conservatively reports Event_limit (all events
+     were still processed); one above it observes quiescence, and a
+     limited run resumes cleanly. *)
+  let fresh () =
+    let e = Engine.create ~n:2 () in
+    Engine.set_handler e 1 (fun ~sender:_ _ -> ());
+    for _ = 1 to 5 do
+      Engine.send e ~src:0 ~dst:1 ()
+    done;
+    e
+  in
+  let e = fresh () in
+  check Alcotest.bool "budget above count quiesces" true
+    (Engine.run ~max_events:6 e = Engine.Quiescent);
+  let e = fresh () in
+  check Alcotest.bool "exact budget conservatively limits" true
+    (Engine.run ~max_events:5 e = Engine.Event_limit);
+  check Alcotest.int "all events still processed" 5 (Engine.events_processed e);
+  check Alcotest.bool "resumes to quiescence" true
+    (Engine.run e = Engine.Quiescent)
+
+let test_out_of_range_set_handler_rejected () =
+  let e : unit Engine.t = Engine.create ~n:2 () in
+  Alcotest.check_raises "bad handler index"
+    (Invalid_argument "Engine.set_handler: node out of range") (fun () ->
+      Engine.set_handler e 2 (fun ~sender:_ () -> ()));
+  Alcotest.check_raises "negative handler index"
+    (Invalid_argument "Engine.set_handler: node out of range") (fun () ->
+      Engine.set_handler e (-1) (fun ~sender:_ () -> ()))
+
+let test_out_of_range_src_rejected () =
+  let e : unit Engine.t = Engine.create ~n:2 () in
+  Alcotest.check_raises "bad src" (Invalid_argument "Engine.send: node out of range")
+    (fun () -> Engine.send e ~src:(-1) ~dst:1 ())
+
 let suites =
   [
     ( "sim.engine",
@@ -245,5 +360,19 @@ let suites =
         Alcotest.test_case "tap observes endpoints" `Quick
           test_tap_sees_original_sender_and_dst;
         Alcotest.test_case "timer can send" `Quick test_timer_can_send;
+        Alcotest.test_case "equal-time cross-link order" `Quick
+          test_equal_time_cross_link_order;
+        Alcotest.test_case "identical traces with ties" `Quick
+          test_identical_traces_with_timers_and_ties;
+        Alcotest.test_case "dropped excluded from bytes" `Quick
+          test_dropped_excluded_from_byte_accounting;
+        Alcotest.test_case "reset_stats keeps clock" `Quick
+          test_reset_stats_keeps_clock_and_processed;
+        Alcotest.test_case "event limit boundary" `Quick
+          test_event_limit_vs_quiescent_boundary;
+        Alcotest.test_case "out of range set_handler" `Quick
+          test_out_of_range_set_handler_rejected;
+        Alcotest.test_case "out of range src" `Quick
+          test_out_of_range_src_rejected;
       ] );
   ]

@@ -364,6 +364,41 @@ let prop_pq_is_sorting =
       in
       drain [] = List.sort compare xs)
 
+let prop_pq_matches_model =
+  (* Model-based: an arbitrary push/pop/clear interleaving (incl.
+     clear-then-reuse) against a sorted association list keyed by
+     (priority, arrival seq) — the exact FIFO-tie contract. *)
+  QCheck.Test.make ~name:"pqueue matches sorted-list model" ~count:200
+    QCheck.(list (pair (int_bound 9) (int_bound 50)))
+    (fun ops ->
+      let q = Pqueue.create () in
+      let model = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (kind, x) ->
+          if kind < 5 then begin
+            let p = float_of_int x in
+            incr seq;
+            Pqueue.push q p !seq;
+            (* stable merge: equal priorities keep arrival order *)
+            model := List.merge compare !model [ (p, !seq) ]
+          end
+          else if kind < 9 then begin
+            match (!model, Pqueue.pop q) with
+            | [], None -> ()
+            | (p, v) :: rest, Some (p', v') ->
+                model := rest;
+                if p <> p' || v <> v' then ok := false
+            | _ -> ok := false
+          end
+          else begin
+            Pqueue.clear q;
+            model := []
+          end)
+        ops;
+      !ok && Pqueue.length q = List.length !model)
+
 let prop_subset_valid =
   QCheck.Test.make ~name:"subset is sorted distinct in range" ~count:200
     QCheck.(pair small_nat small_nat)
@@ -419,6 +454,7 @@ let suites =
         Alcotest.test_case "clear then reuse" `Quick test_pq_clear_then_reuse;
         Alcotest.test_case "pop releases slot" `Quick test_pq_pop_releases_slot;
         QCheck_alcotest.to_alcotest prop_pq_is_sorting;
+        QCheck_alcotest.to_alcotest prop_pq_matches_model;
       ] );
     ( "util.json",
       [
