@@ -178,6 +178,14 @@ let experiment_tests =
                    ~deviations:(Array.make 8 Election.Honest) ())));
       Test.make ~name:"gauntlet_campaigns_n16"
         (Staged.stage (fun () -> ignore (Campaign.grade gauntlet_descr16)));
+      Test.make ~name:"lint_stock_spec"
+        (Staged.stage
+           (let module Lint = Damd_speccheck.Lint in
+            let labels = Adversary.all_labels in
+            fun () ->
+              ignore
+                (Lint.run ~adversary:labels ~graph:fig1 ~topology:"fig1"
+                   Damd_speccheck.Fpss_spec.ir)));
     ]
 
 let micro_tests =

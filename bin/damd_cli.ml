@@ -16,7 +16,6 @@ module Table = Damd_util.Table
 module Graph = Damd_graph.Graph
 module Gen = Damd_graph.Gen
 module Traffic = Damd_fpss.Traffic
-module Pricing = Damd_fpss.Pricing
 module Tables = Damd_fpss.Tables
 module Adversary = Damd_faithful.Adversary
 module Bank = Damd_faithful.Bank
@@ -309,6 +308,77 @@ let run_election topology seed deviants no_checking benefit =
 let benefit_arg =
   Arg.(value & opt float 2. & info [ "benefit" ] ~docv:"B" ~doc:"Per-unit-power benefit.")
 
+(* --- the specification linter --- *)
+
+let run_lint topology seed mutate json_path list_mutations =
+  let module Speccheck = Damd_speccheck in
+  let module Check = Speccheck.Check in
+  let module Lint = Speccheck.Lint in
+  if list_mutations then
+    List.iter
+      (fun (name, finding) -> Printf.printf "%-22s -> %s\n" name finding)
+      Speccheck.Mutate.all
+  else begin
+    let g = parse_topology topology seed in
+    (match mutate with
+    | Some m when Speccheck.Mutate.expected m = None ->
+        raise
+          (Invalid_argument
+             (Printf.sprintf
+                "unknown mutation %S (see `damd lint --list-mutations`)" m))
+    | _ -> ());
+    let report =
+      Lint.run ~adversary:Adversary.all_labels ?mutation:mutate ~graph:g
+        ~topology Damd_speccheck.Fpss_spec.ir
+    in
+    Printf.printf "lint: spec %s, topology %s%s\n" report.Lint.spec topology
+      (match mutate with Some m -> ", mutation " ^ m | None -> "");
+    if report.Lint.findings = [] then print_endline "no findings"
+    else begin
+      let t = Table.create [ "id"; "severity"; "location"; "explanation" ] in
+      List.iter
+        (fun (f : Check.finding) ->
+          Table.add_row t
+            [
+              f.Check.id;
+              Check.severity_to_string f.Check.severity;
+              f.Check.location;
+              f.Check.message;
+            ])
+        report.Lint.findings;
+      Table.print t
+    end;
+    Printf.printf "%d error(s)\n" (Lint.error_count report);
+    (match json_path with
+    | None -> ()
+    | Some path ->
+        Damd_util.Json.to_file path (Lint.to_json report);
+        Printf.printf "report written to %s (schema damd-lint/1)\n" path);
+    exit (Lint.exit_code report)
+  end
+
+let mutate_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "mutate" ] ~docv:"RULE"
+        ~doc:
+          "Lint a seeded mutation of the stock spec instead (e.g. \
+           drop-checkpoint); must produce its expected error finding and \
+           exit 1. See --list-mutations.")
+
+let lint_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Write the damd-lint/1 report here.")
+
+let list_mutations_arg =
+  Arg.(
+    value & flag
+    & info [ "list-mutations" ]
+        ~doc:"List the seeded mutations and their expected finding ids.")
+
 (* --- the adversarial gauntlet --- *)
 
 let run_gauntlet campaigns seed weaken_s json_path replay no_shrink =
@@ -442,6 +512,17 @@ let election_cmd =
   Cmd.v (Cmd.info "election" ~doc)
     Term.(const run_election $ topology $ seed $ deviants $ no_checking $ benefit_arg)
 
+let lint_cmd =
+  let doc =
+    "statically check the finite spec IR: reachability, action \
+     classification, phase/checkpoint structure, strong-CC and strong-AC \
+     candidacy, deviation coverage and checker 2-connectivity"
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(
+      const run_lint $ topology $ seed $ mutate_arg $ lint_json_arg
+      $ list_mutations_arg)
+
 let gauntlet_cmd =
   let doc =
     "randomized adversarial campaigns with seed replay, shrinking and \
@@ -459,6 +540,7 @@ let cmd =
       const run_routing $ topology $ seed $ deviants $ no_checking $ no_copies
       $ deferred $ latency $ loss $ hotspots $ rate $ verbose)
   in
-  Cmd.group ~default (Cmd.info "damd" ~doc) [ routing_cmd; election_cmd; gauntlet_cmd ]
+  Cmd.group ~default (Cmd.info "damd" ~doc)
+    [ routing_cmd; election_cmd; gauntlet_cmd; lint_cmd ]
 
 let () = exit (Cmd.eval cmd)

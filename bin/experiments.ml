@@ -14,19 +14,16 @@ module Stats = Damd_util.Stats
 module Graph = Damd_graph.Graph
 module Gen = Damd_graph.Gen
 module Dijkstra = Damd_graph.Dijkstra
-module Biconnect = Damd_graph.Biconnect
 module Mechanism = Damd_mech.Mechanism
 module Strategyproof = Damd_mech.Strategyproof
 module Leader = Damd_mech.Leader_election
 module Traffic = Damd_fpss.Traffic
 module Pricing = Damd_fpss.Pricing
-module Naive = Damd_fpss.Naive
 module Tables = Damd_fpss.Tables
 module Game = Damd_fpss.Game
 module Distributed = Damd_fpss.Distributed
 module Equilibrium = Damd_core.Equilibrium
 module Faithfulness = Damd_core.Faithfulness
-module Protocol = Damd_faithful.Protocol
 module Adversary = Damd_faithful.Adversary
 module Bank = Damd_faithful.Bank
 module Runner = Damd_faithful.Runner
@@ -92,7 +89,7 @@ let e0 ~quick:_ =
           e.Spec.action;
           Damd_core.Action.to_string e.Spec.cls;
           Spec.phase_name e.Spec.phase;
-          e.Spec.rule;
+          String.concat "/" (List.map Spec.Rule.to_string e.Spec.rules);
         ])
     Spec.catalogue;
   emit t;

@@ -9,7 +9,6 @@
 
 module Graph = Damd_graph.Graph
 module Gen = Damd_graph.Gen
-module Dijkstra = Damd_graph.Dijkstra
 module Pricing = Damd_fpss.Pricing
 module Tables = Damd_fpss.Tables
 module Traffic = Damd_fpss.Traffic

@@ -44,6 +44,30 @@ let name = function
   | Lying_checker -> "lying-checker"
   | Collude_with p -> Printf.sprintf "collude-with(%d)" p
 
+module Dev = Damd_speccheck.Dev
+
+let label = function
+  | Faithful -> Dev.Faithful
+  | Misreport_cost _ -> Dev.Misreport_cost
+  | Inconsistent_cost _ -> Dev.Inconsistent_cost
+  | Corrupt_cost_forward _ -> Dev.Corrupt_cost_forward
+  | Drop_routing_copies -> Dev.Drop_routing_copies
+  | Drop_pricing_copies -> Dev.Drop_pricing_copies
+  | Corrupt_routing_copies _ -> Dev.Corrupt_routing_copies
+  | Corrupt_pricing_copies _ -> Dev.Corrupt_pricing_copies
+  | Spoof_routing_update _ -> Dev.Spoof_routing_update
+  | Spoof_pricing_update _ -> Dev.Spoof_pricing_update
+  | Miscompute_routing _ -> Dev.Miscompute_routing
+  | Miscompute_pricing _ -> Dev.Miscompute_pricing
+  | Underreport_payments _ -> Dev.Underreport_payments
+  | Misroute_packets -> Dev.Misroute_packets
+  | Misattribute_payments -> Dev.Misattribute_payments
+  | Silent_in_construction -> Dev.Silent_in_construction
+  | Combined_routing_attack _ -> Dev.Combined_routing_attack
+  | Combined_pricing_attack _ -> Dev.Combined_pricing_attack
+  | Lying_checker -> Dev.Lying_checker
+  | Collude_with _ -> Dev.Collude_with
+
 let classify = function
   | Faithful -> []
   | Misreport_cost _ | Inconsistent_cost _ -> [ Action.Information_revelation ]
@@ -97,6 +121,10 @@ let library =
     Combined_pricing_attack 2.;
     Lying_checker;
   ]
+
+let all_labels =
+  List.sort_uniq compare
+    (List.map label (Faithful :: Collude_with 0 :: library))
 
 let detectable = function
   | Faithful | Misreport_cost _ -> false

@@ -81,6 +81,18 @@ type t =
 
 val name : t -> string
 
+val label : t -> Damd_speccheck.Dev.t
+(** Payload-stripped label of the constructor, shared with the spec IR.
+    The match is exhaustive, so adding a constructor without deciding its
+    catalogue label is a compile error — one half of the lint gate's
+    deviation cross-consistency (the other half, that every label is
+    targeted by a catalogue action, is the [orphan-deviation] rule). *)
+
+val all_labels : Damd_speccheck.Dev.t list
+(** The label of every constructor (witnessed through [library] plus
+    [Faithful] and [Collude_with]), deduplicated — what [damd_cli lint]
+    feeds the checker as the concrete adversary vocabulary. *)
+
 val classify : t -> Damd_core.Action.t list
 (** External action classes the deviation touches ([Faithful] -> []). *)
 

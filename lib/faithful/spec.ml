@@ -1,99 +1,54 @@
-module Action = Damd_core.Action
+module Ir = Damd_speccheck.Ir
+module Fpss_spec = Damd_speccheck.Fpss_spec
+module Rule = Damd_speccheck.Rule
+module Dev = Damd_speccheck.Dev
 
 type phase = Construction1 | Construction2a | Construction2b | Execution
 
 type entry = {
   action : string;
-  cls : Action.t;
+  cls : Damd_core.Action.t;
   phase : phase;
-  rule : string;
-  deviations : string list;
+  rules : Rule.t list;
+  deviations : Dev.t list;
 }
 
+let phase_of_ir_name = function
+  | "construction-1" -> Some Construction1
+  | "construction-2a" -> Some Construction2a
+  | "construction-2b" -> Some Construction2b
+  | "execution" -> Some Execution
+  | _ -> None
+
+(* One catalogue row per IR action, in suggested-play order. The stock IR
+   lints clean (asserted in runtest), so every action is classified and
+   runs inside exactly one phase — the Option.get / invalid_arg branches
+   are unreachable drift alarms. *)
 let catalogue =
-  [
-    {
-      action = "declare own transit cost to neighbors";
-      cls = Action.Information_revelation;
-      phase = Construction1;
-      rule = "DATA1";
-      deviations = [ "misreport-cost"; "inconsistent-cost" ];
-    };
-    {
-      action = "flood other nodes' cost announcements";
-      cls = Action.Message_passing;
-      phase = Construction1;
-      rule = "DATA1";
-      deviations = [ "corrupt-cost-forward" ];
-    };
-    {
-      action = "forward received routing updates to all checkers";
-      cls = Action.Message_passing;
-      phase = Construction2a;
-      rule = "PRINC1";
-      deviations =
-        [ "drop-routing-copies"; "corrupt-routing-copies"; "spoof-routing-update";
-          "combined-routing-attack" ];
-    };
-    {
-      action = "recompute LCPs and announce the routing table";
-      cls = Action.Computation;
-      phase = Construction2a;
-      rule = "PRINC1";
-      deviations = [ "miscompute-routing"; "silent-in-construction" ];
-    };
-    {
-      action = "mirror each neighbor-principal's routing computation";
-      cls = Action.Computation;
-      phase = Construction2a;
-      rule = "CHECK1";
-      deviations = [ "lying-checker"; "collude-with" ];
-    };
-    {
-      action = "forward received pricing updates to all checkers";
-      cls = Action.Message_passing;
-      phase = Construction2b;
-      rule = "PRINC2";
-      deviations =
-        [ "drop-pricing-copies"; "corrupt-pricing-copies"; "spoof-pricing-update";
-          "combined-pricing-attack" ];
-    };
-    {
-      action = "recompute prices (with identity tags) and announce DATA3*";
-      cls = Action.Computation;
-      phase = Construction2b;
-      rule = "PRINC2";
-      deviations = [ "miscompute-pricing"; "silent-in-construction" ];
-    };
-    {
-      action = "mirror each neighbor-principal's pricing computation";
-      cls = Action.Computation;
-      phase = Construction2b;
-      rule = "CHECK2";
-      deviations = [ "lying-checker"; "collude-with" ];
-    };
-    {
-      action = "report table digests to the bank (signed)";
-      cls = Action.Computation;
-      phase = Construction2b;
-      rule = "BANK1/BANK2";
-      deviations = [ "lying-checker"; "collude-with" ];
-    };
-    {
-      action = "forward packets along certified lowest-cost paths";
-      cls = Action.Message_passing;
-      phase = Execution;
-      rule = "EXEC";
-      deviations = [ "misroute-packets" ];
-    };
-    {
-      action = "tally and report DATA4 payments to the bank (signed)";
-      cls = Action.Computation;
-      phase = Execution;
-      rule = "EXEC";
-      deviations = [ "underreport-payments"; "misattribute-payments" ];
-    };
-  ]
+  let ir = Fpss_spec.ir in
+  List.map
+    (fun (a : Ir.action) ->
+      let phase =
+        match Ir.phase_of_action ir a.Ir.id with
+        | Some p -> (
+            match phase_of_ir_name p.Ir.pname with
+            | Some ph -> ph
+            | None -> invalid_arg ("Spec.catalogue: unknown IR phase " ^ p.Ir.pname))
+        | None -> invalid_arg ("Spec.catalogue: action outside phases: " ^ a.Ir.id)
+      in
+      let cls =
+        match a.Ir.cls with
+        | Some c -> c
+        | None -> invalid_arg ("Spec.catalogue: unclassified action " ^ a.Ir.id)
+      in
+      {
+        action = a.Ir.descr;
+        cls;
+        phase;
+        rules = a.Ir.rules;
+        deviations = a.Ir.deviations;
+      })
+    ir.Ir.actions
 
 let phase_name = function
   | Construction1 -> "construction-1 (costs)"

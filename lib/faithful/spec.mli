@@ -2,12 +2,22 @@
     protocol, its §3.4 classification and the phase it belongs to — the
     classification the paper walks through at the end of §4.1.
 
+    Since the speccheck PR the catalogue is *derived* from the finite spec
+    IR ([Damd_speccheck.Fpss_spec.ir]): entries, rule tags and deviation
+    labels are computed from the same artifact the static checker lints and
+    the tests compile machines from, so the three can no longer drift.
+    Rules and deviations are the shared closed variants
+    ([Damd_speccheck.Rule], [Damd_speccheck.Dev]) instead of strings.
+
     This catalogue is what connects the implementation back to the proof
     structure: IC arguments must cover exactly the information-revelation
     rows, strong-CC the message-passing rows, strong-AC the computation
     rows, and every deviation in [Adversary] targets one (or a joint
     combination) of these actions. Tested for coverage in
-    [test/test_faithful.ml]. *)
+    [test/test_faithful.ml] and linted by [damd_cli lint]. *)
+
+module Rule = Damd_speccheck.Rule
+module Dev = Damd_speccheck.Dev
 
 type phase = Construction1 | Construction2a | Construction2b | Execution
 
@@ -15,15 +25,20 @@ type entry = {
   action : string;  (** what the node does *)
   cls : Damd_core.Action.t;
   phase : phase;
-  rule : string;  (** the paper's rule tag ([PRINC1], [CHECK2], ...) *)
-  deviations : string list;
-      (** names (prefixes) of adversary-library deviations targeting it *)
+  rules : Rule.t list;
+      (** the paper's rule tags ([PRINC1], [CHECK2], ...) enforcing it *)
+  deviations : Dev.t list;
+      (** labels of adversary-library deviations targeting it *)
 }
 
 val catalogue : entry list
-(** Every external action of the suggested specification [s^m]. *)
+(** Every external action of the suggested specification [s^m], derived
+    from [Damd_speccheck.Fpss_spec.ir] in suggested-play order. *)
 
 val phase_name : phase -> string
+
+val phase_of_ir_name : string -> phase option
+(** Map an IR phase name (["construction-2a"], ...) onto the variant. *)
 
 val classes_covered : unit -> Damd_core.Action.t list
 (** The distinct classes appearing in the catalogue (all three, by the

@@ -1,0 +1,67 @@
+type t =
+  | Faithful
+  | Misreport_cost
+  | Inconsistent_cost
+  | Corrupt_cost_forward
+  | Drop_routing_copies
+  | Drop_pricing_copies
+  | Corrupt_routing_copies
+  | Corrupt_pricing_copies
+  | Spoof_routing_update
+  | Spoof_pricing_update
+  | Miscompute_routing
+  | Miscompute_pricing
+  | Underreport_payments
+  | Misroute_packets
+  | Misattribute_payments
+  | Silent_in_construction
+  | Combined_routing_attack
+  | Combined_pricing_attack
+  | Lying_checker
+  | Collude_with
+
+let all =
+  [
+    Faithful;
+    Misreport_cost;
+    Inconsistent_cost;
+    Corrupt_cost_forward;
+    Drop_routing_copies;
+    Drop_pricing_copies;
+    Corrupt_routing_copies;
+    Corrupt_pricing_copies;
+    Spoof_routing_update;
+    Spoof_pricing_update;
+    Miscompute_routing;
+    Miscompute_pricing;
+    Underreport_payments;
+    Misroute_packets;
+    Misattribute_payments;
+    Silent_in_construction;
+    Combined_routing_attack;
+    Combined_pricing_attack;
+    Lying_checker;
+    Collude_with;
+  ]
+
+let to_string = function
+  | Faithful -> "faithful"
+  | Misreport_cost -> "misreport-cost"
+  | Inconsistent_cost -> "inconsistent-cost"
+  | Corrupt_cost_forward -> "corrupt-cost-forward"
+  | Drop_routing_copies -> "drop-routing-copies"
+  | Drop_pricing_copies -> "drop-pricing-copies"
+  | Corrupt_routing_copies -> "corrupt-routing-copies"
+  | Corrupt_pricing_copies -> "corrupt-pricing-copies"
+  | Spoof_routing_update -> "spoof-routing-update"
+  | Spoof_pricing_update -> "spoof-pricing-update"
+  | Miscompute_routing -> "miscompute-routing"
+  | Miscompute_pricing -> "miscompute-pricing"
+  | Underreport_payments -> "underreport-payments"
+  | Misroute_packets -> "misroute-packets"
+  | Misattribute_payments -> "misattribute-payments"
+  | Silent_in_construction -> "silent-in-construction"
+  | Combined_routing_attack -> "combined-routing-attack"
+  | Combined_pricing_attack -> "combined-pricing-attack"
+  | Lying_checker -> "lying-checker"
+  | Collude_with -> "collude-with"

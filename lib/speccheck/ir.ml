@@ -1,0 +1,49 @@
+type input = Private_info | Received_messages | Protocol_state
+
+type action = {
+  id : string;
+  descr : string;
+  cls : Damd_core.Action.t option;
+  inputs : input list;
+  rules : Rule.t list;
+  mirrored : bool;
+  digested : bool;
+  deviations : Dev.t list;
+}
+
+type checkpoint = { certifier : Rule.t }
+
+type phase = {
+  pname : string;
+  members : string list;
+  checkpoint : checkpoint option;
+}
+
+type transition = { src : string; act : string; dst : string }
+
+type t = {
+  name : string;
+  states : string list;
+  initial : string;
+  actions : action list;
+  transitions : transition list;
+  suggested : (string * string) list;
+  phases : phase list;
+}
+
+let find_action ir id = List.find_opt (fun a -> a.id = id) ir.actions
+
+let suggested_action ir state = List.assoc_opt state ir.suggested
+
+let step ir state act =
+  List.find_map
+    (fun t -> if t.src = state && t.act = act then Some t.dst else None)
+    ir.transitions
+
+let phase_of_state ir state =
+  List.find_opt (fun p -> List.mem state p.members) ir.phases
+
+let phase_of_action ir act =
+  List.find_map
+    (fun t -> if t.act = act then phase_of_state ir t.src else None)
+    ir.transitions

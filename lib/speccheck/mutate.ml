@@ -1,0 +1,101 @@
+module Graph = Damd_graph.Graph
+module Biconnect = Damd_graph.Biconnect
+
+let all =
+  [
+    ("drop-checkpoint", "missing-checkpoint");
+    ("unclassify-action", "unclassified-action");
+    ("orphan-deviation", "orphan-deviation");
+    ("leak-private-info", "cc-private-leak");
+    ("unmirror-computation", "ac-unmirrored");
+    ("undigest-computation", "ac-undigested");
+    ("cut-checker-edge", "checker-cut");
+    ("dead-state", "dead-state");
+    ("loop-forever", "non-termination");
+  ]
+
+let expected name = List.assoc_opt name all
+
+let map_action id f (ir : Ir.t) =
+  {
+    ir with
+    Ir.actions =
+      List.map
+        (fun (a : Ir.action) -> if a.Ir.id = id then f a else a)
+        ir.Ir.actions;
+  }
+
+let map_phase pname f (ir : Ir.t) =
+  {
+    ir with
+    Ir.phases =
+      List.map
+        (fun (p : Ir.phase) -> if p.Ir.pname = pname then f p else p)
+        ir.Ir.phases;
+  }
+
+(* Remove edges (in sorted order) until the graph stops being 2-connected:
+   the first cut that matters, whatever the topology. *)
+let cut_checker_edge g =
+  let costs = Graph.costs g in
+  let n = Graph.n g in
+  let rec go edges =
+    let g' = Graph.create ~n ~costs ~edges in
+    if not (Biconnect.is_biconnected g') then g'
+    else match edges with [] -> g' | _ :: rest -> go rest
+  in
+  go (List.tl (Graph.edges g))
+
+let apply name ((ir : Ir.t), g) =
+  match name with
+  | "drop-checkpoint" ->
+      Some
+        ( map_phase "construction-2a"
+            (fun p -> { p with Ir.checkpoint = None })
+            ir,
+          g )
+  | "unclassify-action" ->
+      Some (map_action "recompute-routing" (fun a -> { a with Ir.cls = None }) ir, g)
+  | "orphan-deviation" ->
+      Some
+        ( map_action "forward-packets"
+            (fun a ->
+              {
+                a with
+                Ir.deviations =
+                  List.filter (fun d -> d <> Dev.Misroute_packets) a.Ir.deviations;
+              })
+            ir,
+          g )
+  | "leak-private-info" ->
+      Some
+        ( map_action "forward-routing-copies"
+            (fun a -> { a with Ir.inputs = Ir.Private_info :: a.Ir.inputs })
+            ir,
+          g )
+  | "unmirror-computation" ->
+      Some
+        ( map_action "recompute-pricing"
+            (fun a -> { a with Ir.mirrored = false })
+            ir,
+          g )
+  | "undigest-computation" ->
+      Some
+        ( map_action "report-payments"
+            (fun a -> { a with Ir.digested = false })
+            ir,
+          g )
+  | "cut-checker-edge" -> Some (ir, cut_checker_edge g)
+  | "dead-state" -> Some ({ ir with Ir.states = ir.Ir.states @ [ "limbo" ] }, g)
+  | "loop-forever" ->
+      (* suggested play at the halting state loops back into execution *)
+      Some
+        ( {
+            ir with
+            Ir.transitions =
+              ir.Ir.transitions
+              @ [ { Ir.src = "halt"; act = "forward-packets"; dst = "exec-forward" } ];
+            suggested = ir.Ir.suggested @ [ ("halt", "forward-packets") ];
+          },
+          g )
+  | _ -> None

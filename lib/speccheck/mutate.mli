@@ -1,0 +1,22 @@
+(** Seeded spec mutations — proof that every static check has teeth.
+
+    Each mutation breaks the stock extended-FPSS spec (or the lint
+    topology) in exactly one way and carries the id of the finding the
+    checker must then produce: the runtest gate asserts that linting the
+    mutated spec yields exactly that one error-severity finding and exit
+    code 1. This is the static analogue of the gauntlet's [--weaken]
+    switches — a detector you can't demonstrate firing is no detector. *)
+
+val all : (string * string) list
+(** [(mutation name, expected error finding id)] for every seeded
+    mutation. *)
+
+val expected : string -> string option
+(** The finding id a mutation must trigger, if the mutation exists. *)
+
+val apply :
+  string -> Ir.t * Damd_graph.Graph.t -> (Ir.t * Damd_graph.Graph.t) option
+(** Apply a named mutation to a (spec, lint topology) pair. [None] for an
+    unknown name. The mutations address stock-spec action ids and phase
+    names; applying them to a foreign IR yields the IR unchanged (and a
+    lint run that stays clean — the runtest gate would catch that). *)

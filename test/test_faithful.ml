@@ -1117,23 +1117,16 @@ let test_spec_covers_all_phases () =
   check Alcotest.int "four phases" 4 (List.length phases)
 
 let test_spec_deviations_exist_in_library () =
-  (* Every deviation name referenced by the catalogue corresponds to a
-     deviation in the adversary library (by prefix). *)
-  let library_names =
-    List.map Adversary.name (Adversary.Faithful :: Adversary.library)
-    @ [ Adversary.name (Adversary.Collude_with 0) ]
-  in
+  (* Every deviation label referenced by the catalogue corresponds to a
+     constructor of the adversary library. *)
   List.iter
     (fun e ->
       List.iter
-        (fun prefix ->
-          let found =
-            List.exists
-              (fun name -> String.length name >= String.length prefix
-                           && String.sub name 0 (String.length prefix) = prefix)
-              library_names
-          in
-          check Alcotest.bool (prefix ^ " exists") true found)
+        (fun d ->
+          check Alcotest.bool
+            (Spec.Dev.to_string d ^ " exists")
+            true
+            (List.mem d Adversary.all_labels))
         e.Spec.deviations)
     Spec.catalogue
 
@@ -1144,16 +1137,20 @@ let test_spec_every_library_deviation_targets_an_action () =
   in
   List.iter
     (fun d ->
-      let name = Adversary.name d in
-      let covered =
-        List.exists
-          (fun prefix ->
-            String.length name >= String.length prefix
-            && String.sub name 0 (String.length prefix) = prefix)
-          targeted
-      in
-      check Alcotest.bool (name ^ " targeted") true covered)
+      check Alcotest.bool
+        (Adversary.name d ^ " targeted")
+        true
+        (List.mem (Adversary.label d) targeted))
     Adversary.library
+
+let test_spec_rules_cover_all_rule_tags () =
+  (* The catalogue exercises the full enforcement-rule vocabulary. *)
+  let used =
+    List.sort_uniq compare (List.concat_map (fun e -> e.Spec.rules) Spec.catalogue)
+  in
+  check Alcotest.int "all rule tags used"
+    (List.length Damd_speccheck.Rule.all)
+    (List.length used)
 
 (* --- Adversary bookkeeping --- *)
 
@@ -1343,6 +1340,8 @@ let suites =
         Alcotest.test_case "deviations exist" `Quick test_spec_deviations_exist_in_library;
         Alcotest.test_case "library fully targeted" `Quick
           test_spec_every_library_deviation_targets_an_action;
+        Alcotest.test_case "rule tags covered" `Quick
+          test_spec_rules_cover_all_rule_tags;
       ] );
     ( "faithful.adversary",
       [

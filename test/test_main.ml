@@ -14,4 +14,5 @@ let () =
          Test_core.suites;
          Test_faithful.suites;
          Test_gauntlet.suites;
+         Test_speccheck.suites;
        ])

@@ -1,0 +1,324 @@
+(* Tests for Damd_speccheck: the finite spec IR, the IR->closure compiler
+   (including the trace-equivalence property against a hand-written
+   machine), the static checker suite with its seeded mutations, and the
+   lint report driver. *)
+
+module Action = Damd_core.Action
+module Sm = Damd_core.State_machine
+module Phase = Damd_core.Phase
+module Gen = Damd_graph.Gen
+module Ir = Damd_speccheck.Ir
+module Fpss_spec = Damd_speccheck.Fpss_spec
+module Compile = Damd_speccheck.Compile
+module Check = Damd_speccheck.Check
+module Mutate = Damd_speccheck.Mutate
+module Lint = Damd_speccheck.Lint
+module Adversary = Damd_faithful.Adversary
+
+let check = Alcotest.check
+let ir = Fpss_spec.ir
+let fig1 () = fst (Gen.figure1 ())
+
+let finding_ids fs = List.map (fun f -> f.Check.id) fs
+
+(* --- the stock spec is clean ------------------------------------------ *)
+
+let test_stock_ir_clean () =
+  let findings = Check.check_ir ~adversary:Adversary.all_labels ir in
+  check (Alcotest.list Alcotest.string) "no findings at any severity" []
+    (finding_ids findings)
+
+let test_stock_topology_clean () =
+  check (Alcotest.list Alcotest.string) "fig1 is biconnected" []
+    (finding_ids (Check.check_topology (fig1 ())))
+
+let test_stock_lint_report () =
+  let report =
+    Lint.run ~adversary:Adversary.all_labels ~graph:(fig1 ()) ~topology:"fig1" ir
+  in
+  check Alcotest.int "zero errors" 0 (Lint.error_count report);
+  check Alcotest.int "exit 0" 0 (Lint.exit_code report);
+  check Alcotest.(option string) "no mutation" None report.Lint.mutation;
+  check Alcotest.string "spec name" "extended-fpss" report.Lint.spec
+
+(* --- every seeded mutation fires exactly its expected error ----------- *)
+
+let test_mutations_fire () =
+  List.iter
+    (fun (name, expected_id) ->
+      let report =
+        Lint.run ~adversary:Adversary.all_labels ~mutation:name
+          ~graph:(fig1 ()) ~topology:"fig1" ir
+      in
+      let errs = Check.errors report.Lint.findings in
+      check Alcotest.int (name ^ ": exactly one error") 1 (List.length errs);
+      check Alcotest.string (name ^ ": expected id") expected_id
+        (List.hd errs).Check.id;
+      check Alcotest.int (name ^ ": exit 1") 1 (Lint.exit_code report))
+    Mutate.all
+
+let test_mutation_table_consistent () =
+  (* [expected] agrees with [all]; unknown names are rejected everywhere. *)
+  List.iter
+    (fun (name, id) ->
+      check Alcotest.(option string) name (Some id) (Mutate.expected name))
+    Mutate.all;
+  check Alcotest.(option string) "unknown mutation" None
+    (Mutate.expected "no-such-mutation");
+  check Alcotest.bool "apply rejects unknown" true
+    (Mutate.apply "no-such-mutation" (ir, fig1 ()) = None);
+  check Alcotest.bool "lint raises on unknown" true
+    (try
+       ignore
+         (Lint.run ~mutation:"no-such-mutation" ~graph:(fig1 ())
+            ~topology:"fig1" ir);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- the compiled machine --------------------------------------------- *)
+
+let machine = Compile.machine ir
+
+let test_compiled_suggested_trace () =
+  let steps = Sm.trace ~max_steps:50 machine in
+  check Alcotest.int "eleven steps" 11 (List.length steps);
+  check Alcotest.string "halts" "halt" (Sm.final_state ~max_steps:50 machine);
+  check (Alcotest.list Alcotest.string) "protocol order"
+    (List.map (fun (a : Ir.action) -> a.Ir.id) ir.Ir.actions)
+    (Compile.suggested_path ir ~max_steps:50)
+
+let test_compiled_follows_specification () =
+  check Alcotest.bool "suggested follows itself" true
+    (Sm.follows_specification ~max_steps:50 ~strategy:machine.Sm.suggested
+       machine);
+  check Alcotest.bool "no deviation point" true
+    (Sm.deviation_point ~max_steps:50 ~strategy:machine.Sm.suggested machine
+    = None)
+
+let test_compiled_deviation_point () =
+  (* Swap the routing-forward step for the computation that should come
+     one step later: caught at index 2 with the suggested class there. *)
+  let strategy s =
+    if s = "routing-forward" then Some "recompute-routing"
+    else machine.Sm.suggested s
+  in
+  check Alcotest.bool "deviant flagged" false
+    (Sm.follows_specification ~max_steps:50 ~strategy machine);
+  match Sm.deviation_point ~max_steps:50 ~strategy machine with
+  | Some (2, Some Action.Message_passing) -> ()
+  | Some (i, _) -> Alcotest.failf "deviation at %d, expected 2" i
+  | None -> Alcotest.fail "no deviation point"
+
+let test_compiled_early_halt () =
+  let strategy s = if s = "pricing-forward" then None else machine.Sm.suggested s in
+  match Sm.deviation_point ~max_steps:50 ~strategy machine with
+  | Some (5, None) -> ()
+  | Some (i, _) -> Alcotest.failf "halt detected at %d, expected 5" i
+  | None -> Alcotest.fail "early halt not detected"
+
+let test_compiled_self_loop () =
+  (* Undefined (state, action) pairs self-loop instead of raising, so a
+     deviating strategy still yields a trace for [deviation_point]. *)
+  check Alcotest.string "self loop" "cost-announce"
+    (machine.Sm.transition "cost-announce" "forward-packets");
+  check Alcotest.bool "unknown action is internal" true
+    (machine.Sm.classify "no-such-action" = Action.Internal)
+
+(* --- QCheck: the compiler agrees with a hand-written machine ----------- *)
+
+(* The §4.1 chain written out as literal closures, the way the spec was
+   expressed before the IR existed. The property pins the compiler to it:
+   any strategy produces identical traces on both. *)
+let hand_machine : (string, string) Sm.t =
+  let chain =
+    [
+      ("cost-announce", "declare-cost", "cost-flood");
+      ("cost-flood", "flood-costs", "routing-forward");
+      ("routing-forward", "forward-routing-copies", "routing-compute");
+      ("routing-compute", "recompute-routing", "routing-mirror");
+      ("routing-mirror", "mirror-routing", "pricing-forward");
+      ("pricing-forward", "forward-pricing-copies", "pricing-compute");
+      ("pricing-compute", "recompute-pricing", "pricing-mirror");
+      ("pricing-mirror", "mirror-pricing", "digest-report");
+      ("digest-report", "report-digests", "exec-forward");
+      ("exec-forward", "forward-packets", "exec-settle");
+      ("exec-settle", "report-payments", "halt");
+    ]
+  in
+  {
+    Sm.initial = "cost-announce";
+    transition =
+      (fun s a ->
+        match
+          List.find_opt (fun (src, act, _) -> src = s && act = a) chain
+        with
+        | Some (_, _, dst) -> dst
+        | None -> s);
+    suggested =
+      (fun s ->
+        match List.find_opt (fun (src, _, _) -> src = s) chain with
+        | Some (_, act, _) -> Some act
+        | None -> None);
+    classify =
+      (function
+      | "declare-cost" -> Action.Information_revelation
+      | "flood-costs" | "forward-routing-copies" | "forward-pricing-copies"
+      | "forward-packets" ->
+          Action.Message_passing
+      | "recompute-routing" | "mirror-routing" | "recompute-pricing"
+      | "mirror-pricing" | "report-digests" | "report-payments" ->
+          Action.Computation
+      | _ -> Action.Internal);
+  }
+
+let action_ids = List.map (fun (a : Ir.action) -> a.Ir.id) ir.Ir.actions
+
+let prop_compiled_equals_hand_written =
+  QCheck.Test.make ~name:"IR-compiled trace = hand-written closure trace"
+    ~count:200
+    QCheck.(
+      list_of_size
+        (QCheck.Gen.return (List.length ir.Ir.states))
+        (int_bound (List.length action_ids)))
+    (fun choices ->
+      (* One choice per state: an action id to play there, or halt. *)
+      let strategy s =
+        match
+          List.find_opt (fun (s', _) -> s' = s)
+            (List.map2 (fun st c -> (st, c)) ir.Ir.states choices)
+        with
+        | Some (_, c) when c < List.length action_ids ->
+            Some (List.nth action_ids c)
+        | _ -> None
+      in
+      Sm.trace ~strategy ~max_steps:30 machine
+      = Sm.trace ~strategy ~max_steps:30 hand_machine
+      && Sm.trace ~max_steps:30 machine = Sm.trace ~max_steps:30 hand_machine)
+
+(* --- Phase.execute over IR-derived phases ------------------------------ *)
+
+(* Each IR phase becomes a [Phase.t] that advances the compiled machine
+   through the phase's member states under the suggested play. *)
+let ir_phase ~certify (p : Ir.phase) =
+  let run state =
+    let rec go s =
+      if List.mem s p.Ir.members then
+        match machine.Sm.suggested s with
+        | Some a -> go (machine.Sm.transition s a)
+        | None -> s
+      else s
+    in
+    go state
+  in
+  { Phase.name = p.Ir.pname; run; certify }
+
+let test_phase_execute_clean () =
+  let phases =
+    List.map (ir_phase ~certify:(fun _ -> Ok ())) ir.Ir.phases
+  in
+  match Phase.execute ir.Ir.initial phases with
+  | Phase.Completed p ->
+      check Alcotest.string "reaches halt" "halt" p.Phase.state;
+      check Alcotest.int "no restarts" 0 (Phase.total_restarts p)
+  | Phase.Stuck { phase; _ } -> Alcotest.failf "stuck in %s" phase
+
+let test_phase_execute_restart_accounting () =
+  (* construction-2b flakes twice before certifying: the outcome completes
+     with exactly those two restarts on record, attributed to the phase. *)
+  let attempts = ref 0 in
+  let phases =
+    List.map
+      (fun (p : Ir.phase) ->
+        let certify _ =
+          if p.Ir.pname = "construction-2b" then begin
+            incr attempts;
+            if !attempts <= 2 then Error "digest mismatch" else Ok ()
+          end
+          else Ok ()
+        in
+        ir_phase ~certify p)
+      ir.Ir.phases
+  in
+  match Phase.execute ir.Ir.initial phases with
+  | Phase.Completed p ->
+      check Alcotest.string "reaches halt" "halt" p.Phase.state;
+      check Alcotest.int "two restarts" 2 (Phase.total_restarts p);
+      List.iter
+        (fun (phase, reason) ->
+          check Alcotest.string "restart phase" "construction-2b" phase;
+          check Alcotest.string "restart reason" "digest mismatch" reason)
+        p.Phase.restarts
+  | Phase.Stuck { phase; _ } -> Alcotest.failf "stuck in %s" phase
+
+let test_phase_execute_stuck () =
+  (* A persistently failing execution checkpoint is the paper's penalty of
+     no progress: Stuck names the phase from the IR. *)
+  let phases =
+    List.map
+      (fun (p : Ir.phase) ->
+        let certify _ =
+          if p.Ir.pname = "execution" then Error "settlement mismatch"
+          else Ok ()
+        in
+        ir_phase ~certify p)
+      ir.Ir.phases
+  in
+  match Phase.execute ~max_restarts:2 ir.Ir.initial phases with
+  | Phase.Completed _ -> Alcotest.fail "expected Stuck"
+  | Phase.Stuck { phase; reason; progress } ->
+      check Alcotest.string "stuck phase" "execution" phase;
+      check Alcotest.string "stuck reason" "settlement mismatch" reason;
+      (* the initial attempt plus each of the max_restarts retries failed *)
+      check Alcotest.int "restarts recorded" 3 (Phase.total_restarts progress)
+
+(* --- IR helpers -------------------------------------------------------- *)
+
+let test_ir_phase_lookup () =
+  List.iter
+    (fun (state, pname) ->
+      match Ir.phase_of_state ir state with
+      | Some p -> check Alcotest.string state pname p.Ir.pname
+      | None -> Alcotest.failf "%s in no phase" state)
+    [
+      ("cost-flood", "construction-1");
+      ("routing-mirror", "construction-2a");
+      ("digest-report", "construction-2b");
+      ("exec-settle", "execution");
+    ];
+  check Alcotest.bool "halt is terminal, in no phase" true
+    (Ir.phase_of_state ir "halt" = None);
+  match Ir.phase_of_action ir "report-digests" with
+  | Some p -> check Alcotest.string "action phase" "construction-2b" p.Ir.pname
+  | None -> Alcotest.fail "report-digests in no phase"
+
+let suites =
+  [
+    ( "speccheck.check",
+      [
+        Alcotest.test_case "stock IR clean" `Quick test_stock_ir_clean;
+        Alcotest.test_case "stock topology clean" `Quick test_stock_topology_clean;
+        Alcotest.test_case "stock lint report" `Quick test_stock_lint_report;
+        Alcotest.test_case "mutations fire" `Quick test_mutations_fire;
+        Alcotest.test_case "mutation table consistent" `Quick
+          test_mutation_table_consistent;
+      ] );
+    ( "speccheck.compile",
+      [
+        Alcotest.test_case "suggested trace" `Quick test_compiled_suggested_trace;
+        Alcotest.test_case "follows specification" `Quick
+          test_compiled_follows_specification;
+        Alcotest.test_case "deviation point" `Quick test_compiled_deviation_point;
+        Alcotest.test_case "early halt" `Quick test_compiled_early_halt;
+        Alcotest.test_case "self loop" `Quick test_compiled_self_loop;
+        QCheck_alcotest.to_alcotest prop_compiled_equals_hand_written;
+      ] );
+    ( "speccheck.phases",
+      [
+        Alcotest.test_case "clean pass" `Quick test_phase_execute_clean;
+        Alcotest.test_case "restart accounting" `Quick
+          test_phase_execute_restart_accounting;
+        Alcotest.test_case "stuck on persistent failure" `Quick
+          test_phase_execute_stuck;
+        Alcotest.test_case "phase lookup" `Quick test_ir_phase_lookup;
+      ] );
+  ]
