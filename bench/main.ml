@@ -186,6 +186,19 @@ let experiment_tests =
               ignore
                 (Lint.run ~adversary:labels ~graph:fig1 ~topology:"fig1"
                    Damd_speccheck.Fpss_spec.ir)));
+      Test.make ~name:"verify_fig1"
+        (Staged.stage
+           (* the full flow verifier: lint + taint diff + ~16k-state
+              product exploration over the whole adversary vocabulary (the
+              harness observations are a fixture — the differential runs
+              themselves are part of the measured cost) *)
+           (let module Verify = Damd_speccheck.Verify in
+            let labels = Adversary.all_labels in
+            fun () ->
+              let observed = Damd_faithful.Flow.observations () in
+              ignore
+                (Verify.run ~adversary:labels ~observed ~graph:fig1
+                   ~topology:"fig1" Damd_speccheck.Fpss_spec.ir)));
     ]
 
 let micro_tests =

@@ -316,7 +316,9 @@ let run_lint topology seed mutate json_path list_mutations =
   let module Lint = Speccheck.Lint in
   if list_mutations then
     List.iter
-      (fun (name, finding) -> Printf.printf "%-22s -> %s\n" name finding)
+      (fun (name, finding) ->
+        Printf.printf "%-22s lint:%-22s verify:%s\n" name finding
+          (Option.value ~default:"-" (Speccheck.Mutate.expected_verify name)))
       Speccheck.Mutate.all
   else begin
     let g = parse_topology topology seed in
@@ -377,7 +379,92 @@ let list_mutations_arg =
   Arg.(
     value & flag
     & info [ "list-mutations" ]
-        ~doc:"List the seeded mutations and their expected finding ids.")
+        ~doc:
+          "List the seeded mutations with both expected finding ids: the \
+           static lint finding and the flow/exploration finding `damd \
+           verify' must additionally produce.")
+
+(* --- the flow verifier --- *)
+
+let run_verify topology seed mutate json_path bound =
+  let module Speccheck = Damd_speccheck in
+  let module Check = Speccheck.Check in
+  let module Explore = Speccheck.Explore in
+  let module Verify = Speccheck.Verify in
+  let g = parse_topology topology seed in
+  (match mutate with
+  | Some m when Speccheck.Mutate.expected m = None ->
+      raise
+        (Invalid_argument
+           (Printf.sprintf
+              "unknown mutation %S (see `damd lint --list-mutations`)" m))
+  | _ -> ());
+  let observed = Damd_faithful.Flow.observations () in
+  let report =
+    Verify.run ~adversary:Adversary.all_labels ?mutation:mutate ~bound
+      ~observed ~graph:g ~topology Damd_speccheck.Fpss_spec.ir
+  in
+  Printf.printf "verify: spec %s, topology %s%s\n" report.Verify.spec topology
+    (match mutate with Some m -> ", mutation " ^ m | None -> "");
+  let st = report.Verify.stats in
+  Printf.printf
+    "explored %d canonical states over %d scenarios (frontier peak %d%s)\n"
+    st.Explore.states_explored st.Explore.scenarios st.Explore.frontier_peak
+    (if st.Explore.truncated then ", TRUNCATED" else "");
+  Printf.printf "detection-complete: %b\nno-false-accusation: %b\n"
+    (Verify.detection_complete report)
+    (Verify.no_false_accusation report);
+  print_newline ();
+  let vt = Table.create [ "deviation"; "verdict"; "detail" ] in
+  List.iter
+    (fun (dev, v) ->
+      let verdict, detail =
+        match v with
+        | Explore.Detected { depth; certifier } ->
+            ( "detected",
+              Printf.sprintf "depth %d, %s" depth
+                (Option.value ~default:"progress timeout" certifier) )
+        | Explore.Undetected { witness } -> ("UNDETECTED", witness)
+        | Explore.Exempt { reason } -> ("exempt", reason)
+        | Explore.Truncated -> ("truncated", "state bound exhausted")
+      in
+      Table.add_row vt [ Speccheck.Dev.to_string dev; verdict; detail ])
+    report.Verify.verdicts;
+  Table.print vt;
+  if report.Verify.findings = [] then print_endline "no findings"
+  else begin
+    let t = Table.create [ "id"; "severity"; "location"; "explanation" ] in
+    List.iter
+      (fun (f : Check.finding) ->
+        Table.add_row t
+          [
+            f.Check.id;
+            Check.severity_to_string f.Check.severity;
+            f.Check.location;
+            f.Check.message;
+          ])
+      report.Verify.findings;
+    Table.print t
+  end;
+  Printf.printf "%d error(s)\n" (Verify.error_count report);
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      Damd_util.Json.to_file path (Verify.to_json report);
+      Printf.printf "report written to %s (schema damd-verify/1)\n" path);
+  exit (Verify.exit_code report)
+
+let bound_arg =
+  Arg.(
+    value & opt int 50_000
+    & info [ "bound" ] ~docv:"N"
+        ~doc:"Per-scenario canonical-state cap for the exploration layer.")
+
+let verify_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Write the damd-verify/1 report here.")
 
 (* --- the adversarial gauntlet --- *)
 
@@ -523,6 +610,19 @@ let lint_cmd =
       const run_lint $ topology $ seed $ mutate_arg $ lint_json_arg
       $ list_mutations_arg)
 
+let verify_cmd =
+  let doc =
+    "close the declared-vs-actual gap: lint, then diff taint-inferred \
+     dependency sets (the real handlers under input perturbation) against \
+     the IR's input annotations, then bounded-exhaustively explore the \
+     deviation product space for detection-completeness and \
+     no-false-accusation"
+  in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(
+      const run_verify $ topology $ seed $ mutate_arg $ verify_json_arg
+      $ bound_arg)
+
 let gauntlet_cmd =
   let doc =
     "randomized adversarial campaigns with seed replay, shrinking and \
@@ -541,6 +641,6 @@ let cmd =
       $ deferred $ latency $ loss $ hotspots $ rate $ verbose)
   in
   Cmd.group ~default (Cmd.info "damd" ~doc)
-    [ routing_cmd; election_cmd; gauntlet_cmd; lint_cmd ]
+    [ routing_cmd; election_cmd; gauntlet_cmd; lint_cmd; verify_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -58,7 +58,7 @@ let check ~property ~rng ~profiles ~sample_types ~deviations ?(epsilon = 1e-9) d
         done)
       deviations
   done;
-  let violations = List.sort (fun a b -> compare b.gain a.gain) !violations in
+  let violations = List.sort (fun a b -> Float.compare b.gain a.gain) !violations in
   {
     property;
     profiles_tested = profiles;

@@ -123,7 +123,7 @@ let library =
   ]
 
 let all_labels =
-  List.sort_uniq compare
+  List.sort_uniq compare (* poly-ok: constant Dev.t constructors *)
     (List.map label (Faithful :: Collude_with 0 :: library))
 
 let detectable = function

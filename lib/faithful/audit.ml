@@ -35,7 +35,7 @@ let one ?params ~graph ~traffic ~node ~deviation () =
            (* checker flags are advisory; bank rules are the verdicts *)
            if d.Bank.rule = "CHECK" || d.Bank.rule = "CHECK2" then None
            else Some d.Bank.rule)
-    |> List.sort_uniq compare
+    |> List.sort_uniq String.compare
   in
   let outcome =
     if rules <> [] then Caught rules
@@ -76,7 +76,7 @@ let detection_matrix ?params ?(deviations = Adversary.library) ~targets () =
                  match a.outcome with
                  | Caught rs ->
                      incr caught;
-                     rules := List.sort_uniq compare (rs @ !rules)
+                     rules := List.sort_uniq String.compare (rs @ !rules)
                  | No_effect -> incr no_effect
                  | Escaped -> incr escaped)
                nodes)

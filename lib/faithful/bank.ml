@@ -102,7 +102,9 @@ let checkpoint_bytes nodes =
 
 let serialize_report entries =
   entries
-  |> List.sort compare
+  |> List.sort (fun (a, x) (b, y) ->
+         let c = Int.compare a b in
+         if c <> 0 then c else Float.compare x y)
   |> List.map (fun (k, v) -> Printf.sprintf "%d=%h" k v)
   |> String.concat ";"
 

@@ -1,0 +1,36 @@
+(** The differential taint harness: infer each spec action's *actual*
+    dependency set by running the real protocol handlers.
+
+    [Damd_speccheck.Taint] defines the lattice and the declared-vs-actual
+    comparison but cannot touch this library (the dependency points the
+    other way), so the concrete harness lives here and [damd_cli verify]
+    glues the two. For every action of the extended-FPSS catalogue
+    ([Fpss_spec.ir]) the harness builds a small fixed fixture around node 3
+    of the Figure-1 topology, renders the action's externally visible
+    output (messages sent, digests, reports) to a canonical string, and
+    re-runs it three more times with exactly one input class perturbed:
+
+    - {e private}: the node's own type — its true transit cost, its
+      traffic demands;
+    - {e received}: the payload of the message the handler is fed — a
+      flooded cost fact, a neighbor's table, a packet's rate;
+    - {e protocol state}: the accumulated certified state — the DATA1 cost
+      vector, stored neighbor tables, the dedup set.
+
+    An input class is an observed dependency iff its perturbation changes
+    the rendered output. Because the handlers under test are the same
+    [Node] functions the simulator runs, the observations track the
+    implementation, not the annotation — which is the point.
+
+    Floats are rendered with [%h] (exact hexadecimal), so a perturbation
+    is never masked by decimal rounding; send logs are sorted before
+    rendering, so nondeterministic send order (there is none, but the
+    harness should not depend on that) cannot fake a difference. *)
+
+val observations :
+  ?deviation:Adversary.t -> unit -> Damd_speccheck.Taint.observation list
+(** One observation per catalogue action, in catalogue order. [deviation]
+    (default [Faithful]) plugs a deviating implementation into the same
+    fixtures — e.g. [Misroute_packets] makes [forward-packets] ignore the
+    routing table, and the harness duly reports that [Protocol_state] no
+    longer flows ([decl-flow-slack] against the stock declaration). *)

@@ -43,7 +43,7 @@ let mem_sorted (a : int array) v =
   !found
 
 let create ?(copies = true) ~id ~n ~neighbor_sets ~true_cost ~deviation () =
-  let neighbors = List.sort compare neighbor_sets.(id) in
+  let neighbors = List.sort Int.compare neighbor_sets.(id) in
   let node =
     {
       id;
@@ -52,7 +52,7 @@ let create ?(copies = true) ~id ~n ~neighbor_sets ~true_cost ~deviation () =
       neighbors_arr = Array.of_list neighbors;
       neighbor_sets;
       neighbor_arrs =
-        Array.map (fun l -> Array.of_list (List.sort compare l)) neighbor_sets;
+        Array.map (fun l -> Array.of_list (List.sort Int.compare l)) neighbor_sets;
       deviation;
       true_cost;
       copies;
@@ -450,7 +450,10 @@ let payment_report node traffic =
     match node.deviation with Adversary.Underreport_payments f -> f | _ -> 1.
   in
   let entries =
-    Hashtbl.fold (fun k v acc -> (k, v *. scale) :: acc) totals [] |> List.sort compare
+    Hashtbl.fold (fun k v acc -> (k, v *. scale) :: acc) totals []
+    |> List.sort (fun (a, x) (b, y) ->
+           let c = Int.compare a b in
+           if c <> 0 then c else Float.compare x y)
   in
   match (node.deviation, entries) with
   | Adversary.Misattribute_payments, (k0, _) :: _ ->

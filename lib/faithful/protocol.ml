@@ -121,13 +121,13 @@ let recompute_pricing ~self ~costs ~own_routing ~neighbor_routing ~neighbor_pric
                 let tags =
                   List.filter_map (fun (a, v) -> if v = d_mk then Some a else None)
                     candidates
-                  |> List.sort compare
+                  |> List.sort Int.compare
                 in
                 Some { transit = k; price = costs.(k) +. d_mk -. e.Dijkstra.cost; tags }
           in
           table.(dst) <-
             List.filter_map price_for (Dijkstra.transit_nodes e.Dijkstra.path)
-            |> List.sort (fun a b -> compare a.transit b.transit)
+            |> List.sort (fun a b -> Int.compare a.transit b.transit)
   done;
   table
 

@@ -1,6 +1,10 @@
 module Graph = Damd_graph.Graph
 module Dijkstra = Damd_graph.Dijkstra
 
+let by_transit (a, x) (b, y) =
+  let c = Int.compare a b in
+  if c <> 0 then c else Float.compare x y
+
 type result = {
   tables : Tables.t;
   rounds_flood : int;
@@ -207,7 +211,7 @@ let pricing_fixpoint ?(max_rounds = 1000) ?init g routing =
             else None
           in
           List.filter_map price_for (Dijkstra.transit_nodes e.Dijkstra.path)
-          |> List.sort compare
+          |> List.sort by_transit
   in
   fixpoint ~max_rounds ~stage:"pricing" ~equal:( = ) ~recompute
     ~skip_diagonal:false g state
@@ -341,7 +345,7 @@ let reference_pricing_fixpoint ?(max_rounds = 1000) ?init g routing =
               in
               next.(i).(j) <-
                 List.filter_map price_for (Dijkstra.transit_nodes e.Dijkstra.path)
-                |> List.sort compare
+                |> List.sort by_transit
       done;
       if next.(i) <> state.(i) then round_changed := i :: !round_changed
     done;

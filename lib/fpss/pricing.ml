@@ -1,6 +1,10 @@
 module Graph = Damd_graph.Graph
 module Dijkstra = Damd_graph.Dijkstra
 
+let by_transit (a, x) (b, y) =
+  let c = Int.compare a b in
+  if c <> 0 then c else Float.compare x y
+
 let compute g =
   let n = Graph.n g in
   let routing = Array.make_matrix n n None in
@@ -37,7 +41,7 @@ let compute g =
             in
             prices.(src).(dst) <-
               List.filter_map price_of (Dijkstra.transit_nodes e.Dijkstra.path)
-              |> List.sort compare
+              |> List.sort by_transit
           end
     done
   done;

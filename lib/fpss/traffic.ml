@@ -28,6 +28,13 @@ let demand_pairs t =
     (fun src row ->
       Array.iteri (fun dst rate -> if rate > 0. then acc := (src, dst, rate) :: !acc) row)
     t;
-  List.sort compare !acc
+  List.sort
+    (fun (s1, d1, r1) (s2, d2, r2) ->
+      let c = Int.compare s1 s2 in
+      if c <> 0 then c
+      else
+        let c = Int.compare d1 d2 in
+        if c <> 0 then c else Float.compare r1 r2)
+    !acc
 
 let scale t f = Array.map (Array.map (fun x -> x *. f)) t

@@ -191,7 +191,7 @@ let of_seed seed =
     end
   in
   let deviants =
-    enforce_scope g deviants |> List.sort (fun (a, _) (b, _) -> compare a b)
+    enforce_scope g deviants |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   in
   { descr0 with deviants }
 

@@ -1,11 +1,11 @@
 type entry = { cost : float; path : int list }
 
 let compare_entry a b =
-  let c = compare a.cost b.cost in
+  let c = Float.compare a.cost b.cost in
   if c <> 0 then c
   else
-    let c = compare (List.length a.path) (List.length b.path) in
-    if c <> 0 then c else compare a.path b.path
+    let c = Int.compare (List.length a.path) (List.length b.path) in
+    if c <> 0 then c else compare a.path b.path (* poly-ok: int-list paths *)
 
 let to_dest ?avoid g ~dst =
   let n = Graph.n g in
@@ -92,4 +92,4 @@ let lcp_tree_edges g ~root =
       (fun acc e -> match e with None -> acc | Some e -> add_path acc e.path)
       [] entries
   in
-  List.sort_uniq compare all
+  List.sort_uniq compare all (* poly-ok: (int * int) edge pairs *)

@@ -22,7 +22,7 @@ let create ~n ~costs ~edges =
     adj.(v) <- u :: adj.(v)
   in
   List.iter add edges;
-  let dedup l = List.sort_uniq compare l in
+  let dedup l = List.sort_uniq Int.compare l in
   Array.iteri (fun i l -> adj.(i) <- dedup l) adj;
   { n; costs = Array.copy costs; adj; adj_arr = Array.map Array.of_list adj }
 
@@ -56,7 +56,7 @@ let edges g =
   for u = g.n - 1 downto 0 do
     List.iter (fun v -> if u < v then acc := (u, v) :: !acc) g.adj.(u)
   done;
-  List.sort compare !acc
+  List.sort compare !acc (* poly-ok: (int * int) edge pairs *)
 
 let num_edges g = List.length (edges g)
 

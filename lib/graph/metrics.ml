@@ -95,4 +95,5 @@ let degree_histogram g =
     let d = Graph.degree g v in
     Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d))
   done;
-  Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [] |> List.sort compare
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl []
+  |> List.sort compare (* poly-ok: (int * int) histogram rows *)

@@ -25,7 +25,7 @@ let try_lie ~epsilon mech profile agent lie acc =
   else acc
 
 let finish trials violations =
-  let violations = List.sort (fun a b -> compare b.gain a.gain) violations in
+  let violations = List.sort (fun a b -> Float.compare b.gain a.gain) violations in
   let max_gain = match violations with [] -> 0. | v :: _ -> v.gain in
   { trials; violations; max_gain }
 

@@ -26,7 +26,16 @@
     they simply send different messages — so deviation needs no special
     engine support. The [tap] hook exists for instrumentation and for
     injecting classic channel faults in tests (drop/corrupt), not for
-    modelling rationality. *)
+    modelling rationality.
+
+    Schedule coverage: because equal-time ties are the only scheduling
+    freedom, the set of delivery orders this engine can ever produce (over
+    all jitter/duplication perturbations) is exactly the set of
+    interleavings of equal-timestamp events. [Damd_speccheck.Explore]
+    exploits that: its product-space BFS branches on which node steps
+    next, so a property verified over the explored graph holds for every
+    schedule this engine can serialize — the exploration is the
+    schedule-universal counterpart of one concrete run here. *)
 
 type 'msg t
 

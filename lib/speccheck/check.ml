@@ -19,7 +19,7 @@ let error id location message = { id; severity = Error; location; message }
 let warning id location message = { id; severity = Warning; location; message }
 
 let duplicates xs =
-  let sorted = List.sort compare xs in
+  let sorted = List.sort compare xs (* poly-ok: generic helper, used on atoms *) in
   let rec scan acc = function
     | a :: (b :: _ as rest) ->
         scan (if a = b && not (List.mem a acc) then a :: acc else acc) rest
@@ -201,7 +201,24 @@ let check_phases (ir : Ir.t) =
                      (section 3.9)" p.Ir.pname)))
       ir.Ir.phases
   in
-  List.concat [ overlaps; gaps; checkpoints ]
+  let straddlers =
+    List.filter_map
+      (fun (a : Ir.action) ->
+        match Ir.phases_of_action ir a.Ir.id with
+        | [] | [ _ ] -> None
+        | ps ->
+            Some
+              (warning "multi-phase-action" a.Ir.id
+                 (Printf.sprintf
+                    "action %S runs in phases %s: its obligation straddles a \
+                     checkpoint, so phase-local reasoning (section 3.8) \
+                     attributes it ambiguously"
+                    a.Ir.id
+                    (String.concat ", "
+                       (List.map (fun (p : Ir.phase) -> p.Ir.pname) ps)))))
+      ir.Ir.actions
+  in
+  List.concat [ overlaps; gaps; checkpoints; straddlers ]
 
 let check_cc (ir : Ir.t) =
   List.filter_map
@@ -249,7 +266,7 @@ let check_ac (ir : Ir.t) =
 let check_deviations ~adversary (ir : Ir.t) =
   let targeted =
     List.concat_map (fun (a : Ir.action) -> a.Ir.deviations) ir.Ir.actions
-    |> List.sort_uniq compare
+    |> List.sort_uniq compare (* poly-ok: constant Dev.t constructors *)
   in
   let orphans =
     List.filter_map
@@ -262,7 +279,7 @@ let check_deviations ~adversary (ir : Ir.t) =
                   "adversary constructor %S targets no catalogue action: the \
                    detection case analysis (section 4.3) does not cover it"
                   (Dev.to_string d))))
-      (List.sort_uniq compare adversary)
+      (List.sort_uniq compare adversary) (* poly-ok: constant Dev.t constructors *)
   in
   let unmapped =
     List.filter_map

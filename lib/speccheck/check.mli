@@ -14,6 +14,8 @@
       [non-termination] (suggested play never halts)
     - classification: [unclassified-action] — §3.4 totality
     - phase discipline (§3.8–3.9): [phase-overlap], [phase-gap] (warning),
+      [multi-phase-action] (warning — an action whose transitions span
+      more than one phase, straddling a checkpoint),
       [missing-checkpoint] — every phase ends in a certified checkpoint
     - strong-CC candidacy (Def. 12): [cc-private-leak] — a
       message-passing action may depend only on received messages

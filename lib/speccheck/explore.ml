@@ -1,0 +1,611 @@
+module Action = Damd_core.Action
+module G = Damd_graph.Graph
+
+type verdict =
+  | Detected of { depth : int; certifier : string option }
+  | Undetected of { witness : string }
+  | Exempt of { reason : string }
+  | Truncated
+
+type stats = {
+  states_explored : int;
+  frontier_peak : int;
+  scenarios : int;
+  truncated : bool;
+}
+
+type outcome = {
+  verdicts : (Dev.t * verdict) list;
+  findings : Check.finding list;
+  covered_states : string list;
+  stats : stats;
+}
+
+(* ---- the indexed machine view (same semantics as Compile.machine) ---- *)
+
+type mach = {
+  states : string array;
+  sugg_id : string option array;  (* suggested action id per state *)
+  action_of : Ir.action option array;  (* its declared record, if any *)
+  dst_of : int array;  (* suggested destination; self when undefined *)
+  phase_of : int array;  (* phase index per state, [-1] = none *)
+  nphases : int;
+  phase_names : string array;
+  certifiers : string option array;
+}
+
+let build (ir : Ir.t) =
+  let states = Array.of_list ir.Ir.states in
+  let idx = Hashtbl.create 16 in
+  Array.iteri
+    (fun i s -> if not (Hashtbl.mem idx s) then Hashtbl.add idx s i)
+    states;
+  let ns = Array.length states in
+  let sugg_id = Array.make ns None in
+  let action_of = Array.make ns None in
+  let dst_of = Array.init ns (fun i -> i) in
+  Array.iteri
+    (fun i s ->
+      match Ir.suggested_action ir s with
+      | None -> ()
+      | Some aid ->
+          sugg_id.(i) <- Some aid;
+          action_of.(i) <- Ir.find_action ir aid;
+          dst_of.(i) <-
+            (match Ir.step ir s aid with
+            | Some d -> (
+                match Hashtbl.find_opt idx d with Some j -> j | None -> i)
+            | None -> i (* the Compile.machine self-loop *)))
+    states;
+  let phases = Array.of_list ir.Ir.phases in
+  let phase_of = Array.make ns (-1) in
+  Array.iteri
+    (fun pi (p : Ir.phase) ->
+      List.iter
+        (fun s ->
+          match Hashtbl.find_opt idx s with
+          | Some i when phase_of.(i) = -1 -> phase_of.(i) <- pi
+          | _ -> ())
+        p.Ir.members)
+    phases;
+  {
+    states;
+    sugg_id;
+    action_of;
+    dst_of;
+    phase_of;
+    nphases = Array.length phases;
+    phase_names = Array.map (fun (p : Ir.phase) -> p.Ir.pname) phases;
+    certifiers =
+      Array.map
+        (fun (p : Ir.phase) ->
+          match p.Ir.checkpoint with
+          | Some c -> Some (Rule.to_string c.Ir.certifier)
+          | None -> None)
+        phases;
+  }
+
+(* ---- evidence coverage: can the declared checking story surface a
+   deviant execution of this action? (the abstract §4.3 case split) ---- *)
+
+let covered_action (a : Ir.action) ~honest =
+  match a.Ir.cls with
+  | None -> false
+  | Some Action.Internal -> false
+  | Some Action.Information_revelation -> a.Ir.digested
+  | Some Action.Message_passing -> a.Ir.rules <> [] && honest
+  | Some Action.Computation -> a.Ir.mirrored && a.Ir.digested && honest
+
+(* ---- canonical product states: deviant position, sorted faithful
+   multiset, phase index, per-phase acted/evidence bitmasks ---- *)
+
+type pst = { dev : int; others : int array; ph : int; acted : int; evid : int }
+
+let key (s : pst) =
+  let b = Buffer.create 48 in
+  Buffer.add_string b (string_of_int s.dev);
+  Buffer.add_char b '|';
+  Array.iter
+    (fun p ->
+      Buffer.add_string b (string_of_int p);
+      Buffer.add_char b ',')
+    s.others;
+  Buffer.add_char b '|';
+  Buffer.add_string b (string_of_int s.ph);
+  Buffer.add_char b ':';
+  Buffer.add_string b (string_of_int ((s.acted lsl 16) lor s.evid));
+  Buffer.contents b
+
+type scen_result = {
+  sr_escape : string option;  (* witness trace of an uncaught green-light *)
+  sr_timeout : int option;  (* omission stall depth *)
+  sr_lag : int;  (* worst act-to-certification distance; -1 = none *)
+  sr_certifier : string option;
+  sr_acted : bool;
+  sr_truncated : bool;
+}
+
+(* One scenario: BFS the product with [n] seats, one seat optionally
+   running the deviation. [targets] marks states whose suggested action the
+   deviation targets; [covered] marks states whose deviant execution
+   deposits checkpoint evidence; [stall] models omission (the targeted
+   step never completes, blocking the phase barrier). *)
+let run_scenario m ~bound ~n ~initial ~has_deviant ~stall ~targets ~covered
+    ~faithful ~covered_mark ~add_finding ~states_total ~frontier_max =
+  let min_act = Array.make (max 1 m.nphases) max_int in
+  let max_cert = Array.make (max 1 m.nphases) (-1) in
+  let cert_rule = Array.make (max 1 m.nphases) None in
+  let escape = ref None in
+  let timeout = ref None in
+  let acted_ever = ref false in
+  let truncated = ref false in
+  let visited : (string, int) Hashtbl.t = Hashtbl.create 512 in
+  let parent : (string, string * string) Hashtbl.t = Hashtbl.create 512 in
+  let q : (string * pst) Queue.t = Queue.create () in
+  let witness_of k =
+    let rec climb k acc fuel =
+      if fuel = 0 then "…" :: acc
+      else
+        match Hashtbl.find_opt parent k with
+        | None -> acc
+        | Some (pk, lbl) -> climb pk (lbl :: acc) (fuel - 1)
+    in
+    String.concat " ; " (climb k [] 14)
+  in
+  let mark st =
+    if st.dev >= 0 then covered_mark.(st.dev) <- true;
+    Array.iter (fun p -> covered_mark.(p) <- true) st.others
+  in
+  let s0 =
+    {
+      dev = (if has_deviant then initial else -1);
+      others = Array.make (if has_deviant then n - 1 else n) initial;
+      ph = 0;
+      acted = 0;
+      evid = 0;
+    }
+  in
+  let k0 = key s0 in
+  Hashtbl.replace visited k0 0;
+  mark s0;
+  Queue.add (k0, s0) q;
+  let continue = ref true in
+  while !continue && not (Queue.is_empty q) do
+    if Hashtbl.length visited > bound then begin
+      truncated := true;
+      continue := false
+    end
+    else begin
+      let k, s = Queue.pop q in
+      let d = Hashtbl.find visited k in
+      let eligible pos = s.ph >= m.nphases || m.phase_of.(pos) = s.ph in
+      (* (successor, edge label, destination position or -1) *)
+      let succs = ref [] in
+      let push st lbl dst = succs := (st, lbl, dst) :: !succs in
+      (* deviant move *)
+      (if s.dev >= 0 && eligible s.dev then
+         match m.sugg_id.(s.dev) with
+         | None -> ()
+         | Some aid ->
+             let is_t = targets.(s.dev) in
+             if stall && is_t then
+               (* omission: the targeted step never completes *)
+               ()
+             else begin
+               let pbit =
+                 if s.ph < m.nphases then s.ph else max 0 (m.nphases - 1)
+               in
+               let acted = if is_t then s.acted lor (1 lsl pbit) else s.acted in
+               let evid =
+                 if is_t && covered.(s.dev) then s.evid lor (1 lsl pbit)
+                 else s.evid
+               in
+               if is_t then begin
+                 acted_ever := true;
+                 if d + 1 < min_act.(pbit) then min_act.(pbit) <- d + 1
+               end;
+               push
+                 { s with dev = m.dst_of.(s.dev); acted; evid }
+                 ("deviant!" ^ aid) m.dst_of.(s.dev)
+             end);
+      (* faithful moves: one per distinct position (symmetry reduction) *)
+      let tried = Hashtbl.create 8 in
+      Array.iteri
+        (fun oi pos ->
+          if not (Hashtbl.mem tried pos) then begin
+            Hashtbl.add tried pos ();
+            if eligible pos then
+              match m.sugg_id.(pos) with
+              | None -> ()
+              | Some aid ->
+                  let others = Array.copy s.others in
+                  others.(oi) <- m.dst_of.(pos);
+                  Array.sort Int.compare others;
+                  push { s with others } aid m.dst_of.(pos)
+          end)
+        s.others;
+      (* checkpoint: fires exactly when nobody remains inside the phase *)
+      if s.ph < m.nphases then begin
+        let someone_inside =
+          (s.dev >= 0 && m.phase_of.(s.dev) = s.ph)
+          || Array.exists (fun p -> m.phase_of.(p) = s.ph) s.others
+        in
+        if not someone_inside then begin
+          let bit = 1 lsl s.ph in
+          (if s.acted land bit <> 0 then
+             match m.certifiers.(s.ph) with
+             | Some rule when s.evid land bit <> 0 ->
+                 if d + 1 > max_cert.(s.ph) then begin
+                   max_cert.(s.ph) <- d + 1;
+                   cert_rule.(s.ph) <- Some rule
+                 end
+             | _ ->
+                 (* green light with the deviation unflagged *)
+                 if !escape = None then
+                   escape :=
+                     Some
+                       (witness_of k ^ " ; [green-light " ^ m.phase_names.(s.ph)
+                      ^ "]"));
+          push
+            { s with ph = s.ph + 1 }
+            ("[checkpoint " ^ m.phase_names.(s.ph) ^ "]")
+            (-1)
+        end
+      end;
+      (* enqueue with post-certification reentry pruning *)
+      let progress = ref 0 in
+      List.iter
+        (fun (st, lbl, dst) ->
+          let reentry =
+            dst >= 0
+            && m.phase_of.(dst) >= 0
+            && m.phase_of.(dst) < min s.ph m.nphases
+          in
+          if reentry then begin
+            incr progress;
+            add_finding Check.Error "phase-reentry" lbl
+              (Printf.sprintf
+                 "step %S re-enters phase %S after its checkpoint certified: \
+                  post-certification play can rewrite what the bank already \
+                  green-lit"
+                 lbl
+                 m.phase_names.(m.phase_of.(dst)))
+          end
+          else begin
+            let k' = key st in
+            if k' <> k then incr progress;
+            if not (Hashtbl.mem visited k') then begin
+              Hashtbl.replace visited k' (d + 1);
+              Hashtbl.replace parent k' (k, lbl);
+              mark st;
+              Queue.add (k', st) q;
+              if Queue.length q > !frontier_max then
+                frontier_max := Queue.length q
+            end
+          end)
+        !succs;
+      (* deadlock: the current phase can never reach its certifier *)
+      if !progress = 0 && s.ph < m.nphases then begin
+        let stalling_deviant =
+          s.dev >= 0 && stall
+          && m.phase_of.(s.dev) = s.ph
+          && targets.(s.dev)
+          && m.sugg_id.(s.dev) <> None
+        in
+        if stalling_deviant then (
+          match !timeout with
+          | Some t when t >= d + 1 -> ()
+          | _ -> timeout := Some (d + 1))
+        else
+          add_finding Check.Error
+            (if faithful then "false-accusation" else "certifier-unreachable")
+            m.phase_names.(s.ph)
+            (if faithful then
+               Printf.sprintf
+                 "the all-faithful run deadlocks inside phase %S: the bank's \
+                  progress timeout would punish nodes that followed the \
+                  suggested play to the letter"
+                 m.phase_names.(s.ph)
+             else
+               Printf.sprintf
+                 "phase %S can deadlock before its certifier runs: a \
+                  deviation inside it is never surfaced at a checkpoint"
+                 m.phase_names.(s.ph))
+      end
+    end
+  done;
+  states_total := !states_total + Hashtbl.length visited;
+  let lag = ref (-1) in
+  let certifier = ref None in
+  Array.iteri
+    (fun p cert ->
+      if cert >= 0 && min_act.(p) < max_int then begin
+        let l = cert - min_act.(p) in
+        if l > !lag then begin
+          lag := l;
+          certifier := cert_rule.(p)
+        end
+      end)
+    max_cert;
+  {
+    sr_escape = !escape;
+    sr_timeout = !timeout;
+    sr_lag = !lag;
+    sr_certifier = !certifier;
+    sr_acted = !acted_ever;
+    sr_truncated = !truncated;
+  }
+
+(* ---- exemptions: deviations the checking story does not claim ---- *)
+
+let exemptions =
+  [
+    ( Dev.Misreport_cost,
+      "consistent cost misreport is pure information revelation: neutralized \
+       by VCG strategyproofness (IC), invisible to checkers by design" );
+    ( Dev.Lying_checker,
+      "checker-role deviation only: in isolation the principal's own chain \
+       is honest, so every digest still agrees — consequential only inside a \
+       coalition (see collude-with)" );
+  ]
+
+let dev_compare a b = String.compare (Dev.to_string a) (Dev.to_string b)
+
+let run ?(bound = 50_000) ?(adversary = Dev.all) ~graph (ir : Ir.t) =
+  let m = build ir in
+  let n = G.n graph in
+  let ns = Array.length m.states in
+  let covered_mark = Array.make ns false in
+  let findings = ref [] in
+  let seen = Hashtbl.create 16 in
+  let add_finding severity id location message =
+    if not (Hashtbl.mem seen (id, location)) then begin
+      Hashtbl.add seen (id, location) ();
+      findings := { Check.id; severity; location; message } :: !findings
+    end
+  in
+  let states_total = ref 0 in
+  let frontier_max = ref 0 in
+  let scen_count = ref 0 in
+  let initial =
+    let rec find i =
+      if i >= ns then None
+      else if m.states.(i) = ir.Ir.initial then Some i
+      else find (i + 1)
+    in
+    find 0
+  in
+  match initial with
+  | None ->
+      {
+        verdicts = [];
+        findings =
+          [
+            {
+              Check.id = "exploration-truncated";
+              severity = Check.Warning;
+              location = ir.Ir.initial;
+              message =
+                "the initial state is not declared, so the product machine \
+                 has no seed configuration; exploration skipped";
+            };
+          ];
+        covered_states = [];
+        stats =
+          {
+            states_explored = 0;
+            frontier_peak = 0;
+            scenarios = 0;
+            truncated = true;
+          };
+      }
+  | Some initial ->
+      let scenario ~has_deviant ~stall ~targets ~covered ~faithful =
+        incr scen_count;
+        run_scenario m ~bound ~n ~initial ~has_deviant ~stall ~targets
+          ~covered ~faithful ~covered_mark ~add_finding ~states_total
+          ~frontier_max
+      in
+      let no_targets = Array.make ns false in
+      let target_mask lbl =
+        Array.init ns (fun i ->
+            match m.action_of.(i) with
+            | Some a -> List.mem lbl a.Ir.deviations
+            | None -> false)
+      in
+      let coverage_mask ~honest =
+        Array.init ns (fun i ->
+            match m.action_of.(i) with
+            | Some a -> covered_action a ~honest
+            | None -> false)
+      in
+      (* The abstract model forgets seat identity except through the
+         honesty of the deviant's checker neighborhood, so seats sharing an
+         honesty value share one BFS — the sweep is still exhaustive over
+         seats because every seat maps into one of the explored classes. *)
+      let single_seat_results lbl ~stall =
+        let targets = target_mask lbl in
+        let honesties =
+          List.sort_uniq Bool.compare
+            (List.init n (fun i -> G.degree graph i > 0))
+        in
+        List.map
+          (fun honest ->
+            scenario ~has_deviant:true ~stall ~targets
+              ~covered:(coverage_mask ~honest) ~faithful:false)
+          honesties
+      in
+      let combine rs =
+        if List.exists (fun r -> r.sr_truncated) rs then Truncated
+        else
+          match List.find_opt (fun r -> r.sr_escape <> None) rs with
+          | Some r -> Undetected { witness = Option.get r.sr_escape }
+          | None -> (
+              match
+                List.find_opt (fun r -> r.sr_lag < 0 && r.sr_timeout = None) rs
+              with
+              | Some r ->
+                  Undetected
+                    {
+                      witness =
+                        (if r.sr_acted then
+                           "the deviation occurs but no certification event \
+                            ever follows it"
+                         else
+                           "the targeted action never executes in the \
+                            explored product");
+                    }
+              | None ->
+                  let depth, certifier =
+                    List.fold_left
+                      (fun (d0, c0) r ->
+                        let d, c =
+                          if r.sr_lag >= 0 then (r.sr_lag, r.sr_certifier)
+                          else (Option.get r.sr_timeout, None)
+                        in
+                        if d > d0 then (d, c) else (d0, c0))
+                      (-1, None) rs
+                  in
+                  Detected { depth; certifier })
+      in
+      let coalition_shield (a : Ir.action) =
+        a.Ir.cls = Some Action.Computation
+        && a.Ir.mirrored && a.Ir.digested
+        && List.exists
+             (fun d -> d <> Dev.Lying_checker && d <> Dev.Collude_with)
+             a.Ir.deviations
+      in
+      (* Collude-with: the principal deviates on a mirrored computation
+         while the colluding checker vouches for it; detection needs some
+         *other* honest checker in the principal's neighborhood, so the
+         honesty class of the pair (p, c) is "p has a neighbor besides c". *)
+      let collude_verdict () =
+        if not (List.exists coalition_shield ir.Ir.actions) then
+          Undetected
+            {
+              witness =
+                "no mirrored computation exists for the coalition to shield, \
+                 so the coalition case analysis is vacuous";
+            }
+        else begin
+          let targets =
+            Array.init ns (fun i ->
+                match m.action_of.(i) with
+                | Some a -> coalition_shield a
+                | None -> false)
+          in
+          let pairs =
+            List.concat
+              (List.init n (fun p ->
+                   List.map (fun c -> (p, c)) (G.neighbors graph p)))
+          in
+          let honest_of (p, c) =
+            List.exists (fun nb -> nb <> c) (G.neighbors graph p)
+          in
+          let exposed = List.filter (fun pc -> not (honest_of pc)) pairs in
+          let honesties =
+            List.sort_uniq Bool.compare (List.map honest_of pairs)
+          in
+          let v =
+            combine
+              (List.map
+                 (fun honest ->
+                   scenario ~has_deviant:true ~stall:false ~targets
+                     ~covered:(coverage_mask ~honest) ~faithful:false)
+                 honesties)
+          in
+          match (v, exposed) with
+          | Undetected { witness }, (p, c) :: _ ->
+              Undetected
+                {
+                  witness =
+                    Printf.sprintf
+                      "%s [principal %d, colluding checker %d covers its \
+                       entire neighborhood]"
+                      witness p c;
+                }
+          | _ -> v
+        end
+      in
+      let labels =
+        List.sort_uniq dev_compare
+          (List.filter (fun d -> d <> Dev.Faithful) adversary)
+      in
+      let verdicts =
+        List.map
+          (fun lbl ->
+            let v =
+              match List.assoc_opt lbl exemptions with
+              | Some reason -> Exempt { reason }
+              | None ->
+                  if lbl = Dev.Collude_with then collude_verdict ()
+                  else if
+                    not
+                      (List.exists
+                         (fun (a : Ir.action) -> List.mem lbl a.Ir.deviations)
+                         ir.Ir.actions)
+                  then
+                    Undetected
+                      {
+                        witness =
+                          "no catalogue action targets this deviation, so the \
+                           section-4.3 case analysis cannot place it";
+                      }
+                  else
+                    combine
+                      (single_seat_results lbl
+                         ~stall:(lbl = Dev.Silent_in_construction))
+            in
+            (lbl, v))
+          labels
+      in
+      (* the all-faithful product run: no-false-accusation + progress *)
+      let (_ : scen_result) =
+        scenario ~has_deviant:false ~stall:false ~targets:no_targets
+          ~covered:no_targets ~faithful:true
+      in
+      List.iter
+        (fun (lbl, v) ->
+          match v with
+          | Undetected { witness } ->
+              add_finding Check.Error "undetected-deviation" (Dev.to_string lbl)
+                (Printf.sprintf
+                   "deviation %S can escape its phase checkpoint: %s"
+                   (Dev.to_string lbl) witness)
+          | Truncated ->
+              add_finding Check.Warning "exploration-truncated"
+                (Dev.to_string lbl)
+                (Printf.sprintf
+                   "the %d-state bound ran out while exploring %S: its \
+                    verdict is unknown"
+                   bound (Dev.to_string lbl))
+          | Detected _ | Exempt _ -> ())
+        verdicts;
+      Array.iteri
+        (fun i occupied ->
+          if not occupied then
+            add_finding Check.Error "unexplored-state" m.states.(i)
+              (Printf.sprintf
+                 "state %S is never occupied by any node in any explored \
+                  product execution: it cannot participate in the certified \
+                  protocol"
+                 m.states.(i)))
+        covered_mark;
+      let covered_states =
+        List.filteri (fun i _ -> covered_mark.(i)) (Array.to_list m.states)
+      in
+      {
+        verdicts;
+        findings = List.rev !findings;
+        covered_states;
+        stats =
+          {
+            states_explored = !states_total;
+            frontier_peak = !frontier_max;
+            scenarios = !scen_count;
+            truncated =
+              List.exists
+                (fun (_, v) -> match v with Truncated -> true | _ -> false)
+                verdicts;
+          };
+      }

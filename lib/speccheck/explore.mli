@@ -1,0 +1,99 @@
+(** Bounded-exhaustive exploration of the deviation product space.
+
+    One scenario = the product of [n] IR node machines (the closures
+    [Compile.machine] builds, re-derived here in indexed form with the same
+    undefined-transition self-loop semantics), with at most one node
+    running a deviation from the [Dev.t] library. The BFS branches on
+    *which node steps next* — since each state carries at most one
+    suggested action, that single choice enumerates every interleaving of
+    equal-timestamp deliveries that [Damd_sim.Engine]'s documented FIFO
+    tie-break could serialize, so a property that holds over the explored
+    graph holds for every schedule the engine can produce.
+
+    Phase-barrier semantics mirror [Damd_faithful.Runner]: a node may step
+    only while its state belongs to the current phase (a node that crossed
+    into the next phase waits); when no node remains inside the current
+    phase, the checkpoint event fires — the phase's certifier (if any)
+    reads the evidence deposited so far, then the next phase opens.
+
+    The evidence model is the abstract form of the §4.3 case analysis: a
+    deviant step on a targeted action deposits evidence for the current
+    phase iff the action's declared coverage can surface it —
+    message-passing needs an enforcement rule and an honest checker,
+    computation needs [mirrored && digested] and an honest checker,
+    information revelation needs [digested] (the DATA1-style global
+    comparison), unclassified actions are never covered. Omission
+    deviations ([Silent_in_construction]) instead stall the barrier; the
+    resulting progress timeout is itself a detection (certifier [None]).
+
+    Two properties are verified per phase and reported as findings:
+
+    - detection-completeness: every non-exempt deviation is flagged
+      strictly before (or, for omissions, instead of) its phase's
+      green-light — a certifier that fires without evidence while the
+      deviant acted is an escape ([undetected-deviation], error);
+    - no-false-accusation: the all-faithful product run deposits no
+      evidence and never stalls ([false-accusation], error, otherwise).
+
+    Further findings: [phase-reentry] (error — a step re-enters a phase
+    whose checkpoint already certified), [certifier-unreachable] (error —
+    a phase's certifier can never run because the product deadlocks),
+    [unexplored-state] (error — an IR state no node ever occupies in any
+    scenario), [exploration-truncated] (warning — the per-scenario state
+    bound was exhausted, so verdicts may be incomplete).
+
+    Dedup uses canonical state hashing: faithful nodes are behaviorally
+    interchangeable (topology enters only through the deviant's coverage
+    predicate), so a product state is canonicalized as the *sorted
+    multiset* of faithful positions plus the deviant's position, phase
+    index, and evidence bits — the standard symmetry reduction, which
+    keeps Fig-1-scale scenarios to a few hundred states each. *)
+
+type verdict =
+  | Detected of { depth : int; certifier : string option }
+      (** [depth] is the worst-case number of product steps between the
+          deviating step and the checkpoint that surfaces it (for
+          omissions, the depth at which progress provably stops);
+          [certifier] is the certifying rule, [None] for the progress
+          timeout. *)
+  | Undetected of { witness : string }
+      (** A schedule exists on which the phase green-lights with the
+          deviation unflagged; [witness] is its (truncated) step trace. *)
+  | Exempt of { reason : string }
+      (** Outside the checking story by design — e.g. [Misreport_cost]
+          (neutralized by VCG strategyproofness, not by checkers) and
+          [Lying_checker] (a checker-role no-op in isolation). *)
+  | Truncated  (** the state bound ran out before a verdict was reached *)
+
+type stats = {
+  states_explored : int;  (** total canonical states across all scenarios *)
+  frontier_peak : int;  (** largest BFS frontier observed *)
+  scenarios : int;  (** scenarios run (deviation × seat, plus all-faithful) *)
+  truncated : bool;
+}
+
+type outcome = {
+  verdicts : (Dev.t * verdict) list;
+      (** one verdict per non-[Faithful] label of the adversary
+          vocabulary; [Collude_with] aggregates over every directed
+          (principal, colluding-checker) neighbor pair and is [Detected]
+          only if all pairs are *)
+  findings : Check.finding list;
+  covered_states : string list;
+      (** IR states some node occupied in some explored scenario — the
+          complement drives [unexplored-state] *)
+  stats : stats;
+}
+
+val run :
+  ?bound:int ->
+  ?adversary:Dev.t list ->
+  graph:Damd_graph.Graph.t ->
+  Ir.t ->
+  outcome
+(** [bound] (default 50_000) caps canonical states *per scenario*;
+    [adversary] (default [Dev.all]) is the label vocabulary to sweep, as
+    with [Check.check_ir]. Never raises on malformed IRs: undefined
+    transitions self-loop (the [Compile.machine] contract), an undeclared
+    initial state skips exploration with an [exploration-truncated]
+    warning, and every loop is bounded by dedup plus [bound]. *)

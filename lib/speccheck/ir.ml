@@ -43,7 +43,13 @@ let step ir state act =
 let phase_of_state ir state =
   List.find_opt (fun p -> List.mem state p.members) ir.phases
 
+let phases_of_action ir act =
+  let hit =
+    List.filter_map
+      (fun t -> if t.act = act then phase_of_state ir t.src else None)
+      ir.transitions
+  in
+  List.filter (fun p -> List.exists (fun q -> q.pname = p.pname) hit) ir.phases
+
 let phase_of_action ir act =
-  List.find_map
-    (fun t -> if t.act = act then phase_of_state ir t.src else None)
-    ir.transitions
+  match phases_of_action ir act with [] -> None | p :: _ -> Some p

@@ -75,6 +75,15 @@ val step : t -> string -> string -> string option
 val phase_of_state : t -> string -> phase option
 (** The first phase listing the state as a member. *)
 
+val phases_of_action : t -> string -> phase list
+(** Every phase in which an action runs — the phases of the source states
+    of *all* its transitions, deduplicated, in declaration order. An
+    action spanning two phases is legal IR but suspicious (its proof
+    obligation would straddle a checkpoint); [Check] flags it as the
+    [multi-phase-action] warning. *)
+
 val phase_of_action : t -> string -> phase option
-(** The phase in which an action runs: the phase of the source state of
-    its (first) transition. *)
+(** The earliest phase (in declaration order) in which the action runs,
+    i.e. the head of [phases_of_action]. Historical note: this used to be
+    the phase of the action's textually first transition, silently
+    mis-attributing an action whose transitions span two phases. *)

@@ -16,6 +16,26 @@ let all =
 
 let expected name = List.assoc_opt name all
 
+(* The dynamic counterpart: the flow/exploration finding [Verify.run] must
+   additionally produce for each mutation. Annotation-level mutations
+   surface as escapes in the product space; the input-annotation mutation
+   surfaces in the taint diff; the shape mutations surface as coverage and
+   reentry violations. *)
+let all_verify =
+  [
+    ("drop-checkpoint", "undetected-deviation");
+    ("unclassify-action", "undetected-deviation");
+    ("orphan-deviation", "undetected-deviation");
+    ("leak-private-info", "decl-flow-slack");
+    ("unmirror-computation", "undetected-deviation");
+    ("undigest-computation", "undetected-deviation");
+    ("cut-checker-edge", "undetected-deviation");
+    ("dead-state", "unexplored-state");
+    ("loop-forever", "phase-reentry");
+  ]
+
+let expected_verify name = List.assoc_opt name all_verify
+
 let map_action id f (ir : Ir.t) =
   {
     ir with

@@ -14,6 +14,16 @@ val all : (string * string) list
 val expected : string -> string option
 (** The finding id a mutation must trigger, if the mutation exists. *)
 
+val all_verify : (string * string) list
+(** [(mutation name, expected verify finding id)] — the flow/exploration
+    finding ([Taint.check] or [Explore.run]) that [Verify.run] must
+    produce *in addition to* the static finding in [all]. Same key set as
+    [all]: every mutation must demonstrably fire in both the static and
+    the behavioral layer. *)
+
+val expected_verify : string -> string option
+(** The verify-layer finding id for a mutation, if the mutation exists. *)
+
 val apply :
   string -> Ir.t * Damd_graph.Graph.t -> (Ir.t * Damd_graph.Graph.t) option
 (** Apply a named mutation to a (spec, lint topology) pair. [None] for an

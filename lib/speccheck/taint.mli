@@ -1,0 +1,70 @@
+(** The provenance lattice and the declared-vs-actual dependency check.
+
+    The linter's strong-CC rule ([cc-private-leak]) trusts the IR's
+    [Ir.action.inputs] annotation; a wrong annotation silently vacates the
+    Def. 12 argument. This module closes that gap: a harness (see
+    [Damd_faithful.Flow]) runs the *real* protocol handlers twice per input
+    class — once on a baseline world, once with that class perturbed — and
+    the observed output difference is the action's true dependency set.
+    [check] then compares observed against declared.
+
+    The three-point chain [Private ⊑ Received ⊑ Public] orders values by
+    how publicly reconstructible their provenance is: a value derived only
+    from certified or locally accumulated protocol state is [Public]
+    (anyone holding the certificates can recompute it), one incorporating
+    message payloads is [Received] (only the participants of those
+    exchanges can), and one touching the node's own type is [Private]
+    (only the node itself can). Combining values moves *down* the chain —
+    mixing anything with private data yields private data — so we follow
+    taint-analysis convention and read the chain upside down as a taint
+    order with [Private] on top; [join] is the least upper bound of that
+    reading (the most private constituent wins). *)
+
+type label = Public | Received | Private
+(** Declared in increasing taint order, so the derived polymorphic order
+    is never used — [leq]/[join] are explicit. *)
+
+val of_input : Ir.input -> label
+(** [Protocol_state -> Public], [Received_messages -> Received],
+    [Private_info -> Private]. *)
+
+val to_string : label -> string
+
+val leq : label -> label -> bool
+(** The taint order: [Public ⊑ Received ⊑ Private] (the ISSUE's chain read
+    from the provenance side). *)
+
+val join : label -> label -> label
+(** Least upper bound under [leq]: the more private of the two. *)
+
+val summary : Ir.input list -> label
+(** Join over [of_input] — [Public] for the empty list (a constant is
+    reconstructible by anyone). *)
+
+type observation = {
+  action : string;  (** IR action id the harness exercised *)
+  deps : Ir.input list;
+      (** input classes whose perturbation changed the action's observed
+          output — the inferred true dependency set *)
+}
+
+val input_to_string : Ir.input -> string
+(** Kebab-case name, e.g. ["private-info"] — shared by reports and
+    messages. *)
+
+val check : Ir.t -> observed:observation list -> Check.finding list
+(** Compare each observation against the matching action's declared
+    [inputs]:
+
+    - [decl-flow-mismatch] (error): an observed dependency the declaration
+      omits. The dangerous direction — e.g. a message-passing action whose
+      payload actually reads [Private_info] is a genuine Def. 12 violation
+      that [cc-private-leak] (which only reads the annotation) cannot see.
+    - [decl-flow-slack] (warning): a declared input that never flowed in
+      the harness. Harmless for soundness but the annotation overclaims,
+      which weakens the IC/CC/AC case split's precision.
+
+    Observations naming an action the IR does not declare are ignored
+    (mutations neither add nor rename actions); IR actions without an
+    observation produce no finding — the stock-agreement test, not the
+    linter, guards harness coverage. *)

@@ -1,0 +1,152 @@
+module Json = Damd_util.Json
+
+type report = {
+  spec : string;
+  topology : string;
+  mutation : string option;
+  flow : (string * Ir.input list * Ir.input list) list;
+  verdicts : (Dev.t * Explore.verdict) list;
+  stats : Explore.stats;
+  findings : Check.finding list;
+}
+
+let sort_inputs inputs =
+  List.sort_uniq
+    (fun a b -> String.compare (Taint.input_to_string a) (Taint.input_to_string b))
+    inputs
+
+let run ?adversary ?mutation ?bound ~observed ~graph ~topology ir =
+  let ir, graph =
+    match mutation with
+    | None -> (ir, graph)
+    | Some name -> (
+        match Mutate.apply name (ir, graph) with
+        | Some pair -> pair
+        | None ->
+            raise
+              (Invalid_argument
+                 (Printf.sprintf "unknown mutation %S (expected one of %s)" name
+                    (String.concat " | " (List.map fst Mutate.all)))))
+  in
+  let static = Check.check_ir ?adversary ir @ Check.check_topology graph in
+  let flow_findings = Taint.check ir ~observed in
+  let explored = Explore.run ?bound ?adversary ~graph ir in
+  let flow =
+    List.filter_map
+      (fun (o : Taint.observation) ->
+        match Ir.find_action ir o.Taint.action with
+        | None -> None
+        | Some a ->
+            Some (o.Taint.action, sort_inputs a.Ir.inputs, sort_inputs o.Taint.deps))
+      observed
+  in
+  {
+    spec = ir.Ir.name;
+    topology;
+    mutation;
+    flow;
+    verdicts = explored.Explore.verdicts;
+    stats = explored.Explore.stats;
+    findings = static @ flow_findings @ explored.Explore.findings;
+  }
+
+let detection_complete r =
+  List.for_all
+    (fun (_, v) ->
+      match v with
+      | Explore.Detected _ | Explore.Exempt _ -> true
+      | Explore.Undetected _ | Explore.Truncated -> false)
+    r.verdicts
+
+let no_false_accusation r =
+  not (List.exists (fun (f : Check.finding) -> f.Check.id = "false-accusation") r.findings)
+
+let error_count r = List.length (Check.errors r.findings)
+
+let exit_code r = if error_count r = 0 then 0 else 1
+
+let verdict_json v =
+  match v with
+  | Explore.Detected { depth; certifier } ->
+      Json.Obj
+        [
+          ("kind", Json.String "detected");
+          ("depth", Json.Int depth);
+          ( "certifier",
+            match certifier with
+            | Some c -> Json.String c
+            | None -> Json.Null (* the progress timeout, not a rule *) );
+        ]
+  | Explore.Undetected { witness } ->
+      Json.Obj
+        [ ("kind", Json.String "undetected"); ("witness", Json.String witness) ]
+  | Explore.Exempt { reason } ->
+      Json.Obj [ ("kind", Json.String "exempt"); ("reason", Json.String reason) ]
+  | Explore.Truncated -> Json.Obj [ ("kind", Json.String "truncated") ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("schema", Json.String "damd-verify/1");
+      ("spec", Json.String r.spec);
+      ("topology", Json.String r.topology);
+      ( "mutation",
+        match r.mutation with None -> Json.Null | Some m -> Json.String m );
+      ("errors", Json.Int (error_count r));
+      ( "stats",
+        Json.Obj
+          [
+            ("states_explored", Json.Int r.stats.Explore.states_explored);
+            ("frontier_peak", Json.Int r.stats.Explore.frontier_peak);
+            ("scenarios", Json.Int r.stats.Explore.scenarios);
+            ("truncated", Json.Bool r.stats.Explore.truncated);
+          ] );
+      ( "properties",
+        Json.Obj
+          [
+            ("detection_complete", Json.Bool (detection_complete r));
+            ("no_false_accusation", Json.Bool (no_false_accusation r));
+          ] );
+      ( "flow",
+        Json.List
+          (List.map
+             (fun (action, declared, observed) ->
+               Json.Obj
+                 [
+                   ("action", Json.String action);
+                   ( "declared",
+                     Json.List
+                       (List.map
+                          (fun i -> Json.String (Taint.input_to_string i))
+                          declared) );
+                   ( "observed",
+                     Json.List
+                       (List.map
+                          (fun i -> Json.String (Taint.input_to_string i))
+                          observed) );
+                 ])
+             r.flow) );
+      ( "verdicts",
+        Json.List
+          (List.map
+             (fun (lbl, v) ->
+               Json.Obj
+                 [
+                   ("deviation", Json.String (Dev.to_string lbl));
+                   ("verdict", verdict_json v);
+                 ])
+             r.verdicts) );
+      ( "findings",
+        Json.List
+          (List.map
+             (fun (f : Check.finding) ->
+               Json.Obj
+                 [
+                   ("id", Json.String f.Check.id);
+                   ( "severity",
+                     Json.String (Check.severity_to_string f.Check.severity) );
+                   ("location", Json.String f.Check.location);
+                   ("explanation", Json.String f.Check.message);
+                 ])
+             r.findings) );
+    ]

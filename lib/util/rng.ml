@@ -89,5 +89,5 @@ let subset t k n =
   assert (0 <= k && k <= n);
   let a = permutation t n in
   let picked = Array.sub a 0 k in
-  Array.sort compare picked;
+  Array.sort Int.compare picked;
   Array.to_list picked

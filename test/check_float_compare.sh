@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Source-level hygiene gate: no polymorphic compare where floats may flow.
+#
+# Stdlib's structural `compare` on floats silently disagrees with IEEE 754
+# (nan handling) and hides the element type from the reader; every sort in
+# lib/ must either use a typed comparator (Int.compare, Float.compare,
+# String.compare, a named by_* function) or carry a `poly-ok:` comment on
+# the same line stating why the polymorphic order is safe (constant
+# constructors, int tuples, ...).
+#
+# Usage: check_float_compare.sh LIB_DIR
+set -u
+
+lib_dir="${1:?usage: check_float_compare.sh LIB_DIR}"
+
+# Pattern 1: bare `compare` in comparator position of a sort.
+# Pattern 2: bare `compare` applied to record fields (`compare a.cost b.cost`).
+pat1='(List|Array|Hashtbl)\.(stable_)?sort(_uniq)?[[:space:]]+compare([^_[:alnum:]]|$)'
+pat2='(^|[^._[:alnum:]])compare[[:space:]]+[a-z_][[:alnum:]_]*\.[a-z_]'
+
+status=0
+while IFS= read -r hit; do
+  case "$hit" in
+  *poly-ok:*) ;;
+  *)
+    echo "bare polymorphic compare (mark '(* poly-ok: why *)' or use a typed comparator):"
+    echo "  $hit"
+    status=1
+    ;;
+  esac
+done < <(grep -rnE --include='*.ml' -e "$pat1" -e "$pat2" "$lib_dir")
+
+if [ "$status" -eq 0 ]; then
+  echo "float-compare lint: clean"
+fi
+exit "$status"

@@ -1,7 +1,8 @@
 (* Tests for Damd_speccheck: the finite spec IR, the IR->closure compiler
    (including the trace-equivalence property against a hand-written
-   machine), the static checker suite with its seeded mutations, and the
-   lint report driver. *)
+   machine), the static checker suite with its seeded mutations, the lint
+   report driver, and the flow verifier (taint lattice, differential
+   dependency inference, bounded product-machine exploration). *)
 
 module Action = Damd_core.Action
 module Sm = Damd_core.State_machine
@@ -13,7 +14,12 @@ module Compile = Damd_speccheck.Compile
 module Check = Damd_speccheck.Check
 module Mutate = Damd_speccheck.Mutate
 module Lint = Damd_speccheck.Lint
+module Taint = Damd_speccheck.Taint
+module Dev = Damd_speccheck.Dev
+module Explore = Damd_speccheck.Explore
+module Verify = Damd_speccheck.Verify
 module Adversary = Damd_faithful.Adversary
+module Flow = Damd_faithful.Flow
 
 let check = Alcotest.check
 let ir = Fpss_spec.ir
@@ -291,6 +297,249 @@ let test_ir_phase_lookup () =
   | Some p -> check Alcotest.string "action phase" "construction-2b" p.Ir.pname
   | None -> Alcotest.fail "report-digests in no phase"
 
+(* --- multi-phase attribution (the phase_of_action blind spot) ---------- *)
+
+let test_multi_phase_action () =
+  (* Stock: report-digests runs in construction-2b only. *)
+  check (Alcotest.list Alcotest.string) "stock: single phase"
+    [ "construction-2b" ]
+    (List.map
+       (fun (p : Ir.phase) -> p.Ir.pname)
+       (Ir.phases_of_action ir "report-digests"));
+  (* An extra transition in the execution phase makes the action span two
+     phases: phases_of_action reports both (declaration order),
+     phase_of_action keeps the earliest, and the checker warns. *)
+  let ir' =
+    {
+      ir with
+      Ir.transitions =
+        ir.Ir.transitions
+        @ [ { Ir.src = "exec-settle"; act = "report-digests"; dst = "exec-settle" } ];
+    }
+  in
+  check (Alcotest.list Alcotest.string) "spanning: both phases"
+    [ "construction-2b"; "execution" ]
+    (List.map
+       (fun (p : Ir.phase) -> p.Ir.pname)
+       (Ir.phases_of_action ir' "report-digests"));
+  (match Ir.phase_of_action ir' "report-digests" with
+  | Some p -> check Alcotest.string "earliest wins" "construction-2b" p.Ir.pname
+  | None -> Alcotest.fail "report-digests in no phase");
+  let findings = Check.check_ir ~adversary:Adversary.all_labels ir' in
+  check (Alcotest.list Alcotest.string) "exactly the warning"
+    [ "multi-phase-action" ] (finding_ids findings);
+  check Alcotest.bool "warning, not error" true
+    ((List.hd findings).Check.severity = Check.Warning)
+
+(* --- the taint lattice ------------------------------------------------- *)
+
+let test_taint_lattice () =
+  let labels = [ Taint.Public; Taint.Received; Taint.Private ] in
+  (* the chain, in taint order *)
+  check Alcotest.bool "public below received" true
+    (Taint.leq Taint.Public Taint.Received);
+  check Alcotest.bool "received below private" true
+    (Taint.leq Taint.Received Taint.Private);
+  check Alcotest.bool "private not below public" false
+    (Taint.leq Taint.Private Taint.Public);
+  (* join is the lub: commutative, idempotent, an upper bound *)
+  List.iter
+    (fun a ->
+      check Alcotest.bool "idempotent" true (Taint.join a a = a);
+      List.iter
+        (fun b ->
+          check Alcotest.bool "commutative" true
+            (Taint.join a b = Taint.join b a);
+          check Alcotest.bool "upper bound" true
+            (Taint.leq a (Taint.join a b) && Taint.leq b (Taint.join a b)))
+        labels)
+    labels;
+  check Alcotest.string "empty summary is public" "public"
+    (Taint.to_string (Taint.summary []));
+  check Alcotest.string "private dominates" "private"
+    (Taint.to_string
+       (Taint.summary [ Ir.Protocol_state; Ir.Private_info ]));
+  check Alcotest.string "received without private" "received"
+    (Taint.to_string
+       (Taint.summary [ Ir.Protocol_state; Ir.Received_messages ]))
+
+(* --- differential flow inference --------------------------------------- *)
+
+let stock_observations = Flow.observations ()
+
+let test_stock_flow_agreement () =
+  (* The harness covers the whole catalogue, in catalogue order, and the
+     inferred dependency sets match the declarations exactly. *)
+  check (Alcotest.list Alcotest.string) "full catalogue coverage"
+    (List.map (fun (a : Ir.action) -> a.Ir.id) ir.Ir.actions)
+    (List.map (fun (o : Taint.observation) -> o.Taint.action)
+       stock_observations);
+  check (Alcotest.list Alcotest.string) "declared = observed" []
+    (finding_ids (Taint.check ir ~observed:stock_observations))
+
+let test_flow_mismatch () =
+  (* An observation with an undeclared dependency is the dangerous
+     direction: error. flood-costs declares {received, protocol}; feeding
+     it an observed private dependency must trip decl-flow-mismatch (and
+     the unexercised protocol declaration rides along as slack). *)
+  let observed =
+    [ { Taint.action = "flood-costs"; deps = [ Ir.Private_info; Ir.Received_messages ] } ]
+  in
+  let findings = Taint.check ir ~observed in
+  check (Alcotest.list Alcotest.string) "mismatch + slack"
+    [ "decl-flow-mismatch"; "decl-flow-slack" ]
+    (finding_ids findings);
+  let mismatch = List.hd findings in
+  check Alcotest.bool "mismatch is an error" true
+    (mismatch.Check.severity = Check.Error);
+  check Alcotest.string "located at the action" "flood-costs"
+    mismatch.Check.location
+
+let test_flow_slack_under_deviation () =
+  (* A deviating implementation that ignores a declared input shows up as
+     slack: Misroute_packets picks the next hop without consulting the
+     routing table, so forward-packets loses its protocol-state flow. *)
+  let observed = Flow.observations ~deviation:Adversary.Misroute_packets () in
+  match Taint.check ir ~observed with
+  | [ f ] ->
+      check Alcotest.string "slack id" "decl-flow-slack" f.Check.id;
+      check Alcotest.string "at forward-packets" "forward-packets"
+        f.Check.location;
+      check Alcotest.bool "warning severity" true
+        (f.Check.severity = Check.Warning)
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs)
+
+(* --- bounded product-machine exploration ------------------------------- *)
+
+let stock_outcome = lazy (Explore.run ~graph:(fig1 ()) ir)
+
+let test_explore_stock () =
+  let o = Lazy.force stock_outcome in
+  check (Alcotest.list Alcotest.string) "no findings" []
+    (finding_ids o.Explore.findings);
+  check Alcotest.bool "not truncated" false o.Explore.stats.Explore.truncated;
+  check Alcotest.int "one verdict per non-faithful label"
+    (List.length (List.filter (fun d -> d <> Dev.Faithful) Dev.all))
+    (List.length o.Explore.verdicts);
+  let exempt, rest =
+    List.partition
+      (fun (_, v) -> match v with Explore.Exempt _ -> true | _ -> false)
+      o.Explore.verdicts
+  in
+  check
+    (Alcotest.list Alcotest.string)
+    "exactly the by-design exemptions"
+    [ "lying-checker"; "misreport-cost" ]
+    (List.sort String.compare
+       (List.map (fun (d, _) -> Dev.to_string d) exempt));
+  List.iter
+    (fun (d, v) ->
+      match v with
+      | Explore.Detected { depth; _ } ->
+          check Alcotest.bool (Dev.to_string d ^ ": positive depth") true
+            (depth > 0)
+      | _ -> Alcotest.failf "%s not detected" (Dev.to_string d))
+    rest
+
+let test_explore_covers_suggested_chain () =
+  (* Cross-validation against the compiled machine: every state the
+     suggested play visits is covered by some explored scenario. *)
+  let o = Lazy.force stock_outcome in
+  let rec walk s acc =
+    match machine.Sm.suggested s with
+    | Some a ->
+        let s' = machine.Sm.transition s a in
+        walk s' (s' :: acc)
+    | None -> List.rev acc
+  in
+  List.iter
+    (fun s ->
+      check Alcotest.bool ("covers " ^ s) true
+        (List.mem s o.Explore.covered_states))
+    (walk ir.Ir.initial [ ir.Ir.initial ])
+
+(* QCheck: exploration is total — randomly edited IRs (extra transitions,
+   overridden suggestions, appended states) never raise and always
+   terminate within the bound. *)
+let prop_explore_total =
+  let action_arr = Array.of_list action_ids in
+  let state_arr = Array.of_list ir.Ir.states in
+  QCheck.Test.make ~name:"exploration of edited IRs is total" ~count:15
+    QCheck.(triple small_nat small_nat small_nat)
+    (fun (i, j, k) ->
+      let s_at x = state_arr.(x mod Array.length state_arr) in
+      let a_at x = action_arr.(x mod Array.length action_arr) in
+      let edited =
+        {
+          ir with
+          Ir.states =
+            (if i mod 3 = 0 then ir.Ir.states @ [ "limbo" ] else ir.Ir.states);
+          transitions =
+            { Ir.src = s_at i; act = a_at j; dst = s_at k }
+            :: ir.Ir.transitions;
+          suggested =
+            (if k mod 2 = 0 then (s_at k, a_at i) :: ir.Ir.suggested
+             else ir.Ir.suggested);
+        }
+      in
+      let o = Explore.run ~bound:1500 ~graph:(fig1 ()) edited in
+      o.Explore.stats.Explore.scenarios > 0
+      && o.Explore.stats.Explore.states_explored >= 0)
+
+(* --- the verify driver -------------------------------------------------- *)
+
+let verify ?mutation () =
+  Verify.run ~adversary:Adversary.all_labels ?mutation
+    ~observed:stock_observations ~graph:(fig1 ()) ~topology:"fig1" ir
+
+let test_verify_stock () =
+  let r = verify () in
+  check Alcotest.int "zero errors" 0 (Verify.error_count r);
+  check Alcotest.int "exit 0" 0 (Verify.exit_code r);
+  check Alcotest.bool "detection-complete" true (Verify.detection_complete r);
+  check Alcotest.bool "no-false-accusation" true (Verify.no_false_accusation r);
+  check (Alcotest.list Alcotest.string) "no findings" []
+    (finding_ids r.Verify.findings);
+  check Alcotest.int "one flow row per action" (List.length ir.Ir.actions)
+    (List.length r.Verify.flow);
+  List.iter
+    (fun (a, declared, observed) ->
+      check Alcotest.bool (a ^ ": declared = observed") true
+        (declared = observed))
+    r.Verify.flow
+
+let test_verify_mutations_fire () =
+  List.iter
+    (fun (name, verify_id) ->
+      let r = verify ~mutation:name () in
+      let ids = finding_ids r.Verify.findings in
+      check Alcotest.bool (name ^ ": behavioral finding " ^ verify_id) true
+        (List.mem verify_id ids);
+      (* the static finding from the lint layer rides along *)
+      (match Mutate.expected name with
+      | Some static_id ->
+          check Alcotest.bool (name ^ ": static finding " ^ static_id) true
+            (List.mem static_id ids)
+      | None -> Alcotest.failf "%s not in Mutate.all" name);
+      check Alcotest.int (name ^ ": exit 1") 1 (Verify.exit_code r);
+      check Alcotest.bool (name ^ ": detection-completeness verdict") true
+        (Verify.detection_complete r = (verify_id <> "undetected-deviation"));
+      check Alcotest.bool (name ^ ": never a false accusation") true
+        (Verify.no_false_accusation r))
+    Mutate.all_verify
+
+let test_verify_table_consistent () =
+  check (Alcotest.list Alcotest.string) "same mutation key set"
+    (List.map fst Mutate.all)
+    (List.map fst Mutate.all_verify);
+  List.iter
+    (fun (name, id) ->
+      check Alcotest.(option string) name (Some id)
+        (Mutate.expected_verify name))
+    Mutate.all_verify;
+  check Alcotest.(option string) "unknown mutation" None
+    (Mutate.expected_verify "no-such-mutation")
+
 let suites =
   [
     ( "speccheck.check",
@@ -320,5 +569,31 @@ let suites =
         Alcotest.test_case "stuck on persistent failure" `Quick
           test_phase_execute_stuck;
         Alcotest.test_case "phase lookup" `Quick test_ir_phase_lookup;
+        Alcotest.test_case "multi-phase attribution" `Quick
+          test_multi_phase_action;
+      ] );
+    ( "speccheck.taint",
+      [
+        Alcotest.test_case "lattice laws" `Quick test_taint_lattice;
+        Alcotest.test_case "stock flow agreement" `Quick
+          test_stock_flow_agreement;
+        Alcotest.test_case "mismatch is an error" `Quick test_flow_mismatch;
+        Alcotest.test_case "deviation shows as slack" `Quick
+          test_flow_slack_under_deviation;
+      ] );
+    ( "speccheck.explore",
+      [
+        Alcotest.test_case "stock product space" `Quick test_explore_stock;
+        Alcotest.test_case "covers the suggested chain" `Quick
+          test_explore_covers_suggested_chain;
+        QCheck_alcotest.to_alcotest prop_explore_total;
+      ] );
+    ( "speccheck.verify",
+      [
+        Alcotest.test_case "stock report" `Quick test_verify_stock;
+        Alcotest.test_case "mutations fire behaviorally" `Quick
+          test_verify_mutations_fire;
+        Alcotest.test_case "verify table consistent" `Quick
+          test_verify_table_consistent;
       ] );
   ]
