@@ -31,6 +31,8 @@ module Bank = Damd_faithful.Bank
 module Runner = Damd_faithful.Runner
 module Replication = Damd_faithful.Replication
 module Campaign = Damd_gauntlet.Campaign
+module Scale = Damd_faithful.Scale
+module Sparse = Damd_fpss.Sparse
 
 (* Shared fixtures, built once. *)
 let fig1, _names = Gen.figure1 ()
@@ -255,32 +257,151 @@ let run_and_report ~quota ~limit tests =
 (* The BENCH_*.json trajectory format (DESIGN.md §9): one object per
    benchmark with the raw OLS nanosecond estimate, so successive PRs can be
    diffed mechanically. *)
-let json_of_rows ~quota ~limit rows =
+let json_of_rows ~quota ~limit ?scaling rows =
   let module Json = Damd_util.Json in
   Json.Obj
+    ([
+       ("schema", Json.String "damd-bench/1");
+       ("unit", Json.String "ns_per_run");
+       ("quota_s", Json.Float quota);
+       ("limit", Json.Int limit);
+       ( "results",
+         Json.List
+           (List.map
+              (fun (name, ns) ->
+                Json.Obj
+                  [
+                    ("name", Json.String name);
+                    ("time_per_run_ns", Json.Float ns);
+                  ])
+              rows) );
+     ]
+    @ match scaling with None -> [] | Some s -> [ ("scaling", s) ])
+
+(* --- the n=10k scaling sweep (--scale) ---
+
+   One-shot timed runs, not Bechamel: a 2 s faithful run at n=10k cannot
+   be OLS-sampled inside a sane quota, and the question here is the growth
+   *curve*, not nanosecond precision. Per size: generate an AS-like
+   power-law graph (m=2), run the full sparse faithful pass (flood,
+   routing + pricing fixpoints, both mirror checkpoints, settlement) over
+   8 spread destinations, and record wall time plus memory — [live_words]
+   is measured after [Gc.compact] with the sparse state still live, so it
+   is the actual resident word count of graph + protocol state; the
+   per-row tuple keeps only scalars so earlier sizes don't stay live and
+   inflate later measurements. Sizes run ascending, so the monotone
+   [top_heap_words] is dominated by the size just run. *)
+
+type scaling_row = {
+  sc_n : int;
+  sc_edges : int;
+  sc_gen_s : float;
+  sc_run_s : float;
+  sc_rounds_flood : int;
+  sc_rounds_routing : int;
+  sc_rounds_pricing : int;
+  sc_messages : int;
+  sc_checkpoint_messages : int;
+  sc_delivered : int;
+  sc_state_words : int;
+  sc_live_words : int;
+  sc_top_heap_words : int;
+}
+
+let scaling_sizes = [ 16; 64; 256; 1000; 10000 ]
+
+let run_scaling_sweep () =
+  let module Json = Damd_util.Json in
+  let rows =
+    List.map
+      (fun n ->
+        let rng = Rng.create (1000 + n) in
+        let t0 = Unix.gettimeofday () in
+        let g, _relations = Gen.as_like rng ~n ~m:2 (Gen.Uniform_int (1, 10)) in
+        let gen_s = Unix.gettimeofday () -. t0 in
+        let dests = Array.init 8 (fun i -> i * n / 8) in
+        let t1 = Unix.gettimeofday () in
+        let report, sp = Scale.run ~dests g in
+        let run_s = Unix.gettimeofday () -. t1 in
+        if not report.Scale.completed then
+          failwith (Printf.sprintf "scaling sweep: n=%d halted at a checkpoint" n);
+        Gc.compact ();
+        let st = Gc.stat () in
+        {
+          sc_n = n;
+          sc_edges = Graph.num_edges g;
+          sc_gen_s = gen_s;
+          sc_run_s = run_s;
+          sc_rounds_flood = report.Scale.rounds_flood;
+          sc_rounds_routing = report.Scale.rounds_routing;
+          sc_rounds_pricing = report.Scale.rounds_pricing;
+          sc_messages = report.Scale.construction_messages;
+          sc_checkpoint_messages = report.Scale.checkpoint_messages;
+          sc_delivered = report.Scale.delivered;
+          sc_state_words = Sparse.state_words sp;
+          sc_live_words = st.Gc.live_words;
+          sc_top_heap_words = st.Gc.top_heap_words;
+        })
+      scaling_sizes
+  in
+  let t =
+    Damd_util.Table.create
+      [
+        "n"; "edges"; "gen"; "run"; "rounds f/r/p"; "messages"; "state words";
+        "live words";
+      ]
+  in
+  List.iter
+    (fun r ->
+      Damd_util.Table.add_row t
+        [
+          string_of_int r.sc_n;
+          string_of_int r.sc_edges;
+          Printf.sprintf "%.3f s" r.sc_gen_s;
+          Printf.sprintf "%.3f s" r.sc_run_s;
+          Printf.sprintf "%d/%d/%d" r.sc_rounds_flood r.sc_rounds_routing
+            r.sc_rounds_pricing;
+          string_of_int (r.sc_messages + r.sc_checkpoint_messages);
+          string_of_int r.sc_state_words;
+          string_of_int r.sc_live_words;
+        ])
+    rows;
+  Damd_util.Table.print t;
+  Json.Obj
     [
-      ("schema", Json.String "damd-bench/1");
-      ("unit", Json.String "ns_per_run");
-      ("quota_s", Json.Float quota);
-      ("limit", Json.Int limit);
-      ( "results",
+      ("topology", Json.String "as:N:2");
+      ("dests", Json.Int 8);
+      ( "rows",
         Json.List
           (List.map
-             (fun (name, ns) ->
+             (fun r ->
                Json.Obj
                  [
-                   ("name", Json.String name);
-                   ("time_per_run_ns", Json.Float ns);
+                   ("n", Json.Int r.sc_n);
+                   ("edges", Json.Int r.sc_edges);
+                   ("gen_s", Json.Float r.sc_gen_s);
+                   ("run_s", Json.Float r.sc_run_s);
+                   ("rounds_flood", Json.Int r.sc_rounds_flood);
+                   ("rounds_routing", Json.Int r.sc_rounds_routing);
+                   ("rounds_pricing", Json.Int r.sc_rounds_pricing);
+                   ("construction_messages", Json.Int r.sc_messages);
+                   ("checkpoint_messages", Json.Int r.sc_checkpoint_messages);
+                   ("delivered", Json.Int r.sc_delivered);
+                   ("state_words", Json.Int r.sc_state_words);
+                   ("live_words", Json.Int r.sc_live_words);
+                   ("top_heap_words", Json.Int r.sc_top_heap_words);
                  ])
              rows) );
     ]
 
-let usage = "usage: main.exe [--json FILE] [--quota SECONDS] [--limit N]"
+let usage =
+  "usage: main.exe [--json FILE] [--quota SECONDS] [--limit N] [--scale]"
 
 let () =
   let json_path = ref None in
   let quota = ref 0.5 in
   let limit = ref 300 in
+  let scale = ref false in
   let spec =
     [
       ("--json", Arg.String (fun f -> json_path := Some f),
@@ -289,6 +410,8 @@ let () =
        "SECONDS  per-benchmark time budget (default 0.5)");
       ("--limit", Arg.Set_int limit,
        "N  max samples per benchmark (default 300)");
+      ("--scale", Arg.Set scale,
+       "  also run the faithful scaling sweep (as:N:2 up to n=10000)");
     ]
   in
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
@@ -297,8 +420,17 @@ let () =
   let rows = run_and_report ~quota:!quota ~limit:!limit experiment_tests in
   print_newline ();
   let micro_rows = run_and_report ~quota:!quota ~limit:!limit micro_tests in
+  let scaling =
+    if !scale then begin
+      print_newline ();
+      print_endline
+        "== faithful protocol at scale (as:N:2, 8 dests, one-shot wall time) ==";
+      Some (run_scaling_sweep ())
+    end
+    else None
+  in
   match !json_path with
   | None -> ()
   | Some path ->
       Damd_util.Json.to_file path
-        (json_of_rows ~quota:!quota ~limit:!limit (rows @ micro_rows))
+        (json_of_rows ~quota:!quota ~limit:!limit ?scaling (rows @ micro_rows))

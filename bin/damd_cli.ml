@@ -20,34 +20,52 @@ module Tables = Damd_fpss.Tables
 module Adversary = Damd_faithful.Adversary
 module Bank = Damd_faithful.Bank
 module Runner = Damd_faithful.Runner
+module Scale = Damd_faithful.Scale
+module Sparse = Damd_fpss.Sparse
+module Biconnect = Damd_graph.Biconnect
 
-let parse_topology spec seed =
+(* [as:N:M] also carries commercial edge annotations; commands that only
+   need the graph take [parse_topology], the topo inspector keeps them. *)
+let parse_topology_full spec seed =
   let rng = Rng.create seed in
   let fail () =
     raise
       (Invalid_argument
          (Printf.sprintf
             "unknown topology %S (expected fig1 | ring:N | chordal:N:CHORDS | \
-             er:N:P | ba:N:M | waxman:N)"
+             er:N:P | ba:N:M | as:N:M | waxman:N)"
             spec))
   in
   match String.split_on_char ':' spec with
-  | [ "fig1" ] -> fst (Gen.figure1 ())
+  | [ "fig1" ] -> (fst (Gen.figure1 ()), None)
   | [ "ring"; n ] ->
       let n = int_of_string n in
-      Gen.ring ~n ~costs:(Gen.draw_costs rng (Gen.Uniform_int (1, 10)) n)
+      (Gen.ring ~n ~costs:(Gen.draw_costs rng (Gen.Uniform_int (1, 10)) n), None)
   | [ "chordal"; n; chords ] ->
-      Gen.chordal_ring rng ~n:(int_of_string n) ~chords:(int_of_string chords)
-        (Gen.Uniform_int (1, 10))
+      ( Gen.chordal_ring rng ~n:(int_of_string n) ~chords:(int_of_string chords)
+          (Gen.Uniform_int (1, 10)),
+        None )
   | [ "er"; n; p ] ->
-      Gen.erdos_renyi rng ~n:(int_of_string n) ~p:(float_of_string p)
-        (Gen.Uniform_int (1, 10))
+      ( Gen.erdos_renyi rng ~n:(int_of_string n) ~p:(float_of_string p)
+          (Gen.Uniform_int (1, 10)),
+        None )
   | [ "ba"; n; m ] ->
-      Gen.barabasi_albert rng ~n:(int_of_string n) ~m:(int_of_string m)
-        (Gen.Uniform_int (1, 10))
+      ( Gen.barabasi_albert rng ~n:(int_of_string n) ~m:(int_of_string m)
+          (Gen.Uniform_int (1, 10)),
+        None )
+  | [ "as"; n; m ] ->
+      let g, annotations =
+        Gen.as_like rng ~n:(int_of_string n) ~m:(int_of_string m)
+          (Gen.Uniform_int (1, 10))
+      in
+      (g, Some annotations)
   | [ "waxman"; n ] ->
-      Gen.waxman rng ~n:(int_of_string n) ~alpha:0.7 ~beta:0.4 (Gen.Uniform_int (1, 10))
+      ( Gen.waxman rng ~n:(int_of_string n) ~alpha:0.7 ~beta:0.4
+          (Gen.Uniform_int (1, 10)),
+        None )
   | _ -> fail ()
+
+let parse_topology spec seed = fst (parse_topology_full spec seed)
 
 let parse_deviation spec =
   let fail () =
@@ -172,6 +190,81 @@ let run_routing topology seed deviants no_checking no_copies deferred latency lo
   | Some _ | None -> ());
   if not r.Runner.completed then exit 1
 
+(* --- topology generation / inspection --- *)
+
+let spread_dests n k =
+  let k = max 1 (min k n) in
+  Array.init k (fun i -> i * n / k)
+
+let run_topo topology seed converge dests_k dot_path =
+  let t0 = Unix.gettimeofday () in
+  let g, annotations = parse_topology_full topology seed in
+  let gen_s = Unix.gettimeofday () -. t0 in
+  let n = Graph.n g in
+  let e = Graph.num_edges g in
+  let dmin = ref max_int and dmax = ref 0 in
+  for i = 0 to n - 1 do
+    let d = Graph.degree g i in
+    if d < !dmin then dmin := d;
+    if d > !dmax then dmax := d
+  done;
+  let dmean = 2. *. float_of_int e /. float_of_int (max 1 n) in
+  Printf.printf "topology %s (seed %d): n=%d edges=%d generated in %.3fs\n"
+    topology seed n e gen_s;
+  Printf.printf "degree: min=%d mean=%.2f max=%d\n" !dmin dmean !dmax;
+  let hubs = Array.init n (fun i -> (Graph.degree g i, i)) in
+  Array.sort (fun (da, a) (db, b) -> compare (db, a) (da, b)) hubs;
+  Printf.printf "top hubs:";
+  for r = 0 to min 4 (n - 1) do
+    let d, i = hubs.(r) in
+    Printf.printf " %d(deg %d)" i d
+  done;
+  print_newline ();
+  Printf.printf "connected=%b biconnected=%b\n" (Graph.is_connected g)
+    (Biconnect.is_biconnected g);
+  (match annotations with
+  | None -> ()
+  | Some ann ->
+      let peers =
+        List.length (List.filter (fun (_, _, r) -> r = Gen.Peer) ann)
+      in
+      Printf.printf
+        "commercial relations: %d peer (tier-1 core), %d customer-provider\n"
+        peers
+        (List.length ann - peers));
+  (match dot_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Graph.to_dot g);
+      close_out oc;
+      Printf.printf "dot written to %s\n" path);
+  if converge then begin
+    let dests = spread_dests n dests_k in
+    let t1 = Unix.gettimeofday () in
+    let report, sp = Scale.run ~dests g in
+    let run_s = Unix.gettimeofday () -. t1 in
+    Printf.printf "faithful run (k=%d dests): %s in %.3fs\n" report.Scale.k
+      (if report.Scale.completed then "completed" else "HALTED AT CHECKPOINT")
+      run_s;
+    Printf.printf "rounds: flood=%d routing=%d pricing=%d\n"
+      report.Scale.rounds_flood report.Scale.rounds_routing
+      report.Scale.rounds_pricing;
+    Printf.printf "messages: construction=%d checkpoint=%d\n"
+      report.Scale.construction_messages report.Scale.checkpoint_messages;
+    Printf.printf "sparse state: %d words\n" (Sparse.state_words sp);
+    Printf.printf "delivered=%d payments=%.2f true-cost=%.2f\n"
+      report.Scale.delivered report.Scale.total_payments
+      report.Scale.total_true_cost;
+    List.iter
+      (fun (d : Scale.detection) ->
+        Printf.printf "detected node %d in %s (residual %g)\n" d.Scale.culprit
+          (match d.Scale.phase with `Routing -> "routing" | `Pricing -> "pricing")
+          d.Scale.residual)
+      report.Scale.detections;
+    if not report.Scale.completed then exit 1
+  end
+
 open Cmdliner
 
 let topology =
@@ -179,7 +272,9 @@ let topology =
     value
     & opt string "fig1"
     & info [ "t"; "topology" ] ~docv:"SPEC"
-        ~doc:"Topology: fig1 | ring:N | chordal:N:C | er:N:P | ba:N:M | waxman:N.")
+        ~doc:
+          "Topology: fig1 | ring:N | chordal:N:C | er:N:P | ba:N:M | as:N:M | \
+           waxman:N.")
 
 let seed =
   Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Random seed.")
@@ -633,6 +728,37 @@ let gauntlet_cmd =
       const run_gauntlet $ campaigns_arg $ seed $ weaken_arg $ json_arg
       $ replay_arg $ no_shrink_arg)
 
+let converge_arg =
+  Arg.(
+    value & flag
+    & info [ "converge" ]
+        ~doc:
+          "Run the sparse faithful protocol on the generated graph: flood, \
+           routing and pricing fixpoints, mirror checkpoints, settlement.")
+
+let topo_dests_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "dests" ] ~docv:"K"
+        ~doc:
+          "Destinations priced under --converge: K nodes spread evenly over \
+           the id space.")
+
+let dot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot" ] ~docv:"FILE" ~doc:"Dump the graph in Graphviz dot format.")
+
+let topo_cmd =
+  let doc =
+    "generate and inspect (large) topologies: structural stats, \
+     commercial-relation summaries for as:N:M, dot dumps, and an optional \
+     end-to-end faithful convergence run over sparse state"
+  in
+  Cmd.v (Cmd.info "topo" ~doc)
+    Term.(const run_topo $ topology $ seed $ converge_arg $ topo_dests_arg $ dot_arg)
+
 let cmd =
   let doc = "faithful distributed mechanisms, end to end" in
   let default =
@@ -641,6 +767,6 @@ let cmd =
       $ deferred $ latency $ loss $ hotspots $ rate $ verbose)
   in
   Cmd.group ~default (Cmd.info "damd" ~doc)
-    [ routing_cmd; election_cmd; gauntlet_cmd; lint_cmd; verify_cmd ]
+    [ routing_cmd; election_cmd; topo_cmd; gauntlet_cmd; lint_cmd; verify_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,104 @@
+(** Flat-array, destination-restricted FPSS state — the n=10k engine.
+
+    [Distributed] keeps per-node dense tables ([Array.init n (fun _ ->
+    Array.make n ...)]): O(n^2) cells per table, ~100M at n=10k, with a
+    boxed entry record and a full path list per cell. This module is the
+    same change-driven Jacobi computation on a flat representation:
+
+    - routing state is three unboxed scalars per (node, destination) —
+      announced cost, hop count and next hop — in [n*k] arrays indexed
+      [i*k + s]; paths are implicit in next-hop chains and reconstructed
+      on demand;
+    - the destination set may be restricted to [k <= n] nodes, so memory
+      and work scale with [E + n*k] instead of [n^2];
+    - tie-breaking is provably identical to the dense engine: for
+      candidates [i :: p] vs [i :: p'] learned from distinct neighbors
+      the canonical (cost, hops, lex path) order reduces to (cost, hops,
+      neighbor id), which is what the flat state stores.
+
+    With the full destination set the converged tables are byte-identical
+    to [Distributed] (see [to_tables] and the equivalence tests).
+
+    The [?offsets] hooks run the fixpoints over *announced* rows — node
+    [i]'s stored entry is its honest recomputation plus [offsets.(i)] —
+    which is how [Damd_faithful.Scale] models rational distortion and
+    checks it with honest mirrors ([routing_deviation],
+    [pricing_deviation]) without any per-node closures. *)
+
+type t
+
+val create : ?dests:int array -> Damd_graph.Graph.t -> t
+(** Fresh state over [dests] (default: all nodes). Destinations must be
+    distinct and in range; they are sorted internally. *)
+
+val graph : t -> Damd_graph.Graph.t
+
+val dests : t -> int array
+(** The destination set, sorted ascending. *)
+
+val run :
+  ?max_rounds:int ->
+  ?routing_offsets:float array ->
+  ?pricing_offsets:float array ->
+  t ->
+  unit
+(** Flood the destination facts, then run the routing and pricing
+    fixpoints to convergence (default [max_rounds] = 10n+20 per stage;
+    raises [Failure] beyond it). Offsets, when given, are per-node
+    announcement distortions applied inside the fixpoints; they must keep
+    effective costs non-negative. *)
+
+val routing_fixpoint : ?max_rounds:int -> ?offsets:float array -> t -> unit
+val pricing_fixpoint : ?max_rounds:int -> ?offsets:float array -> t -> unit
+
+val flood : t -> unit
+(** Accounting for the DATA1 stage restricted to [k] destination facts:
+    [k * 2E] messages, rounds = max destination hop-eccentricity. *)
+
+(** {2 Announced state} *)
+
+val dist : t -> int -> dest:int -> float
+(** Announced route cost from a node to [dest]; [infinity] if none.
+    Raises [Invalid_argument] when [dest] is not in the destination set
+    (likewise for the accessors below). *)
+
+val hop_count : t -> int -> dest:int -> int
+(** Announced path length in nodes (1 at the destination itself, 0 when
+    unreachable). *)
+
+val next_hop : t -> int -> dest:int -> int option
+
+val path : t -> int -> dest:int -> int list option
+(** Path reconstructed by walking next-hop chains; at a routing fixpoint
+    this equals the dense engine's lex-optimal path. *)
+
+val prices : t -> int -> dest:int -> (int * float) list
+(** Announced VCG transit premia for the node's route to [dest], sorted
+    by transit id — same contents as [Tables.packet_payments]. *)
+
+(** {2 Mirror checkpoints} *)
+
+val routing_deviation : t -> int -> float
+(** Largest absolute gap between node [i]'s announced routing row and an
+    honest recomputation from its neighbors' announced rows — what a
+    checker holding the same announcements computes. 0 for honest nodes,
+    [|delta|] under a cost distortion of [delta], [infinity] for
+    structural lies (wrong hop count / next hop). *)
+
+val pricing_deviation : t -> int -> float
+(** Same checkpoint for the pricing rows. *)
+
+(** {2 Accounting and oracle bridge} *)
+
+val messages : t -> int
+val rounds_flood : t -> int
+val rounds_routing : t -> int
+val rounds_pricing : t -> int
+
+val to_tables : t -> Tables.t
+(** Dense tables for oracle comparison. Requires the full destination
+    set; intended for tests and small n. *)
+
+val state_words : t -> int
+(** Approximate live footprint of the flat state, in words — the scaling
+    bench's memory metric. *)

@@ -78,21 +78,37 @@ let petersen ~costs =
   in
   Graph.create ~n:10 ~costs ~edges
 
+exception Edge_shortfall of { requested : int; added : int }
+
 let add_random_edges rng g count =
   let n = Graph.n g in
-  let edges = ref (Graph.edges g) in
+  (* Hash-set membership: the old [List.mem] probe rescanned the whole edge
+     list per attempt — O(E) each, O(E^2) per call at scale. Keying on the
+     packed normalized pair keeps the accept/reject decision per draw — and
+     hence the RNG stream and the resulting graph — identical to the
+     list-based version on every seed that used to succeed. *)
+  let key u v = (u * n) + v in
+  let present = Hashtbl.create (4 * (count + 1)) in
+  let existing = Graph.edges g in
+  List.iter (fun (u, v) -> Hashtbl.replace present (key u v) ()) existing;
+  let fresh = ref [] in
   let added = ref 0 in
   let attempts = ref 0 in
   while !added < count && !attempts < 50 * count do
     incr attempts;
     let u = Rng.int rng n and v = Rng.int rng n in
-    let e = if u < v then (u, v) else (v, u) in
-    if u <> v && not (List.mem e !edges) then begin
-      edges := e :: !edges;
+    let u, v = if u < v then (u, v) else (v, u) in
+    if u <> v && not (Hashtbl.mem present (key u v)) then begin
+      Hashtbl.replace present (key u v) ();
+      fresh := (u, v) :: !fresh;
       incr added
     end
   done;
-  Graph.create ~n ~costs:(Graph.costs g) ~edges:!edges
+  (* The attempt cap used to trip silently, returning a graph with fewer
+     chords than its descriptor claims — gauntlet replays then depend on
+     which seed got lucky. Shortfall is now an explicit failure. *)
+  if !added < count then raise (Edge_shortfall { requested = count; added = !added });
+  Graph.create ~n ~costs:(Graph.costs g) ~edges:(List.rev_append !fresh existing)
 
 let chordal_ring rng ~n ~chords model =
   let costs = draw_costs rng model n in
@@ -160,34 +176,103 @@ let waxman rng ~n ~alpha ~beta model =
   done;
   ensure_biconnected rng (Graph.create ~n ~costs ~edges:!edges)
 
-let barabasi_albert rng ~n ~m model =
+(* Shared preferential-attachment core: clique seed on m+1 nodes, then each
+   arriving node attaches to m *distinct* existing nodes drawn
+   proportionally to degree (sampling from the endpoint multiset). The
+   multiset lives in one preallocated array behind a fill pointer — total
+   work O(E). The previous version re-[Array.append]ed the whole multiset
+   per accepted edge (O(E^2) copying, the n=10k scale blocker) and its
+   bounded retry loop could silently attach *fewer* than m edges when the
+   guard tripped; here every arriving node gets exactly m, so the edge
+   count is exactly C(m+1,2) + m*(n - m - 1).
+
+   Returns edges in construction order: clique first, then each node's
+   attachments as (arriving, target). Every graph this produces is
+   biconnected by induction — each arrival hooks >= 2 distinct edges onto
+   an already-biconnected graph. *)
+let ba_edges rng ~n ~m =
   if m < 2 then invalid_arg "Gen.barabasi_albert: need m >= 2";
   if n <= m then invalid_arg "Gen.barabasi_albert: need n > m";
-  let costs = draw_costs rng model n in
-  (* Start from a clique on m+1 nodes; each arriving node attaches to m
-     distinct targets drawn proportionally to degree (implemented by
-     sampling from the endpoint multiset). *)
-  let endpoints = ref [] in
+  let seed_edges = (m + 1) * m / 2 in
+  let total_edges = seed_edges + (m * (n - m - 1)) in
+  let endpoints = Array.make (2 * total_edges) 0 in
+  let fill = ref 0 in
+  let push v =
+    endpoints.(!fill) <- v;
+    incr fill
+  in
   let edges = ref [] in
   for u = 0 to m do
     for v = u + 1 to m do
       edges := (u, v) :: !edges;
-      endpoints := u :: v :: !endpoints
+      push u;
+      push v
     done
   done;
-  let endpoint_array = ref (Array.of_list !endpoints) in
+  let chosen = Array.make m (-1) in
+  let mem_chosen k v =
+    let rec go i = i < k && (chosen.(i) = v || go (i + 1)) in
+    go 0
+  in
   for u = m + 1 to n - 1 do
-    let chosen = Hashtbl.create m in
-    let guard = ref 0 in
-    while Hashtbl.length chosen < m && !guard < 1000 do
-      incr guard;
-      let v = Rng.sample rng !endpoint_array in
-      if v <> u && not (Hashtbl.mem chosen v) then Hashtbl.add chosen v ()
+    let k = ref 0 in
+    let attempts = ref 0 in
+    while !k < m do
+      let v =
+        if !attempts < 50 * m then begin
+          incr attempts;
+          endpoints.(Rng.int rng !fill)
+        end
+        else begin
+          (* Degenerate rejection streak (tiny, highly skewed multisets):
+             take the smallest predecessor not yet chosen — u has at least
+             m + 1 predecessors, so one always exists. *)
+          let w = ref 0 in
+          while mem_chosen !k !w do
+            incr w
+          done;
+          !w
+        end
+      in
+      if not (mem_chosen !k v) then begin
+        chosen.(!k) <- v;
+        incr k
+      end
     done;
-    Hashtbl.iter
-      (fun v () ->
-        edges := (u, v) :: !edges;
-        endpoint_array := Array.append !endpoint_array [| u; v |])
-      chosen
+    (* Publish the new endpoints only after all m draws: a node's own
+       fresh edges must not bias its remaining draws. *)
+    for i = 0 to m - 1 do
+      let v = chosen.(i) in
+      edges := (u, v) :: !edges;
+      push u;
+      push v
+    done
   done;
-  ensure_biconnected rng (Graph.create ~n ~costs ~edges:!edges)
+  List.rev !edges
+
+let barabasi_albert rng ~n ~m model =
+  let costs = draw_costs rng model n in
+  let edges = ba_edges rng ~n ~m in
+  (* [ba_edges] output is biconnected by construction; the repair pass is
+     an identity kept as a safety net. *)
+  ensure_biconnected rng (Graph.create ~n ~costs ~edges)
+
+type relation = Customer_provider | Peer
+
+let as_like rng ~n ~m model =
+  let costs = draw_costs rng model n in
+  let edges = ba_edges rng ~n ~m in
+  (* Khoury et al.-style commercial annotations on the BA skeleton: the
+     seed clique is the fully-peered tier-1 core; every growth edge is a
+     customer-provider link with the later-arriving node as the customer
+     (it "buys transit" from the incumbent it attached to). No repair pass:
+     [ba_edges] is biconnected by construction, and a repair edge would
+     have no principled relation. *)
+  let seed_edges = (m + 1) * m / 2 in
+  let annotations =
+    List.mapi
+      (fun i (u, v) ->
+        if i < seed_edges then (u, v, Peer) else (u, v, Customer_provider))
+      edges
+  in
+  (Graph.create ~n ~costs ~edges, annotations)

@@ -40,8 +40,21 @@ val petersen : costs:float array -> Graph.t
 (** The Petersen graph (10 nodes, 3-regular, girth 5) — a classic
     adversarial testbed for path algorithms; [costs] has length 10. *)
 
+exception Edge_shortfall of { requested : int; added : int }
+(** Raised by [add_random_edges] (and hence [chordal_ring]) when the
+    rejection-sampling attempt cap trips before [requested] distinct new
+    edges were found. The old behaviour was to silently return a graph
+    with fewer chords than its descriptor claimed, which made gauntlet
+    replays seed-luck-dependent. *)
+
+val add_random_edges : Damd_util.Rng.t -> Graph.t -> int -> Graph.t
+(** Add exactly [count] distinct non-self edges not already present,
+    endpoints uniform. Raises [Edge_shortfall] if the attempt cap
+    (50 x count) trips first — e.g. when the graph is near-complete. *)
+
 val chordal_ring : Damd_util.Rng.t -> n:int -> chords:int -> cost_model -> Graph.t
-(** Cycle plus [chords] random extra edges; always biconnected. *)
+(** Cycle plus [chords] random extra edges; always biconnected. Raises
+    [Edge_shortfall] when [chords] don't fit (see [add_random_edges]). *)
 
 val erdos_renyi : Damd_util.Rng.t -> n:int -> p:float -> cost_model -> Graph.t
 (** G(n, p), then repaired to biconnectivity by [ensure_biconnected]. *)
@@ -52,8 +65,29 @@ val waxman :
     [alpha * exp (-d / (beta * sqrt 2.))]; repaired to biconnectivity. *)
 
 val barabasi_albert : Damd_util.Rng.t -> n:int -> m:int -> cost_model -> Graph.t
-(** Preferential attachment with [m >= 2] edges per arriving node; repaired
-    to biconnectivity. *)
+(** Preferential attachment with exactly [m >= 2] distinct edges per
+    arriving node, built in O(E) off a preallocated endpoint multiset, so
+    the edge count is exactly C(m+1,2) + m*(n-m-1). Biconnected by
+    construction (clique seed, >= 2 attachments per arrival). *)
+
+type relation =
+  | Customer_provider
+      (** the first endpoint of the annotated edge is the customer — the
+          later-arriving node buying transit from the incumbent *)
+  | Peer  (** settlement-free peering (the tier-1 seed clique) *)
+
+val as_like :
+  Damd_util.Rng.t ->
+  n:int ->
+  m:int ->
+  cost_model ->
+  Graph.t * (int * int * relation) list
+(** AS-like power-law topology: the [barabasi_albert] skeleton plus
+    Khoury et al.-style commercial relations on every edge — the seed
+    clique on nodes [0..m] is a fully-peered tier-1 core ([Peer]); each
+    growth edge [(u, v)] is [Customer_provider] with arriving node [u]
+    the customer of incumbent [v]. The annotation list covers every edge
+    exactly once, in construction order. *)
 
 val ensure_biconnected : Damd_util.Rng.t -> Graph.t -> Graph.t
 (** Adds random edges across cut points / components until the graph is

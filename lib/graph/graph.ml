@@ -63,13 +63,26 @@ let num_edges g = List.length (edges g)
 let is_connected g =
   if g.n = 0 then true
   else begin
+    (* Explicit-stack DFS: the recursive version overflowed the OCaml stack
+       on large path-like graphs (n >= ~50k), and [Gen.ensure_biconnected]
+       calls this on every generated topology. *)
     let seen = Array.make g.n false in
-    let rec dfs u =
-      seen.(u) <- true;
-      List.iter (fun v -> if not seen.(v) then dfs v) g.adj.(u)
-    in
-    dfs 0;
-    Array.for_all (fun b -> b) seen
+    let stack = Stack.create () in
+    seen.(0) <- true;
+    Stack.push 0 stack;
+    let count = ref 1 in
+    while not (Stack.is_empty stack) do
+      let u = Stack.pop stack in
+      Array.iter
+        (fun v ->
+          if not seen.(v) then begin
+            seen.(v) <- true;
+            incr count;
+            Stack.push v stack
+          end)
+        g.adj_arr.(u)
+    done;
+    !count = g.n
   end
 
 let fold_nodes f g acc =

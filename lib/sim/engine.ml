@@ -81,7 +81,12 @@ let schedule t ~delay callback =
 let run ?(max_events = 10_000_000) t =
   let budget = ref max_events in
   let rec loop () =
-    if !budget <= 0 then Event_limit
+    (* Look at the queue before the budget: a run that went quiescent on
+       exactly its last allowed event is Quiescent, not Event_limit. Only
+       an exhausted budget WITH work still pending is a limit stop (the
+       unpopped event stays queued, so a subsequent [run] resumes it). *)
+    if Pqueue.is_empty t.queue then Quiescent
+    else if !budget <= 0 then Event_limit
     else
       match Pqueue.pop t.queue with
       | None -> Quiescent
@@ -116,6 +121,7 @@ let sent_by t i = t.sent_by.(i)
 let received_by t i = t.received_by.(i)
 
 let reset_stats t =
+  t.processed <- 0;
   t.sent <- 0;
   t.delivered <- 0;
   t.dropped <- 0;

@@ -74,14 +74,19 @@ val schedule : 'msg t -> delay:float -> (unit -> unit) -> unit
 
 val run : ?max_events:int -> 'msg t -> outcome
 (** Process events in time order until the queue drains or [max_events]
-    (default [10_000_000]) events have been processed. May be called again
-    after new sends — the faithful protocol alternates [run]-to-quiescence
-    with bank checkpoints. *)
+    (default [10_000_000]) events have been processed. The queue is
+    consulted before the budget, so a run whose queue drains on exactly its
+    last allowed event is [Quiescent]; [Event_limit] means events remain
+    pending (they stay queued, so a subsequent [run] resumes them). May be
+    called again after new sends — the faithful protocol alternates
+    [run]-to-quiescence with bank checkpoints. *)
 
 val events_processed : 'msg t -> int
-(** Total events (deliveries and timers) processed over the engine's
-    lifetime. Monotone: NOT zeroed by [reset_stats], so it can serve as a
-    schedule-length fingerprint across phases. *)
+(** Events (deliveries and timers) processed since the last [reset_stats]
+    (or creation). Zeroed by [reset_stats] along with the other counters,
+    so warm-start epochs do not silently mix: each phase's
+    [events_processed] is a schedule-length fingerprint for that phase
+    alone. *)
 
 (** Accounting, reset with [reset_stats]. *)
 

@@ -1177,6 +1177,97 @@ let test_adversary_phases_partition () =
         || d = Adversary.Misreport_cost 5.))
     Adversary.library
 
+(* --- Scale: faithful checking over sparse state --- *)
+
+module Scale = Damd_faithful.Scale
+module Sparse = Damd_fpss.Sparse
+
+let test_scale_honest_completes () =
+  (* A full honest pass on an n=256 AS-like power-law topology with a
+     restricted destination set: clean checkpoints, every demand routed,
+     and the settlement conserves value (payments are transfers, so the
+     welfare identity sum(u) = value*delivered - true transit cost must
+     hold exactly). *)
+  let rng = Rng.create 77 in
+  let g, _ = Gen.as_like rng ~n:256 ~m:2 (Gen.Uniform_int (1, 10)) in
+  let dests = [| 0; 1; 2; 3; 50; 100; 150; 250 |] in
+  let report, _sp = Scale.run ~dests g in
+  check Alcotest.bool "completed" true report.Scale.completed;
+  check Alcotest.int "no detections" 0 (List.length report.Scale.detections);
+  check Alcotest.int "all demands delivered" (8 * 255) report.Scale.delivered;
+  check Alcotest.bool "construction messages counted" true
+    (report.Scale.construction_messages > 0);
+  check Alcotest.bool "checkpoint traffic is per-edge" true
+    (report.Scale.checkpoint_messages = 4 * Graph.num_edges g);
+  let sum_u = Array.fold_left ( +. ) 0. report.Scale.utilities in
+  let expected =
+    (100. *. float_of_int report.Scale.delivered) -. report.Scale.total_true_cost
+  in
+  check (Alcotest.float 1e-6) "welfare identity" expected sum_u
+
+let test_scale_matches_dense_tables () =
+  (* With the full destination set, the announced tables the scale layer
+     certifies are exactly the centralized FPSS fixpoint, and the money
+     that moves matches the dense price tables. *)
+  let g, _ = Lazy.force fig1 in
+  let report, sp = Scale.run g in
+  check Alcotest.bool "completed" true report.Scale.completed;
+  let t = Sparse.to_tables sp in
+  let c = Pricing.compute g in
+  check Alcotest.bool "routing = centralized" true (Tables.routing_equal t c);
+  check Alcotest.bool "prices = centralized" true (Tables.prices_equal t c);
+  let dense_payments = ref 0. in
+  for src = 0 to 5 do
+    for dst = 0 to 5 do
+      if src <> dst then
+        List.iter
+          (fun (_, p) -> dense_payments := !dense_payments +. p)
+          (Tables.packet_payments c ~src ~dst)
+    done
+  done;
+  check (Alcotest.float 1e-9) "payments match dense tables" !dense_payments
+    report.Scale.total_payments
+
+let test_scale_routing_distorter_caught () =
+  let rng = Rng.create 78 in
+  let g = Gen.chordal_ring rng ~n:64 ~chords:16 (Gen.Uniform_int (1, 10)) in
+  let deviations i = if i = 5 then Scale.Distort_routing 0.5 else Scale.Honest in
+  let report, _ = Scale.run ~dests:[| 0; 16; 32; 48 |] ~deviations g in
+  check Alcotest.bool "not completed" false report.Scale.completed;
+  (match report.Scale.detections with
+  | [ d ] ->
+      check Alcotest.int "correct culprit" 5 d.Scale.culprit;
+      check Alcotest.bool "routing phase" true (d.Scale.phase = `Routing);
+      check (Alcotest.float 1e-9) "residual = distortion" 0.5 d.Scale.residual
+  | ds ->
+      Alcotest.failf "expected exactly one detection, got %d" (List.length ds))
+
+let test_scale_pricing_distorter_caught () =
+  (* Node C (id 2) carries Fig-1 transit traffic, so padded prices are a
+     visible lie; routing stays honest and clean. *)
+  let g, _ = Lazy.force fig1 in
+  let deviations i = if i = 2 then Scale.Distort_pricing 0.75 else Scale.Honest in
+  let report, _ = Scale.run ~deviations g in
+  check Alcotest.bool "not completed" false report.Scale.completed;
+  (match report.Scale.detections with
+  | [ d ] ->
+      check Alcotest.int "correct culprit" 2 d.Scale.culprit;
+      check Alcotest.bool "pricing phase" true (d.Scale.phase = `Pricing);
+      check (Alcotest.float 1e-9) "residual = distortion" 0.75 d.Scale.residual
+  | ds ->
+      Alcotest.failf "expected exactly one detection, got %d" (List.length ds))
+
+let test_scale_halts_on_detection () =
+  (* Detection means the bank refuses to certify: no traffic clears and
+     no money moves. *)
+  let g, _ = Lazy.force fig1 in
+  let deviations i = if i = 3 then Scale.Distort_routing 1.0 else Scale.Honest in
+  let report, _ = Scale.run ~deviations g in
+  check Alcotest.bool "not completed" false report.Scale.completed;
+  check Alcotest.int "nothing delivered" 0 report.Scale.delivered;
+  checkf "no payments" 0. report.Scale.total_payments;
+  Array.iter (fun u -> checkf "utilities untouched" 0. u) report.Scale.utilities
+
 let suites =
   [
     ( "faithful.protocol",
@@ -1348,5 +1439,17 @@ let suites =
         Alcotest.test_case "names unique" `Quick test_adversary_names_unique;
         Alcotest.test_case "classes nonempty" `Quick test_adversary_classes_nonempty;
         Alcotest.test_case "phase partition" `Quick test_adversary_phases_partition;
+      ] );
+    ( "faithful.scale",
+      [
+        Alcotest.test_case "honest n=256 AS-like completes" `Quick
+          test_scale_honest_completes;
+        Alcotest.test_case "matches dense runner economics" `Quick
+          test_scale_matches_dense_tables;
+        Alcotest.test_case "routing distorter caught" `Quick
+          test_scale_routing_distorter_caught;
+        Alcotest.test_case "pricing distorter caught" `Quick
+          test_scale_pricing_distorter_caught;
+        Alcotest.test_case "halt on detection" `Quick test_scale_halts_on_detection;
       ] );
   ]

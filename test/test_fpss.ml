@@ -451,6 +451,123 @@ let prop_vcg_game_no_profitable_lie =
       reports.(agent) <- float_of_int lie;
       Mechanism.utility m agent true_costs.(agent) reports <= truthful +. 1e-9)
 
+(* --- Sparse flat-array engine vs the dense oracle --- *)
+
+module Sparse = Damd_fpss.Sparse
+
+let check_sparse_matches_dense name g =
+  let d = Distributed.run g in
+  let sp = Sparse.create g in
+  Sparse.run sp;
+  let t = Sparse.to_tables sp in
+  check Alcotest.bool (name ^ ": sparse routing byte-identical") true
+    (t.Tables.routing = d.Distributed.tables.Tables.routing);
+  check Alcotest.bool (name ^ ": sparse prices byte-identical") true
+    (t.Tables.prices = d.Distributed.tables.Tables.prices)
+
+let test_sparse_full_dests_matches_dense () =
+  let g1, _ = Lazy.force fig1 in
+  check_sparse_matches_dense "fig1" g1;
+  let rng = Rng.create 320 in
+  for i = 1 to 3 do
+    check_sparse_matches_dense
+      (Printf.sprintf "chordal%d" i)
+      (Gen.chordal_ring rng ~n:16 ~chords:4 (Gen.Uniform_int (1, 10)))
+  done;
+  check_sparse_matches_dense "er32"
+    (Gen.erdos_renyi (Rng.create 321) ~n:32 ~p:0.15 (Gen.Uniform_int (0, 10)));
+  (* Float costs too: the arithmetic per candidate is identical, so even
+     float tables agree bit-for-bit. *)
+  check_sparse_matches_dense "waxman"
+    (Gen.waxman (Rng.create 322) ~n:16 ~alpha:0.7 ~beta:0.4
+       (Gen.Uniform_float (0.1, 5.)))
+
+let test_sparse_restricted_dests_slice_dense () =
+  (* The per-destination systems are independent, so restricting the
+     destination set must reproduce exactly those columns of the dense
+     fixpoint. *)
+  let rng = Rng.create 323 in
+  let g = Gen.chordal_ring rng ~n:20 ~chords:6 (Gen.Uniform_int (1, 10)) in
+  let d = Distributed.run g in
+  let dests = [| 0; 3; 7; 19 |] in
+  let sp = Sparse.create ~dests g in
+  Sparse.run sp;
+  Array.iter
+    (fun dst ->
+      for i = 0 to 19 do
+        (match d.Distributed.tables.Tables.routing.(i).(dst) with
+        | Some e ->
+            checkf "sliced dist" e.Dijkstra.cost (Sparse.dist sp i ~dest:dst);
+            check
+              (Alcotest.option (Alcotest.list Alcotest.int))
+              "sliced path" (Some e.Dijkstra.path)
+              (Sparse.path sp i ~dest:dst)
+        | None ->
+            check Alcotest.bool "sliced unreachable" true
+              (Sparse.dist sp i ~dest:dst = infinity));
+        check
+          (Alcotest.list (Alcotest.pair Alcotest.int (Alcotest.float 1e-12)))
+          "sliced prices"
+          d.Distributed.tables.Tables.prices.(i).(dst)
+          (Sparse.prices sp i ~dest:dst)
+      done)
+    dests;
+  (* Asking for a non-destination is a caller error, not silent garbage. *)
+  check Alcotest.bool "non-dest rejected" true
+    (match Sparse.dist sp 0 ~dest:5 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let prop_sparse_equals_dense =
+  QCheck.Test.make ~name:"sparse = dense on random graphs" ~count:20
+    QCheck.(pair small_nat (float_bound_inclusive 1.))
+    (fun (seed, p) ->
+      let rng = Rng.create (seed + 800) in
+      let n = 6 + (seed mod 10) in
+      let p = 0.2 +. (p *. 0.4) in
+      let g = Gen.erdos_renyi rng ~n ~p (Gen.Uniform_int (0, 10)) in
+      let d = Distributed.run g in
+      let sp = Sparse.create g in
+      Sparse.run sp;
+      let t = Sparse.to_tables sp in
+      t.Tables.routing = d.Distributed.tables.Tables.routing
+      && t.Tables.prices = d.Distributed.tables.Tables.prices)
+
+let test_sparse_deviation_checkpoints () =
+  (* Honest fixpoints have zero residual at every node; a node distorting
+     its announcements by delta shows residual exactly delta at itself —
+     and only at itself, because every other node's announcement is by
+     construction the honest function of its (possibly distorted)
+     inputs. *)
+  let g, _ = Lazy.force fig1 in
+  let sp = Sparse.create g in
+  Sparse.run sp;
+  for i = 0 to 5 do
+    checkf "honest routing residual" 0. (Sparse.routing_deviation sp i);
+    checkf "honest pricing residual" 0. (Sparse.pricing_deviation sp i)
+  done;
+  (* Node C (id 2, the busiest transit) pads every route announcement. *)
+  let routing_offsets = Array.make 6 0. in
+  routing_offsets.(2) <- 0.5;
+  let sp = Sparse.create g in
+  Sparse.run ~routing_offsets sp;
+  for i = 0 to 5 do
+    let r = Sparse.routing_deviation sp i in
+    if i = 2 then checkf "distorter residual = delta" 0.5 r
+    else checkf "honest mirror stays clean" 0. r
+  done;
+  (* And a pricing distorter, caught in the pricing checkpoint only. *)
+  let pricing_offsets = Array.make 6 0. in
+  pricing_offsets.(2) <- 0.75;
+  let sp = Sparse.create g in
+  Sparse.run ~pricing_offsets sp;
+  for i = 0 to 5 do
+    checkf "routing stays clean" 0. (Sparse.routing_deviation sp i);
+    let r = Sparse.pricing_deviation sp i in
+    if i = 2 then checkf "pricing residual = delta" 0.75 r
+    else checkf "honest pricing mirror stays clean" 0. r
+  done
+
 (* --- Cross-checks between Game and the underlying tables --- *)
 
 let test_game_utilities_match_mechanism () =
@@ -568,5 +685,15 @@ let suites =
         QCheck_alcotest.to_alcotest prop_change_driven_equals_reference;
         QCheck_alcotest.to_alcotest prop_warm_start_exact;
         QCheck_alcotest.to_alcotest prop_distributed_equals_centralized;
+      ] );
+    ( "fpss.sparse",
+      [
+        Alcotest.test_case "full dests = dense tables" `Quick
+          test_sparse_full_dests_matches_dense;
+        Alcotest.test_case "restricted dests slice dense" `Quick
+          test_sparse_restricted_dests_slice_dense;
+        Alcotest.test_case "deviation checkpoints" `Quick
+          test_sparse_deviation_checkpoints;
+        QCheck_alcotest.to_alcotest prop_sparse_equals_dense;
       ] );
   ]

@@ -481,6 +481,103 @@ let test_gen_petersen () =
   check Alcotest.bool "biconnected" true (Biconnect.is_biconnected g);
   check Alcotest.int "diameter 2" 2 (Graph.hop_diameter g)
 
+let test_is_connected_50k_ring () =
+  (* Regression: the recursive DFS blew the OCaml stack on large
+     path-like graphs; [ensure_biconnected] hits this on every generated
+     topology. A ring forces maximal DFS depth. *)
+  let n = 50_000 in
+  let g = Gen.ring ~n ~costs:(Array.make n 1.) in
+  check Alcotest.bool "50k ring connected" true (Graph.is_connected g);
+  (* Same scale, genuinely disconnected: a 50k path plus an isolated node. *)
+  let edges = List.init (n - 2) (fun i -> (i, i + 1)) in
+  let g = Graph.create ~n ~costs:(Array.make n 1.) ~edges in
+  check Alcotest.bool "isolated node detected" false (Graph.is_connected g)
+
+let test_add_random_edges_shortfall_raises () =
+  (* Regression: the attempt cap used to trip silently, returning fewer
+     chords than the descriptor claimed. A 6-ring has room for only 9
+     chords, so asking for 20 must fail loudly. *)
+  let rng = Rng.create 11 in
+  (match Gen.chordal_ring rng ~n:6 ~chords:20 cost_model with
+  | _ -> Alcotest.fail "expected Edge_shortfall"
+  | exception Gen.Edge_shortfall { requested; added } ->
+      check Alcotest.int "requested" 20 requested;
+      check Alcotest.bool "partial progress reported" true
+        (added >= 0 && added <= 9));
+  (* A satisfiable request now delivers *exactly* the count asked for. *)
+  let rng = Rng.create 12 in
+  let g = Gen.chordal_ring rng ~n:20 ~chords:10 cost_model in
+  check Alcotest.int "exact chord count" 30 (Graph.num_edges g)
+
+let test_gen_ba_exact_edge_count () =
+  (* O(E) BA attaches exactly m distinct edges per arrival, so the edge
+     count is exactly C(m+1,2) + m(n-m-1) — any duplicate or self edge
+     would be collapsed by [Graph.create] and break the equality. *)
+  let rng = Rng.create 13 in
+  let n = 400 and m = 2 in
+  let g = Gen.barabasi_albert rng ~n ~m cost_model in
+  check Alcotest.int "exact edge count" (3 + (m * (n - m - 1))) (Graph.num_edges g)
+
+let test_gen_ba_degree_distribution () =
+  (* Preferential attachment must produce hubs: max degree well above the
+     median (which stays near m). *)
+  let rng = Rng.create 14 in
+  let n = 1000 and m = 2 in
+  let g = Gen.barabasi_albert rng ~n ~m cost_model in
+  let degs = Array.init n (Graph.degree g) in
+  Array.sort compare degs;
+  let median = degs.(n / 2) in
+  let max_deg = degs.(n - 1) in
+  check Alcotest.bool "median near m" true (median <= 2 * m);
+  check Alcotest.bool "max degree >> median" true (max_deg >= 4 * median)
+
+let test_as_like_annotations_well_formed () =
+  let rng = Rng.create 15 in
+  let n = 200 and m = 3 in
+  let g, annot = Gen.as_like rng ~n ~m cost_model in
+  check Alcotest.bool "biconnected" true (Biconnect.is_biconnected g);
+  (* Every edge annotated exactly once, and every annotation is an edge. *)
+  let norm (u, v) = if u < v then (u, v) else (v, u) in
+  let annot_pairs = List.map (fun (u, v, _) -> norm (u, v)) annot in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "annotations cover the edge set exactly once" (Graph.edges g)
+    (List.sort compare annot_pairs);
+  List.iter
+    (fun (u, v, rel) ->
+      match rel with
+      | Gen.Peer ->
+          (* Peering is confined to the tier-1 seed clique. *)
+          check Alcotest.bool "peer edge inside seed clique" true (u <= m && v <= m)
+      | Gen.Customer_provider ->
+          (* The customer is the later arrival, so it attaches to a
+             strictly earlier incumbent. *)
+          check Alcotest.bool "customer arrived after provider" true
+            (u > v && u > m))
+    annot;
+  let peers = List.length (List.filter (fun (_, _, r) -> r = Gen.Peer) annot) in
+  check Alcotest.int "seed clique fully peered" ((m + 1) * m / 2) peers
+
+let prop_scale_generators_biconnected_cost_valid =
+  (* ISSUE 6: generated topologies at n in {100, 1k} are biconnected and
+     cost-valid (finite, within the declared model range). *)
+  QCheck.Test.make ~name:"BA/AS-like at n in {100,1k} biconnected, costs valid"
+    ~count:8
+    QCheck.(triple small_nat (int_range 2 4) bool)
+    (fun (seed, m, big) ->
+      let n = if big then 1000 else 100 in
+      let rng = Rng.create (seed + 9000) in
+      let g, annot = Gen.as_like rng ~n ~m (Gen.Uniform_int (1, 10)) in
+      let costs_ok =
+        Graph.fold_nodes
+          (fun v acc ->
+            let c = Graph.cost g v in
+            acc && Float.is_finite c && c >= 1. && c <= 10.)
+          g true
+      in
+      Biconnect.is_biconnected g && costs_ok
+      && List.length annot = Graph.num_edges g)
+
 let prop_gen_always_biconnected =
   QCheck.Test.make ~name:"generators always yield biconnected graphs" ~count:40
     QCheck.(pair small_nat (float_bound_inclusive 1.))
@@ -692,6 +789,16 @@ let suites =
         Alcotest.test_case "torus" `Quick test_gen_torus;
         Alcotest.test_case "torus 2x2" `Quick test_gen_torus_2x2;
         Alcotest.test_case "petersen" `Quick test_gen_petersen;
+        Alcotest.test_case "is_connected 50k ring (iterative DFS)" `Quick
+          test_is_connected_50k_ring;
+        Alcotest.test_case "add_random_edges shortfall raises" `Quick
+          test_add_random_edges_shortfall_raises;
+        Alcotest.test_case "ba exact edge count" `Quick test_gen_ba_exact_edge_count;
+        Alcotest.test_case "ba degree distribution" `Quick
+          test_gen_ba_degree_distribution;
+        Alcotest.test_case "as_like annotations well-formed" `Quick
+          test_as_like_annotations_well_formed;
+        QCheck_alcotest.to_alcotest prop_scale_generators_biconnected_cost_valid;
         QCheck_alcotest.to_alcotest prop_gen_always_biconnected;
         QCheck_alcotest.to_alcotest prop_grid_invariants;
         QCheck_alcotest.to_alcotest prop_torus_invariants;

@@ -255,7 +255,18 @@ let test_identical_traces_with_timers_and_ties () =
     Engine.send e ~src:0 ~dst:1 3;
     Engine.send e ~src:0 ~dst:2 3;
     ignore (Engine.run e);
-    (List.rev !log, Engine.events_processed e)
+    let p1 = Engine.events_processed e in
+    (* Warm-start epoch: [reset_stats] zeroes [events_processed] too, so
+       replaying the same sends gives the same per-phase schedule-length
+       fingerprint (minus the timer, which is not rescheduled) instead of
+       a cumulative count mixing epochs. *)
+    Engine.reset_stats e;
+    Engine.send e ~src:0 ~dst:1 3;
+    Engine.send e ~src:0 ~dst:2 3;
+    ignore (Engine.run e);
+    check Alcotest.int "warm-start epoch fingerprint" (p1 - 1)
+      (Engine.events_processed e);
+    (List.rev !log, p1)
   in
   check Alcotest.bool "identical traces and event counts" true
     (trace () = trace ())
@@ -277,29 +288,33 @@ let test_dropped_excluded_from_byte_accounting () =
   check Alcotest.int "dropped counted" 1 (Engine.messages_dropped e)
 
 let test_reset_stats_keeps_clock_and_processed () =
-  (* reset_stats zeroes the counters but must not rewind simulated time
-     or the lifetime processed-event count. *)
+  (* reset_stats zeroes every counter — including [events_processed],
+     which it used to miss, silently mixing epochs across warm-start
+     runs — but must not rewind simulated time. *)
   let e = Engine.create ~n:2 () in
   Engine.set_handler e 1 (fun ~sender:_ _ -> ());
   Engine.send e ~src:0 ~dst:1 ();
   ignore (Engine.run e);
   let t1 = Engine.now e in
-  let p1 = Engine.events_processed e in
+  check Alcotest.int "one event in epoch 1" 1 (Engine.events_processed e);
   Engine.reset_stats e;
   check Alcotest.int "counters reset" 0 (Engine.messages_sent e);
   check (Alcotest.float 1e-9) "clock untouched" t1 (Engine.now e);
-  check Alcotest.int "processed untouched" p1 (Engine.events_processed e);
+  check Alcotest.int "processed reset with the other counters" 0
+    (Engine.events_processed e);
+  Engine.send e ~src:0 ~dst:1 ();
   Engine.send e ~src:0 ~dst:1 ();
   ignore (Engine.run e);
   check Alcotest.bool "clock monotone after reset" true (Engine.now e > t1);
-  check Alcotest.bool "processed monotone after reset" true
-    (Engine.events_processed e > p1)
+  check Alcotest.int "epoch 2 counts only its own events" 2
+    (Engine.events_processed e)
 
 let test_event_limit_vs_quiescent_boundary () =
-  (* The budget check precedes the pop, so a budget exactly equal to the
-     pending event count conservatively reports Event_limit (all events
-     were still processed); one above it observes quiescence, and a
-     limited run resumes cleanly. *)
+  (* The queue is consulted before the budget: a run that drains on
+     exactly its last allowed event is Quiescent (the old budget-first
+     check misreported this boundary as Event_limit). Event_limit now
+     means events genuinely remain pending, and they stay queued so the
+     run resumes. *)
   let fresh () =
     let e = Engine.create ~n:2 () in
     Engine.set_handler e 1 (fun ~sender:_ _ -> ());
@@ -312,11 +327,17 @@ let test_event_limit_vs_quiescent_boundary () =
   check Alcotest.bool "budget above count quiesces" true
     (Engine.run ~max_events:6 e = Engine.Quiescent);
   let e = fresh () in
-  check Alcotest.bool "exact budget conservatively limits" true
-    (Engine.run ~max_events:5 e = Engine.Event_limit);
-  check Alcotest.int "all events still processed" 5 (Engine.events_processed e);
+  check Alcotest.bool "exact budget quiesces" true
+    (Engine.run ~max_events:5 e = Engine.Quiescent);
+  check Alcotest.int "all events processed" 5 (Engine.events_processed e);
+  let e = fresh () in
+  check Alcotest.bool "short budget limits" true
+    (Engine.run ~max_events:4 e = Engine.Event_limit);
+  check Alcotest.int "only budgeted events processed" 4 (Engine.events_processed e);
   check Alcotest.bool "resumes to quiescence" true
-    (Engine.run e = Engine.Quiescent)
+    (Engine.run e = Engine.Quiescent);
+  check Alcotest.int "resumed run delivers the remainder" 5
+    (Engine.events_processed e)
 
 let test_out_of_range_set_handler_rejected () =
   let e : unit Engine.t = Engine.create ~n:2 () in
