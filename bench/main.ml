@@ -95,6 +95,32 @@ let gauntlet_descr16 =
         drop_budget = 0;
         perturb_seed = 99;
       };
+    fault = None;
+  }
+
+(* The same campaign under a mixed-failure schedule (loss + a routing-phase
+   crash with handoff): tracks the fault-tolerant checkpoint and recovery
+   overhead relative to [gauntlet_descr16]. *)
+let gauntlet_descr16_faults =
+  {
+    gauntlet_descr16 with
+    Campaign.fault =
+      Some
+        {
+          Damd_sim.Fault.seed = 4242;
+          link =
+            Some
+              { Damd_sim.Fault.loss_p = 0.02; reorder_p = 0.1; reorder_delay = 1.5 };
+          partition = None;
+          crash =
+            Some
+              {
+                Damd_sim.Fault.node = 9;
+                crash_phase = `Routing;
+                at = 1.0;
+                recovers_at = 3.0;
+              };
+        };
   }
 
 let experiment_tests =
@@ -180,6 +206,8 @@ let experiment_tests =
                    ~deviations:(Array.make 8 Election.Honest) ())));
       Test.make ~name:"gauntlet_campaigns_n16"
         (Staged.stage (fun () -> ignore (Campaign.grade gauntlet_descr16)));
+      Test.make ~name:"gauntlet_campaigns_n16_faults"
+        (Staged.stage (fun () -> ignore (Campaign.grade gauntlet_descr16_faults)));
       Test.make ~name:"lint_stock_spec"
         (Staged.stage
            (let module Lint = Damd_speccheck.Lint in

@@ -563,7 +563,8 @@ let verify_json_arg =
 
 (* --- the adversarial gauntlet --- *)
 
-let run_gauntlet campaigns seed weaken_s json_path replay no_shrink =
+let run_gauntlet campaigns seed weaken_s json_path replay no_shrink faults
+    epsilon =
   let module Campaign = Damd_gauntlet.Campaign in
   let weaken =
     match Campaign.weaken_of_string weaken_s with
@@ -575,15 +576,17 @@ let run_gauntlet campaigns seed weaken_s json_path replay no_shrink =
                 "bad --weaken %S (expected none | pricing | settlement | all)"
                 weaken_s))
   in
+  let mix = { Campaign.faults; epsilon } in
   match replay with
   | Some cseed ->
-      (* Replay one campaign from its printed seed: the JSON below is
+      (* Replay one campaign from its printed seed (plus the same
+         --faults/--epsilon flags the batch ran with): the JSON below is
          byte-identical to the campaign's entry in the batch report. *)
-      let gr = Campaign.grade ~weaken (Campaign.of_seed cseed) in
+      let gr = Campaign.grade ~weaken (Campaign.of_seed ~mix cseed) in
       print_endline (Damd_util.Json.to_string ~indent:2 (Campaign.json_of_graded gr));
       if gr.Campaign.verdict = Campaign.Violation then exit 1
   | None ->
-      let gradeds = Campaign.run_batch ~weaken ~campaigns ~seed () in
+      let gradeds = Campaign.run_batch ~weaken ~mix ~campaigns ~seed () in
       let violations =
         List.filter (fun g -> g.Campaign.verdict = Campaign.Violation) gradeds
       in
@@ -595,10 +598,15 @@ let run_gauntlet campaigns seed weaken_s json_path replay no_shrink =
         List.length (List.filter (fun g -> g.Campaign.verdict = v) gradeds)
       in
       Printf.printf
-        "gauntlet: %d campaigns, master seed %d, weaken=%s\n\
+        "gauntlet: %d campaigns, master seed %d, weaken=%s%s\n\
          verdicts: %d detected, %d undetected-unprofitable, %d VIOLATION\n"
         campaigns seed
         (Campaign.weaken_name weaken)
+        ((if faults then ", faults=on" else "")
+        ^
+        match epsilon with
+        | Some e -> Printf.sprintf ", epsilon=%g" e
+        | None -> "")
         (count Campaign.Detected)
         (count Campaign.Undetected_unprofitable)
         (count Campaign.Violation);
@@ -649,7 +657,8 @@ let run_gauntlet campaigns seed weaken_s json_path replay no_shrink =
       | Some path ->
           Damd_util.Json.to_file path
             (Campaign.report ~shrunk ~weaken ~seed gradeds);
-          Printf.printf "\nreport written to %s (schema damd-gauntlet/1)\n" path);
+          Printf.printf "\nreport written to %s (schema damd-gauntlet/%d)\n" path
+            (if Campaign.is_stock mix then 1 else 2));
       if violations <> [] then exit 1
 
 let campaigns_arg =
@@ -681,6 +690,32 @@ let replay_arg =
 
 let no_shrink_arg =
   Arg.(value & flag & info [ "no-shrink" ] ~doc:"Skip minimizing violations.")
+
+let faults_arg =
+  Arg.(
+    value & flag
+    & info [ "faults" ]
+        ~doc:
+          "Compose every campaign with a seeded mixed-failure schedule \
+           (per-link loss and reordering, a healing partition, fail-stop \
+           crash/recover with table handoff) and run the bank's \
+           checkpoints in fault-tolerant evidence mode. A campaign then \
+           also asserts blame correctness: any accusation of a node whose \
+           resolved behavior was faithful is a false-accusation violation. \
+           Replaying a campaign from such a batch requires passing \
+           $(b,--faults) again.")
+
+let epsilon_mix_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "epsilon" ] ~docv:"E"
+        ~doc:
+          "Wrap every sampled deviant in an epsilon-rational agent: the \
+           inner deviation runs only if its measured unilateral gain \
+           exceeds E (on the stock mechanism Theorem 1 keeps gains \
+           non-positive, so such agents stay faithful; against a weakened \
+           bank they activate). Replay requires the same value.")
 
 let routing_cmd =
   let doc = "run the faithful interdomain-routing protocol (the FPSS case study)" in
@@ -726,7 +761,7 @@ let gauntlet_cmd =
   Cmd.v (Cmd.info "gauntlet" ~doc)
     Term.(
       const run_gauntlet $ campaigns_arg $ seed $ weaken_arg $ json_arg
-      $ replay_arg $ no_shrink_arg)
+      $ replay_arg $ no_shrink_arg $ faults_arg $ epsilon_mix_arg)
 
 let converge_arg =
   Arg.(

@@ -1,4 +1,5 @@
 module Action = Damd_core.Action
+module Rng = Damd_util.Rng
 
 type t =
   | Faithful
@@ -21,8 +22,61 @@ type t =
   | Combined_pricing_attack of float
   | Lying_checker
   | Collude_with of int
+  | Byzantine_arbitrary of int
+  | Epsilon_rational of float * t
 
-let name = function
+type byz_plan = {
+  byz_cost_pair : (float * float) option;
+  byz_cost_forward : float option;
+  byz_routing_copies : [ `Drop | `Corrupt of float ] option;
+  byz_routing_announce : float option;
+  byz_pricing_copies : [ `Drop | `Corrupt of float ] option;
+  byz_pricing_announce : float option;
+  byz_misroute : bool;
+  byz_underreport : float option;
+}
+
+(* The plan is a *fixed* function of the seed, sampled once: a Byzantine
+   node that re-randomized per message would never converge its own
+   announcement loop (every recomputation would differ), turning every
+   campaign into a livelock instead of an interesting adversary. Fixing
+   the behaviors at creation keeps the node deterministic — arbitrary in
+   choice, not in time. *)
+let plan_of_seed seed =
+  let rng = Rng.create (0x42595A + seed) in
+  let maybe p f = if Rng.bernoulli rng p then Some (f ()) else None in
+  let copies p =
+    maybe p (fun () ->
+        if Rng.bool rng then `Drop else `Corrupt (float_of_int (Rng.int_in rng 1 4)))
+  in
+  let plan =
+    {
+      byz_cost_pair =
+        maybe 0.3 (fun () ->
+            let a = float_of_int (Rng.int_in rng 1 9) in
+            let b = float_of_int (Rng.int_in rng 1 9) in
+            (a, b));
+      byz_cost_forward = maybe 0.3 (fun () -> float_of_int (Rng.int_in rng 1 4));
+      byz_routing_copies = copies 0.4;
+      byz_routing_announce = maybe 0.4 (fun () -> float_of_int (Rng.int_in rng (-3) 3));
+      byz_pricing_copies = copies 0.4;
+      byz_pricing_announce = maybe 0.4 (fun () -> float_of_int (Rng.int_in rng 1 3));
+      byz_misroute = Rng.bernoulli rng 0.3;
+      byz_underreport = maybe 0.3 (fun () -> 0.25 *. float_of_int (Rng.int_in rng 0 3));
+    }
+  in
+  if
+    plan.byz_cost_pair = None && plan.byz_cost_forward = None
+    && plan.byz_routing_copies = None
+    && plan.byz_routing_announce = None
+    && plan.byz_pricing_copies = None
+    && plan.byz_pricing_announce = None
+    && (not plan.byz_misroute)
+    && plan.byz_underreport = None
+  then { plan with byz_routing_announce = Some (-2.) }
+  else plan
+
+let rec name = function
   | Faithful -> "faithful"
   | Misreport_cost c -> Printf.sprintf "misreport-cost(%g)" c
   | Inconsistent_cost (a, b) -> Printf.sprintf "inconsistent-cost(%g|%g)" a b
@@ -43,10 +97,13 @@ let name = function
   | Combined_pricing_attack d -> Printf.sprintf "combined-pricing-attack(%g)" d
   | Lying_checker -> "lying-checker"
   | Collude_with p -> Printf.sprintf "collude-with(%d)" p
+  | Byzantine_arbitrary seed -> Printf.sprintf "byzantine-arbitrary(%d)" seed
+  | Epsilon_rational (eps, inner) ->
+      Printf.sprintf "epsilon-rational(%g|%s)" eps (name inner)
 
 module Dev = Damd_speccheck.Dev
 
-let label = function
+let rec label = function
   | Faithful -> Dev.Faithful
   | Misreport_cost _ -> Dev.Misreport_cost
   | Inconsistent_cost _ -> Dev.Inconsistent_cost
@@ -67,8 +124,13 @@ let label = function
   | Combined_pricing_attack _ -> Dev.Combined_pricing_attack
   | Lying_checker -> Dev.Lying_checker
   | Collude_with _ -> Dev.Collude_with
+  | Byzantine_arbitrary _ -> Dev.Byzantine_arbitrary
+  (* the wrapper is a meta-deviation — a gain threshold over an inner
+     behavior — so its catalogue label is the inner's: when it activates
+     it plays exactly that deviation, when it does not it is [Faithful] *)
+  | Epsilon_rational (_, inner) -> label inner
 
-let classify = function
+let rec classify = function
   | Faithful -> []
   | Misreport_cost _ | Inconsistent_cost _ -> [ Action.Information_revelation ]
   | Corrupt_cost_forward _ -> [ Action.Message_passing ]
@@ -83,20 +145,34 @@ let classify = function
   | Combined_routing_attack _ | Combined_pricing_attack _ ->
       [ Action.Message_passing; Action.Computation ]
   | Lying_checker | Collude_with _ -> [ Action.Computation ]
+  | Byzantine_arbitrary _ -> [ Action.Message_passing; Action.Computation ]
+  | Epsilon_rational (_, inner) -> classify inner
 
-let is_construction = function
+let rec is_construction = function
   | Inconsistent_cost _ | Corrupt_cost_forward _ | Drop_routing_copies
   | Drop_pricing_copies | Corrupt_routing_copies _ | Corrupt_pricing_copies _
   | Spoof_routing_update _ | Spoof_pricing_update _ | Miscompute_routing _
   | Miscompute_pricing _ | Silent_in_construction | Lying_checker | Collude_with _
   | Combined_routing_attack _ | Combined_pricing_attack _ ->
       true
+  | Byzantine_arbitrary seed ->
+      let p = plan_of_seed seed in
+      p.byz_cost_pair <> None || p.byz_cost_forward <> None
+      || p.byz_routing_copies <> None
+      || p.byz_routing_announce <> None
+      || p.byz_pricing_copies <> None
+      || p.byz_pricing_announce <> None
+  | Epsilon_rational (_, inner) -> is_construction inner
   | Faithful | Misreport_cost _ | Underreport_payments _ | Misroute_packets
   | Misattribute_payments ->
       false
 
-let is_execution = function
+let rec is_execution = function
   | Underreport_payments _ | Misroute_packets | Misattribute_payments -> true
+  | Byzantine_arbitrary seed ->
+      let p = plan_of_seed seed in
+      p.byz_misroute || p.byz_underreport <> None
+  | Epsilon_rational (_, inner) -> is_execution inner
   | _ -> false
 
 let library =
@@ -124,9 +200,9 @@ let library =
 
 let all_labels =
   List.sort_uniq compare (* poly-ok: constant Dev.t constructors *)
-    (List.map label (Faithful :: Collude_with 0 :: library))
+    (List.map label (Faithful :: Collude_with 0 :: Byzantine_arbitrary 0 :: library))
 
-let detectable = function
+let rec detectable = function
   | Faithful | Misreport_cost _ -> false
   (* a lying checker alone changes nothing the bank compares unless some
      principal actually deviates; colluders are only caught when the
@@ -134,12 +210,15 @@ let detectable = function
      topology-aware refinement *)
   | Lying_checker -> false
   | Collude_with _ -> false
+  | Byzantine_arbitrary _ -> true (* every plan has at least one active component *)
+  | Epsilon_rational (_, inner) -> detectable inner
   | _ -> true
 
-let colluding t ~principal =
+let rec colluding t ~principal =
   match t with
   | Lying_checker -> true
   | Collude_with p -> p = principal
+  | Epsilon_rational (_, inner) -> colluding inner ~principal
   | _ -> false
 
 (* Deviations caught only through the principal's own checkers (the
@@ -148,12 +227,20 @@ let colluding t ~principal =
    comparison), phase-1 finalization failures (silence) and execution
    clearing happen at the bank over evidence checkers do not mediate, so
    no coalition shields them. *)
-let checker_caught = function
+let rec checker_caught = function
   | Drop_routing_copies | Drop_pricing_copies | Corrupt_routing_copies _
   | Corrupt_pricing_copies _ | Spoof_routing_update _ | Spoof_pricing_update _
   | Miscompute_routing _ | Miscompute_pricing _ | Combined_routing_attack _
   | Combined_pricing_attack _ ->
       true
+  | Byzantine_arbitrary seed ->
+      (* shieldable by a neighborhood coalition only when every active
+         component of the plan is checker-mediated: any DATA1-visible or
+         execution-phase component reaches the bank unmediated *)
+      let p = plan_of_seed seed in
+      p.byz_cost_pair = None && p.byz_cost_forward = None && (not p.byz_misroute)
+      && p.byz_underreport = None
+  | Epsilon_rational (_, inner) -> checker_caught inner
   | _ -> false
 
 let detectable_in ~neighbors ~profile i =
@@ -171,3 +258,8 @@ let detectable_in ~neighbors ~profile i =
          principal it shields is still caught by some honest checker. *)
       caught_principal p
   | _ -> caught_principal i
+
+let epsilon = function Epsilon_rational (eps, inner) -> Some (eps, inner) | _ -> None
+
+let resolve_epsilon ~active t =
+  match t with Epsilon_rational (_, inner) -> if active then inner else Faithful | t -> t

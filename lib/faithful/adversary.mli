@@ -78,6 +78,49 @@ type t =
           it. Two-node (and neighborhood) collusion is outside the paper's
           ex post Nash (without collusion) guarantee; experiment E14 maps
           where detection survives and where it falls *)
+  | Byzantine_arbitrary of int
+      (** fail-arbitrary node: a *fixed plan* of composed manipulations
+          (inconsistent costs, corrupted forwards, dropped/corrupted
+          copies, distorted announcements, misrouting, under-reporting)
+          sampled once from the seed via [plan_of_seed]. The plan is fixed
+          at creation — a per-message re-randomizer would never converge
+          its own announcement loop — so the node is arbitrary in choice
+          but deterministic in time, which is the strongest adversary the
+          replayable gauntlet can host (cf. rational consensus's mixed
+          Byzantine/rational populations) *)
+  | Epsilon_rational of float * t
+      (** ε-indifferent agent (Theorem 1's ε-penalty, near-rationality):
+          plays the inner deviation only if its unilateral gain exceeds
+          the threshold, else stays [Faithful]. The activation decision is
+          resolved by the gauntlet's grader from measured Definition-8
+          deltas ([resolve_epsilon]); the label, classes and
+          detectability all defer to the inner deviation *)
+
+type byz_plan = {
+  byz_cost_pair : (float * float) option;
+      (** declare these two costs to even/odd neighbors *)
+  byz_cost_forward : float option;  (** delta added to forwarded cost facts *)
+  byz_routing_copies : [ `Drop | `Corrupt of float ] option;
+  byz_routing_announce : float option;  (** own routing-announcement delta *)
+  byz_pricing_copies : [ `Drop | `Corrupt of float ] option;
+  byz_pricing_announce : float option;  (** own pricing-announcement delta *)
+  byz_misroute : bool;
+  byz_underreport : float option;  (** reported fraction of true DATA4 total *)
+}
+
+val plan_of_seed : int -> byz_plan
+(** The fixed behavior plan of [Byzantine_arbitrary seed]: each component
+    independently active with moderate probability, at least one always
+    active. Pure in the seed. *)
+
+val epsilon : t -> (float * t) option
+(** [Some (threshold, inner)] for [Epsilon_rational], else [None]. *)
+
+val resolve_epsilon : active:bool -> t -> t
+(** Resolve the wrapper to a concrete behavior: the inner deviation when
+    [active], [Faithful] otherwise; non-wrapped deviations pass through.
+    The gauntlet grader decides [active] by measuring the inner
+    deviation's unilateral gain against the threshold. *)
 
 val name : t -> string
 

@@ -65,17 +65,130 @@ let checkpoint_for ~rule ~self_digest ~mirror_digest ~announced_digest nodes =
     nodes;
   List.rev !detections
 
-let checkpoint_routing nodes =
-  checkpoint_for ~rule:"BANK1" ~self_digest:Node.self_routing_digest
-    ~mirror_digest:(fun c ~principal ->
-      Protocol.routing_digest (Node.mirror_routing c ~principal))
-    ~announced_digest:Node.announced_routing_digest_of nodes
+(* Fault-tolerant evidence mode (DESIGN.md §14). Under injected link
+   faults a bare digest mismatch no longer implies deviation — a lost
+   copy or a stale announcement produces the same disagreement — so
+   blame requires a *contradiction between signed statements*:
 
-let checkpoint_pricing nodes =
-  checkpoint_for ~rule:"BANK2" ~self_digest:Node.self_pricing_digest
-    ~mirror_digest:(fun c ~principal ->
-      Protocol.pricing_digest (Node.mirror_pricing c ~principal))
-    ~announced_digest:Node.announced_pricing_digest_of nodes
+   - the announcement a checker holds matches what the principal itself
+     claims to have announced, yet differs from its certified internal
+     state (it announced a table it does not stand behind), or
+   - checker and principal consumed input sets with equal digests, yet
+     the mirror recomputation differs from the principal's self-report
+     (same inputs, different function: someone lied about the
+     computation).
+
+   Everything else — missing or stale announcements, mirrors computed
+   from different inputs — is an *omission*: evidence that a message was
+   lost, not of who is at fault. Omissions fail the checkpoint with
+   [culprit = None], triggering a restart; a deviation that keeps
+   producing omissions every attempt degrades the run to a stuck phase
+   (collective punishment) instead of an individual accusation. That is
+   the graceful-degradation contract: faults and fault-shaped deviations
+   cost progress, never honest reputations. *)
+let checkpoint_for_ft ~rule ~self_digest ~claimed_announced ~inputs_digest
+    ~mirror_inputs_digest ~mirror_digest ~announced_digest nodes =
+  let detections = ref [] in
+  let omissions = ref [] in
+  Array.iter
+    (fun (node : Node.t) ->
+      let p = node.Node.id in
+      let expected = self_digest node in
+      let claimed = claimed_announced node in
+      let own_inputs = inputs_digest node in
+      let contradictions = ref [] in
+      let omitted = ref [] in
+      List.iter
+        (fun c ->
+          let checker = nodes.(c) in
+          if Node.colludes_with checker ~principal:p then ()
+          else begin
+            let mirror = mirror_digest checker ~principal:p in
+            if not (String.equal mirror expected) then begin
+              if String.equal (mirror_inputs_digest checker ~principal:p) own_inputs
+              then
+                contradictions :=
+                  Printf.sprintf "checker %d mirror disagrees on matching inputs" c
+                  :: !contradictions
+              else
+                omitted :=
+                  Printf.sprintf "checker %d mirror ran on different inputs" c
+                  :: !omitted
+            end;
+            match announced_digest checker ~principal:p with
+            | None -> omitted := Printf.sprintf "no announcement seen by %d" c :: !omitted
+            | Some announced ->
+                if String.equal announced expected then ()
+                else if String.equal announced claimed then
+                  contradictions :=
+                    Printf.sprintf
+                      "announcement to %d contradicts certified internal state" c
+                    :: !contradictions
+                else
+                  omitted :=
+                    Printf.sprintf "stale announcement held by %d" c :: !omitted
+          end)
+        node.Node.neighbors;
+      if !contradictions <> [] then
+        detections :=
+          {
+            rule;
+            culprit = Some p;
+            detail = String.concat "; " (List.rev !contradictions);
+          }
+          :: !detections
+      else if !omitted <> [] then
+        omissions :=
+          Printf.sprintf "node %d: %s" p (String.concat "; " (List.rev !omitted))
+          :: !omissions)
+    nodes;
+  let detections = List.rev !detections in
+  if detections = [] && !omissions <> [] then
+    [
+      {
+        rule;
+        culprit = None;
+        detail =
+          Printf.sprintf "omission evidence (restart, no blame): %s"
+            (String.concat " | " (List.rev !omissions));
+      };
+    ]
+  else detections
+
+let checkpoint_routing ?(fault_tolerant = false) nodes =
+  if fault_tolerant then
+    checkpoint_for_ft ~rule:"BANK1" ~self_digest:Node.self_routing_digest
+      ~claimed_announced:Node.claimed_announced_routing_digest
+      ~inputs_digest:Node.routing_inputs_digest
+      ~mirror_inputs_digest:Node.mirror_routing_inputs_digest
+      ~mirror_digest:(fun c ~principal ->
+        Protocol.routing_digest (Node.mirror_routing c ~principal))
+      ~announced_digest:Node.announced_routing_digest_of nodes
+  else
+    checkpoint_for ~rule:"BANK1" ~self_digest:Node.self_routing_digest
+      ~mirror_digest:(fun c ~principal ->
+        Protocol.routing_digest (Node.mirror_routing c ~principal))
+      ~announced_digest:Node.announced_routing_digest_of nodes
+
+let checkpoint_pricing ?(fault_tolerant = false) nodes =
+  if fault_tolerant then
+    checkpoint_for_ft ~rule:"BANK2" ~self_digest:Node.self_pricing_digest
+      ~claimed_announced:Node.claimed_announced_pricing_digest
+        (* a pricing mirror consumes both phases' inputs, so the omission
+           test compares the concatenation *)
+      ~inputs_digest:(fun node ->
+        Node.routing_inputs_digest node ^ Node.pricing_inputs_digest node)
+      ~mirror_inputs_digest:(fun c ~principal ->
+        Node.mirror_routing_inputs_digest c ~principal
+        ^ Node.mirror_pricing_inputs_digest c ~principal)
+      ~mirror_digest:(fun c ~principal ->
+        Protocol.pricing_digest (Node.mirror_pricing c ~principal))
+      ~announced_digest:Node.announced_pricing_digest_of nodes
+  else
+    checkpoint_for ~rule:"BANK2" ~self_digest:Node.self_pricing_digest
+      ~mirror_digest:(fun c ~principal ->
+        Protocol.pricing_digest (Node.mirror_pricing c ~principal))
+      ~announced_digest:Node.announced_pricing_digest_of nodes
 
 let collect_flags nodes =
   Array.to_list nodes

@@ -31,11 +31,26 @@ val checkpoint_costs : Node.t array -> detection list
 (** Phase-1 certificate: every node's DATA1 digest must be identical
     (consistent information revelation, Remark 4). *)
 
-val checkpoint_routing : Node.t array -> detection list
-(** [BANK1]. Empty list = green light. *)
+val checkpoint_routing : ?fault_tolerant:bool -> Node.t array -> detection list
+(** [BANK1]. Empty list = green light.
 
-val checkpoint_pricing : Node.t array -> detection list
-(** [BANK2]. *)
+    With [fault_tolerant] (default [false] — stock behavior unchanged),
+    the evidence model assumes injected link faults are possible and
+    accuses only on *contradictions between signed statements*: an
+    announcement the principal stands behind that differs from its
+    certified state, or a mirror that disagrees although checker and
+    principal consumed input sets with equal digests. Bare mismatches
+    explainable by a lost or stale message are reported as a single
+    [culprit = None] omission detection — the checkpoint still fails
+    (restart), but no one is blamed. This is the blame-correctness
+    contract the fault gauntlet asserts: an injected fault must never
+    cost an honest node its reputation, at the price of demoting some
+    fault-shaped deviations (copy-dropping, spoofing) from individual
+    accusation to collective stuck-phase punishment. See DESIGN.md §14. *)
+
+val checkpoint_pricing : ?fault_tolerant:bool -> Node.t array -> detection list
+(** [BANK2]; the fault-tolerant omission test covers both phases'
+    inputs, since a pricing mirror consumes routing state too. *)
 
 val collect_flags : Node.t array -> detection list
 (** Checker-raised flags (malformed copies, CHECK2 tag rejections). *)

@@ -10,6 +10,7 @@ type t = {
   neighbor_sets : int list array;
   neighbor_arrs : int array array;
   deviation : Adversary.t;
+  byz : Adversary.byz_plan option;
   true_cost : float;
   copies : bool;
   learned_costs : float option array;
@@ -44,6 +45,15 @@ let mem_sorted (a : int array) v =
 
 let create ?(copies = true) ~id ~n ~neighbor_sets ~true_cost ~deviation () =
   let neighbors = List.sort Int.compare neighbor_sets.(id) in
+  (* A wrapper reaching a node directly means "the deviation is active":
+     the gauntlet grader resolves ε-activation *before* constructing
+     nodes, so an unresolved wrapper here plays its inner behavior. *)
+  let deviation = Adversary.resolve_epsilon ~active:true deviation in
+  let byz =
+    match deviation with
+    | Adversary.Byzantine_arbitrary seed -> Some (Adversary.plan_of_seed seed)
+    | _ -> None
+  in
   let node =
     {
       id;
@@ -54,6 +64,7 @@ let create ?(copies = true) ~id ~n ~neighbor_sets ~true_cost ~deviation () =
       neighbor_arrs =
         Array.map (fun l -> Array.of_list (List.sort Int.compare l)) neighbor_sets;
       deviation;
+      byz;
       true_cost;
       copies;
       learned_costs = Array.make n None;
@@ -109,9 +120,11 @@ let flag node rule detail = node.check_flags <- (rule, detail) :: node.check_fla
 (* --- Phase 1: cost flood --- *)
 
 let declared_cost_for node ~neighbor_index =
-  match node.deviation with
-  | Adversary.Misreport_cost c -> c
-  | Adversary.Inconsistent_cost (a, b) -> if neighbor_index mod 2 = 0 then a else b
+  match (node.deviation, node.byz) with
+  | Adversary.Misreport_cost c, _ -> c
+  | Adversary.Inconsistent_cost (a, b), _ -> if neighbor_index mod 2 = 0 then a else b
+  | _, Some { Adversary.byz_cost_pair = Some (a, b); _ } ->
+      if neighbor_index mod 2 = 0 then a else b
   | _ -> node.true_cost
 
 let announce_cost node (send : send) =
@@ -132,8 +145,9 @@ let on_cost_msg node (send : send) ~sender update =
       | None ->
           node.learned_costs.(origin) <- Some cost;
           let forwarded_cost =
-            match node.deviation with
-            | Adversary.Corrupt_cost_forward delta -> cost +. delta
+            match (node.deviation, node.byz) with
+            | Adversary.Corrupt_cost_forward delta, _ -> cost +. delta
+            | _, Some { Adversary.byz_cost_forward = Some delta; _ } -> cost +. delta
             | _ -> cost
           in
           Array.iter
@@ -169,19 +183,25 @@ let distort_pricing_table delta (table : Protocol.pricing_table) =
     table
 
 let announced_routing_view node =
-  match node.deviation with
-  | Adversary.Miscompute_routing delta -> Some (distort_routing_table delta node.routing)
-  | Adversary.Combined_routing_attack delta ->
+  match (node.deviation, node.byz) with
+  | Adversary.Miscompute_routing delta, _ ->
+      Some (distort_routing_table delta node.routing)
+  | Adversary.Combined_routing_attack delta, _ ->
       Some (distort_routing_table (-.delta) node.routing)
-  | Adversary.Silent_in_construction -> None
+  | Adversary.Silent_in_construction, _ -> None
+  | _, Some { Adversary.byz_routing_announce = Some delta; _ } ->
+      Some (distort_routing_table delta node.routing)
   | _ -> Some node.routing
 
 let announced_pricing_view node =
-  match node.deviation with
-  | Adversary.Miscompute_pricing delta -> Some (distort_pricing_table delta node.pricing)
-  | Adversary.Combined_pricing_attack delta ->
+  match (node.deviation, node.byz) with
+  | Adversary.Miscompute_pricing delta, _ ->
       Some (distort_pricing_table delta node.pricing)
-  | Adversary.Silent_in_construction -> None
+  | Adversary.Combined_pricing_attack delta, _ ->
+      Some (distort_pricing_table delta node.pricing)
+  | Adversary.Silent_in_construction, _ -> None
+  | _, Some { Adversary.byz_pricing_announce = Some delta; _ } ->
+      Some (distort_pricing_table delta node.pricing)
   | _ -> Some node.pricing
 
 (* Record into our checker mirror of [p] what we just announced to [p]. *)
@@ -251,6 +271,20 @@ let spoof_target node ~sender =
   in
   next node.neighbors
 
+(* What this node relays to checkers about a received routing table —
+   [None] for a copy-dropper; shared by the live forwarding path and the
+   post-crash handoff resend so both apply the same deviation. *)
+let routing_copy_view node table =
+  match (node.deviation, node.byz) with
+  | Adversary.Drop_routing_copies, _ -> None
+  | ( (Adversary.Corrupt_routing_copies delta | Adversary.Combined_routing_attack delta),
+      _ ) ->
+      Some (distort_routing_table delta table)
+  | _, Some { Adversary.byz_routing_copies = Some `Drop; _ } -> None
+  | _, Some { Adversary.byz_routing_copies = Some (`Corrupt delta); _ } ->
+      Some (distort_routing_table delta table)
+  | _ -> Some table
+
 let forward_routing_copies node (send : send) ~sender table =
   if not node.copies then ()
   else begin
@@ -267,11 +301,9 @@ let forward_routing_copies node (send : send) ~sender table =
                }))
       node.neighbors_arr
   in
-  (match node.deviation with
-  | Adversary.Drop_routing_copies -> ()
-  | Adversary.Corrupt_routing_copies delta | Adversary.Combined_routing_attack delta ->
-      copy_to_checkers (distort_routing_table delta table)
-  | _ -> copy_to_checkers table);
+  (match routing_copy_view node table with
+  | None -> ()
+  | Some table -> copy_to_checkers table);
   match node.deviation with
   | Adversary.Spoof_routing_update delta | Adversary.Combined_routing_attack delta ->
       let via = spoof_target node ~sender in
@@ -324,6 +356,17 @@ let on_routing_msg node (send : send) ~sender msg =
 
 (* --- Phase 2b: pricing --- *)
 
+let pricing_copy_view node table =
+  match (node.deviation, node.byz) with
+  | Adversary.Drop_pricing_copies, _ -> None
+  | ( (Adversary.Corrupt_pricing_copies delta | Adversary.Combined_pricing_attack delta),
+      _ ) ->
+      Some (distort_pricing_table delta table)
+  | _, Some { Adversary.byz_pricing_copies = Some `Drop; _ } -> None
+  | _, Some { Adversary.byz_pricing_copies = Some (`Corrupt delta); _ } ->
+      Some (distort_pricing_table delta table)
+  | _ -> Some table
+
 let forward_pricing_copies node (send : send) ~sender table =
   if not node.copies then ()
   else begin
@@ -340,11 +383,9 @@ let forward_pricing_copies node (send : send) ~sender table =
                }))
       node.neighbors_arr
   in
-  (match node.deviation with
-  | Adversary.Drop_pricing_copies -> ()
-  | Adversary.Corrupt_pricing_copies delta | Adversary.Combined_pricing_attack delta ->
-      copy_to_checkers (distort_pricing_table delta table)
-  | _ -> copy_to_checkers table);
+  (match pricing_copy_view node table with
+  | None -> ()
+  | Some table -> copy_to_checkers table);
   match node.deviation with
   | Adversary.Spoof_pricing_update delta | Adversary.Combined_pricing_attack delta ->
       let via = spoof_target node ~sender in
@@ -401,14 +442,19 @@ let next_hop node ~dst =
   | _ -> None
 
 let forwarding_choice node ~dst ~exclude =
-  match node.deviation with
-  | Adversary.Misroute_packets -> (
-      (* Send everything to the lowest-numbered neighbor (other than the
-         node the packet just came from, to avoid a trivial bounce). *)
-      match List.filter (fun v -> Some v <> exclude) node.neighbors with
-      | v :: _ -> Some v
-      | [] -> None)
-  | _ -> next_hop node ~dst
+  let misroutes =
+    match (node.deviation, node.byz) with
+    | Adversary.Misroute_packets, _ -> true
+    | _, Some { Adversary.byz_misroute = true; _ } -> true
+    | _ -> false
+  in
+  if misroutes then
+    (* Send everything to the lowest-numbered neighbor (other than the
+       node the packet just came from, to avoid a trivial bounce). *)
+    match List.filter (fun v -> Some v <> exclude) node.neighbors with
+    | v :: _ -> Some v
+    | [] -> None
+  else next_hop node ~dst
 
 let originate_traffic node (send : send) ~dst ~rate =
   match forwarding_choice node ~dst ~exclude:None with
@@ -447,7 +493,10 @@ let payment_report node traffic =
           entries)
     node.pricing;
   let scale =
-    match node.deviation with Adversary.Underreport_payments f -> f | _ -> 1.
+    match (node.deviation, node.byz) with
+    | Adversary.Underreport_payments f, _ -> f
+    | _, Some { Adversary.byz_underreport = Some f; _ } -> f
+    | _ -> 1.
   in
   let entries =
     Hashtbl.fold (fun k v acc -> (k, v *. scale) :: acc) totals []
@@ -461,6 +510,95 @@ let payment_report node traffic =
       let total = List.fold_left (fun acc (_, v) -> acc +. v) 0. entries in
       [ (k0, total) ]
   | _ -> entries
+
+(* --- Crash-recovery handoff ---
+
+   After a fail-stop window, everything the crashed node missed was lost
+   at delivery time. The handoff re-delivers current state over the same
+   send path (so physical-link enforcement and deviations still apply):
+   cost facts, the last announcement, and the checker copies the peer
+   relayed while the link was dark. It repairs the *current attempt*
+   where possible; anything it cannot repair surfaces as an omission at
+   the next checkpoint and is handled by restart. *)
+
+let has_announced_routing node = Option.is_some node.announced_routing.(node.id)
+
+let has_announced_pricing node =
+  node.n = 0
+  || not
+       (List.exists
+          (fun (pe : Protocol.price_entry) -> pe.Protocol.transit = -1)
+          node.announced_pricing.(0))
+
+let resend_costs_to node (send : send) ~to_ =
+  Array.iteri
+    (fun idx nbr ->
+      if nbr = to_ && Option.is_some node.learned_costs.(node.id) then
+        send ~dst:to_
+          (Protocol.Update
+             (Protocol.Cost_announce
+                { origin = node.id; cost = declared_cost_for node ~neighbor_index:idx })))
+    node.neighbors_arr;
+  Array.iteri
+    (fun origin c ->
+      match c with
+      | Some cost when origin <> node.id ->
+          let forwarded_cost =
+            match (node.deviation, node.byz) with
+            | Adversary.Corrupt_cost_forward delta, _ -> cost +. delta
+            | _, Some { Adversary.byz_cost_forward = Some delta; _ } -> cost +. delta
+            | _ -> cost
+          in
+          send ~dst:to_
+            (Protocol.Update (Protocol.Cost_announce { origin; cost = forwarded_cost }))
+      | _ -> ())
+    node.learned_costs
+
+let resend_routing_to node (send : send) ~to_ =
+  if has_announced_routing node then begin
+    record_own_routing_to node to_ node.announced_routing;
+    send ~dst:to_
+      (Protocol.Update
+         (Protocol.Routing_update { origin = node.id; table = node.announced_routing }))
+  end;
+  if node.copies then
+    List.iter
+      (fun (s, table) ->
+        if s <> to_ then
+          match routing_copy_view node table with
+          | None -> ()
+          | Some table ->
+              send ~dst:to_
+                (Protocol.Copy
+                   {
+                     principal = node.id;
+                     via = s;
+                     inner = Protocol.Routing_update { origin = s; table };
+                   }))
+      node.nbr_routing
+
+let resend_pricing_to node (send : send) ~to_ =
+  if has_announced_pricing node then begin
+    record_own_pricing_to node to_ node.announced_pricing;
+    send ~dst:to_
+      (Protocol.Update
+         (Protocol.Pricing_update { origin = node.id; table = node.announced_pricing }))
+  end;
+  if node.copies then
+    List.iter
+      (fun (s, table) ->
+        if s <> to_ then
+          match pricing_copy_view node table with
+          | None -> ()
+          | Some table ->
+              send ~dst:to_
+                (Protocol.Copy
+                   {
+                     principal = node.id;
+                     via = s;
+                     inner = Protocol.Pricing_update { origin = s; table };
+                   }))
+      node.nbr_pricing
 
 (* --- Bank queries --- *)
 
@@ -493,3 +631,21 @@ let colludes_with node ~principal =
   | Adversary.Lying_checker -> true
   | Adversary.Collude_with p -> p = principal
   | _ -> false
+
+(* --- Fault-tolerant bank queries (input-set digests) --- *)
+
+let claimed_announced_routing_digest node =
+  Protocol.routing_digest node.announced_routing
+
+let claimed_announced_pricing_digest node =
+  Protocol.pricing_digest node.announced_pricing
+
+let routing_inputs_digest node = Protocol.routing_inputs_digest node.nbr_routing
+
+let pricing_inputs_digest node = Protocol.pricing_inputs_digest node.nbr_pricing
+
+let mirror_routing_inputs_digest node ~principal =
+  Protocol.routing_inputs_digest !(Hashtbl.find node.mirror_routing_in principal)
+
+let mirror_pricing_inputs_digest node ~principal =
+  Protocol.pricing_inputs_digest !(Hashtbl.find node.mirror_pricing_in principal)

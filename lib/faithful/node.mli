@@ -26,6 +26,11 @@ type t = {
   neighbor_arrs : int array array;
       (** [neighbor_sets] as sorted arrays, for O(log deg) provenance checks *)
   deviation : Adversary.t;
+      (** resolved at creation: an [Epsilon_rational] wrapper handed in
+          directly is taken as *active* (the gauntlet grader resolves
+          activation before building nodes) *)
+  byz : Adversary.byz_plan option;
+      (** the fixed plan when [deviation] is [Byzantine_arbitrary] *)
   true_cost : float;
   copies : bool;
       (** forward checker copies ([PRINC1]/[PRINC2] message-passing);
@@ -138,3 +143,48 @@ val colludes_with : t -> principal:int -> bool
     coordinated lies ([Lying_checker] covers every principal;
     [Collude_with p] covers [p] alone). The bank models the coordination
     by letting such a checker echo the principal's self-report. *)
+
+(** {2 Fault-tolerant bank queries}
+
+    Under injected faults a checkpoint mismatch no longer implies a lie:
+    a lost copy, a stale announcement or a crash window produces the same
+    digest disagreement an adversary would. These input-set digests let
+    the bank split mismatches into *contradictions* (checker and
+    principal consumed the same inputs yet disagree — someone deviated)
+    and *omissions* (they consumed different inputs — a message was lost;
+    restart, accuse no one). See [Bank.checkpoint_routing]'s
+    [fault_tolerant] mode and DESIGN.md §14. *)
+
+val claimed_announced_routing_digest : t -> string
+(** Digest of what the node itself records as its last routing
+    announcement — its signed answer to "what did you announce?". For a
+    computation deviant this is the distorted table (the node cannot
+    un-announce), for an honest node it equals the self digest. *)
+
+val claimed_announced_pricing_digest : t -> string
+
+val routing_inputs_digest : t -> string
+(** Digest over the node's consumed neighbor announcements (principal
+    side of the omission test). *)
+
+val pricing_inputs_digest : t -> string
+
+val mirror_routing_inputs_digest : t -> principal:int -> string
+(** Digest over the copies this checker consumed for [principal]'s
+    mirror (checker side of the omission test). *)
+
+val mirror_pricing_inputs_digest : t -> principal:int -> string
+
+(** {2 Crash-recovery handoff} *)
+
+val resend_costs_to : t -> send -> to_:int -> unit
+(** Re-deliver every known DATA1 fact to a recovered neighbor, applying
+    the node's usual declaration/forwarding deviations. Receivers keep
+    first-received facts, so re-sends are idempotent. *)
+
+val resend_routing_to : t -> send -> to_:int -> unit
+(** Re-deliver the last routing announcement (if any) plus the checker
+    copies the recovered neighbor missed, through the same deviation
+    filters as the live path ([routing_copy_view]). *)
+
+val resend_pricing_to : t -> send -> to_:int -> unit

@@ -167,6 +167,27 @@ let routing_digest t = Sha256.digest_hex (serialize_routing t)
 
 let pricing_digest t = Sha256.digest_hex (serialize_pricing t)
 
+(* Digest over a (sender, table) input set — what a principal consumed to
+   recompute, and what a checker's mirror consumed. Comparing the two
+   tells the fault-tolerant bank whether a mirror mismatch is a
+   contradiction (same inputs, different output: someone lied) or an
+   omission (the checker worked from different inputs: a message was
+   lost, restart instead of accusing). Sorted by sender so the digest is
+   order-insensitive. *)
+let inputs_digest serialize inputs =
+  let buf = Buffer.create 256 in
+  List.sort (fun (a, _) (b, _) -> Int.compare a b) inputs
+  |> List.iter (fun (sender, table) ->
+         Buffer.add_string buf (string_of_int sender);
+         Buffer.add_char buf '>';
+         Buffer.add_string buf (serialize table);
+         Buffer.add_char buf '|');
+  Sha256.digest_hex (Buffer.contents buf)
+
+let routing_inputs_digest inputs = inputs_digest serialize_routing inputs
+
+let pricing_inputs_digest inputs = inputs_digest serialize_pricing inputs
+
 let costs_digest costs =
   let buf = Buffer.create 64 in
   Array.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%h;" c)) costs;

@@ -79,5 +79,14 @@ val pricing_digest : pricing_table -> string
 val costs_digest : float array -> string
 (** Hex SHA-256 of a DATA1 transit-cost list (phase-1 certification). *)
 
+val routing_inputs_digest : (int * routing_table) list -> string
+(** Hex SHA-256 over a (sender, table) input set, sorted by sender —
+    the principal's consumed neighbor announcements, or a checker
+    mirror's consumed copies. The fault-tolerant bank compares the two
+    sides to split mirror mismatches into contradictions (same inputs,
+    different output) and omissions (a copy was lost in flight). *)
+
+val pricing_inputs_digest : (int * pricing_table) list -> string
+
 val routing_equal : routing_table -> routing_table -> bool
 val pricing_equal : pricing_table -> pricing_table -> bool

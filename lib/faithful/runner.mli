@@ -82,6 +82,16 @@ type params = {
       (** gauntlet schedule perturbation; composes with [channel_loss]
           (loss applies first). Overrides [latency_seed] when
           [jitter > 0]. *)
+  fault : Damd_sim.Fault.spec option;
+      (** seeded mixed-failure injection ([Damd_sim.Fault]): per-link
+          loss/reordering, a healing partition, fail-stop crash/recover
+          with protocol-level table handoff. Active during construction
+          only ([Fault.deactivate] at execution start). When set, the
+          bank's routing/pricing checkpoints run in fault-tolerant
+          evidence mode ([Bank.checkpoint_routing ~fault_tolerant:true]):
+          blame only on signed-statement contradictions, restarts without
+          blame on omission-shaped mismatches. [None] (the default) is
+          bit-for-bit the stock runner. *)
   max_events : int;
       (** per-quiescence event budget; exceeding it is a LIVELOCK
           detection. The default (10^7) effectively never fires on honest

@@ -6,7 +6,7 @@ let by_transit (a, x) (b, y) =
   if c <> 0 then c else Float.compare x y
 
 type t = {
-  g : Graph.t;
+  mutable g : Graph.t;  (* mutable for [update_cost] warm restarts *)
   dests : int array;  (* sorted destination nodes; slot s <-> dests.(s) *)
   dest_of : int array;  (* node -> slot, -1 when not a destination *)
   k : int;
@@ -328,6 +328,36 @@ let pricing_fixpoint ?max_rounds ?offsets t =
 
 let run ?max_rounds ?routing_offsets ?pricing_offsets t =
   flood t;
+  routing_fixpoint ?max_rounds ?offsets:routing_offsets t;
+  pricing_fixpoint ?max_rounds ?offsets:pricing_offsets t
+
+(* --- Warm restarts ---
+
+   After a transit-cost change the old announced state is a valid Jacobi
+   starting point: the fixpoint's first round recomputes every (node,
+   slot) pair against the new costs, and iteration descends (decrease) or
+   inflates stale loop-carried candidates until the true alternative wins
+   (increase — the count-to-infinity walk is bounded because every loop
+   traversal adds at least the minimum positive transit cost, so it dies
+   within the default round budget). The fixpoint itself is unique
+   independent of the starting point: distances are the unique shortest
+   values, next hops the smallest neighbor attaining them, and the
+   pricing recurrence's cross-node dependencies follow announced chains
+   toward the destination (strictly decreasing hop counts), so stale
+   price entries cannot sustain a self-consistent wrong cycle. Hence a
+   warm rerun lands on byte-identical state to a cold run — the property
+   the differential tests pin against [Distributed.run ~warm_start]. *)
+
+let update_cost t i c =
+  if i < 0 || i >= Graph.n t.g then invalid_arg "Sparse.update_cost: node";
+  if c < 0. || not (Float.is_finite c) then
+    invalid_arg "Sparse.update_cost: bad cost";
+  t.g <- Graph.with_cost t.g i c
+
+let rerun ?max_rounds ?routing_offsets ?pricing_offsets t =
+  (* No flood: the [k] destination identities are already common
+     knowledge, and changed transit costs ride inside the routing
+     announcements themselves. *)
   routing_fixpoint ?max_rounds ?offsets:routing_offsets t;
   pricing_fixpoint ?max_rounds ?offsets:pricing_offsets t
 

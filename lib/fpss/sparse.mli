@@ -51,6 +51,26 @@ val run :
 val routing_fixpoint : ?max_rounds:int -> ?offsets:float array -> t -> unit
 val pricing_fixpoint : ?max_rounds:int -> ?offsets:float array -> t -> unit
 
+val update_cost : t -> int -> float -> unit
+(** Change one node's transit cost in place (the announced state is
+    untouched — call [rerun] to reconverge). Raises [Invalid_argument]
+    on a bad node id or a negative/non-finite cost. *)
+
+val rerun :
+  ?max_rounds:int ->
+  ?routing_offsets:float array ->
+  ?pricing_offsets:float array ->
+  t ->
+  unit
+(** Warm restart after [update_cost]: reconverge the routing and pricing
+    fixpoints from the current announced state without re-flooding.
+    Reaches state byte-identical to a cold [run] on the updated graph
+    (the fixpoint is unique independent of the starting point; stale
+    loop-carried candidates from a cost increase inflate by at least the
+    minimum positive transit cost per round, so they die within the
+    round budget — all transit costs must be strictly positive for
+    this). *)
+
 val flood : t -> unit
 (** Accounting for the DATA1 stage restricted to [k] destination facts:
     [k * 2E] messages, rounds = max destination hop-eccentricity. *)

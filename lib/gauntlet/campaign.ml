@@ -9,6 +9,7 @@ module Tables = Damd_fpss.Tables
 module Adversary = Damd_faithful.Adversary
 module Runner = Damd_faithful.Runner
 module Bank = Damd_faithful.Bank
+module Fault = Damd_sim.Fault
 
 type topology =
   | Mesh of int * int
@@ -33,7 +34,14 @@ type descr = {
   traffic_rate : float;
   deviants : (int * Adversary.t) list;
   perturb : Runner.perturb;
+  fault : Fault.spec option;
 }
+
+type mix = { faults : bool; epsilon : float option }
+
+let stock = { faults = false; epsilon = None }
+
+let is_stock m = m = stock
 
 type weaken = No_weaken | Weaken_pricing | Weaken_settlement | Weaken_all
 
@@ -61,6 +69,7 @@ type graded = {
   descr : descr;
   verdict : verdict;
   violation_kind : string option;
+  epsilon_active : (int * bool) list;
   completed : bool;
   stuck_phase : string option;
   detected_in : string option;
@@ -140,7 +149,7 @@ let enforce_scope g deviants =
 let enforce_scope g deviants =
   try enforce_scope g deviants with Exit -> deviants
 
-let of_seed seed =
+let of_seed ?(mix = stock) seed =
   let rng = Rng.create seed in
   let topology =
     match Rng.int rng 4 with
@@ -165,7 +174,7 @@ let of_seed seed =
     else perturb
   in
   let descr0 =
-    { seed; topology; graph_seed; traffic_rate; deviants = []; perturb }
+    { seed; topology; graph_seed; traffic_rate; deviants = []; perturb; fault = None }
   in
   let g = graph_of descr0 in
   let n = Graph.n g in
@@ -190,10 +199,83 @@ let of_seed seed =
       List.map (fun v -> (v, Rng.choose rng Adversary.library)) nodes
     end
   in
+  (* Mixed-mode draws come strictly after every stock draw, so with
+     [mix = stock] the sampler is bit-for-bit the historical one. *)
+  let deviants =
+    if mix.faults && Rng.bernoulli rng 0.3 then
+      (* promote one deviant to a fail-arbitrary peer (fixed seeded plan) *)
+      match deviants with
+      | (i, _) :: rest -> (i, Adversary.Byzantine_arbitrary (seed_bits rng)) :: rest
+      | [] -> deviants
+    else deviants
+  in
   let deviants =
     enforce_scope g deviants |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   in
-  { descr0 with deviants }
+  let deviants =
+    match mix.epsilon with
+    | None -> deviants
+    | Some e ->
+        List.map (fun (i, d) -> (i, Adversary.Epsilon_rational (e, d))) deviants
+  in
+  let fault =
+    if not mix.faults then None
+    else begin
+      let phase () =
+        match Rng.int rng 3 with 0 -> `Costs | 1 -> `Routing | _ -> `Pricing
+      in
+      let link =
+        if Rng.bernoulli rng 0.7 then
+          Some
+            {
+              Fault.loss_p = Rng.sample rng [| 0.01; 0.03; 0.05 |];
+              reorder_p = Rng.sample rng [| 0.; 0.1; 0.2 |];
+              reorder_delay = 1.5;
+            }
+        else None
+      in
+      let partition =
+        if Rng.bernoulli rng 0.35 then begin
+          let k = Rng.int_in rng 1 (max 1 (n / 3)) in
+          let at = Rng.float_in rng 0.5 3. in
+          Some
+            {
+              Fault.island = Rng.subset rng k n;
+              part_phase = phase ();
+              at;
+              heals_at = at +. Rng.float_in rng 1. 4.;
+            }
+        end
+        else None
+      in
+      let crash =
+        if Rng.bernoulli rng 0.35 then begin
+          let at = Rng.float_in rng 0.5 3. in
+          Some
+            {
+              Fault.node = Rng.int rng n;
+              crash_phase = phase ();
+              at;
+              recovers_at = at +. Rng.float_in rng 1. 4.;
+            }
+        end
+        else None
+      in
+      let spec = { Fault.seed = seed_bits rng; link; partition; crash } in
+      (* a --faults campaign always injects something *)
+      let spec =
+        if Fault.is_none spec then
+          {
+            spec with
+            Fault.link =
+              Some { Fault.loss_p = 0.03; reorder_p = 0.1; reorder_delay = 1.5 };
+          }
+        else spec
+      in
+      Some spec
+    end
+  in
+  { descr0 with deviants; fault }
 
 let checks_of = function
   | No_weaken | Weaken_all -> Runner.all_checks
@@ -206,6 +288,12 @@ let params_of weaken descr =
     Runner.checking = weaken <> Weaken_all;
     checks = checks_of weaken;
     perturbation = Some descr.perturb;
+    fault = descr.fault;
+    (* Faults consume restarts (link loss hits every attempt, a crash or
+       partition window costs the first): give fault campaigns headroom so
+       benign schedules still certify. *)
+    max_restarts =
+      (if descr.fault = None then Runner.default_params.Runner.max_restarts else 4);
     (* Livelocking deviations (oscillating announcements under a corrupted
        fixpoint) must fail fast, not grind out 10M events per restart
        attempt: a couple hundred thousand events is orders of magnitude
@@ -231,8 +319,27 @@ let grade ?(weaken = No_weaken) descr =
   let n = Graph.n g in
   let traffic = Traffic.uniform ~n ~rate:descr.traffic_rate in
   let params = params_of weaken descr in
+  (* ε-rational resolution: an ε-agent runs its inner deviation only when
+     the unilateral gain exceeds its threshold (the Definition 8
+     comparison, measured on this very campaign); otherwise it stays
+     faithful. Theorem 1 keeps every gain non-positive on the stock
+     mechanism, so ε-agents activate only against weakened banks. *)
+  let epsilon_active = ref [] in
   let deviations = Array.make n Adversary.Faithful in
-  List.iter (fun (i, d) -> deviations.(i) <- d) descr.deviants;
+  List.iter
+    (fun (i, d) ->
+      match Adversary.epsilon d with
+      | None -> deviations.(i) <- d
+      | Some (e, inner) ->
+          let gain =
+            Runner.utility_gain ~params ~graph:g ~traffic ~node:i ~deviation:inner
+              ()
+          in
+          let active = gain > e in
+          epsilon_active := (i, active) :: !epsilon_active;
+          deviations.(i) <- (if active then inner else Adversary.Faithful))
+    descr.deviants;
+  let epsilon_active = List.rev !epsilon_active in
   let full = Runner.run ~params ~graph:g ~traffic ~deviations () in
   let detections =
     List.map (fun d -> (d.Bank.rule, d.Bank.culprit)) full.Runner.detections
@@ -242,11 +349,33 @@ let grade ?(weaken = No_weaken) descr =
       (fun (rule, c) -> if c = Some i then Some rule else None)
       detections
   in
+  (* Blame correctness, asserted on fault campaigns only: with the bank in
+     fault-tolerant evidence mode, accusing a node that ran the faithful
+     code — whether untouched by the sampler or an ε-agent that chose not
+     to activate — is a mechanism failure regardless of anything else the
+     run did. Stock campaigns are exempt: there a deviant *checker* frames
+     its honest principal by design (drop-copies forces a mismatch the
+     stock bank attributes to the principal and punishes with a restart),
+     which is the documented collective-punishment behavior, not a bug. *)
+  let honest_accused =
+    descr.fault <> None
+    && List.exists
+         (fun (_, c) ->
+           match c with
+           | Some i -> deviations.(i) = Adversary.Faithful
+           | None -> false)
+         detections
+  in
   if not full.Runner.completed then
+    let verdict, violation_kind =
+      if honest_accused then (Violation, Some "false-accusation")
+      else (Detected, None)
+    in
     {
       descr;
-      verdict = Detected;
-      violation_kind = None;
+      verdict;
+      violation_kind;
+      epsilon_active;
       completed = false;
       stuck_phase = full.Runner.stuck_phase;
       detected_in = full.Runner.stuck_phase;
@@ -299,7 +428,8 @@ let grade ?(weaken = No_weaken) descr =
     in
     let integrity = (not tables_match) && undetected <> [] in
     let verdict, violation_kind, detected_in =
-      if profit then (Violation, Some "profit", None)
+      if honest_accused then (Violation, Some "false-accusation", None)
+      else if profit then (Violation, Some "profit", None)
       else if integrity then (Violation, Some "integrity", None)
       else
         match
@@ -312,6 +442,7 @@ let grade ?(weaken = No_weaken) descr =
       descr;
       verdict;
       violation_kind;
+      epsilon_active;
       completed = true;
       stuck_phase = None;
       detected_in;
@@ -382,6 +513,35 @@ let shrink ?(weaken = No_weaken) ?(max_grades = 60) graded =
         @ (if p.Runner.jitter > 0. then
              [ { d with perturb = { p with Runner.jitter = 0. } } ]
            else [])
+        @ (match d.fault with
+          | None -> []
+          | Some f ->
+              [ { d with fault = None } ]
+              @ (if f.Fault.link <> None then
+                   [ { d with fault = Some { f with Fault.link = None } } ]
+                 else [])
+              @ (if f.Fault.partition <> None then
+                   [ { d with fault = Some { f with Fault.partition = None } } ]
+                 else [])
+              @
+              if f.Fault.crash <> None then
+                [ { d with fault = Some { f with Fault.crash = None } } ]
+              else [])
+        @ (if List.exists (fun (_, dv) -> Adversary.epsilon dv <> None) d.deviants
+           then
+             [
+               {
+                 d with
+                 deviants =
+                   List.map
+                     (fun (i, dv) ->
+                       match Adversary.epsilon dv with
+                       | Some (_, inner) -> (i, inner)
+                       | None -> (i, dv))
+                     d.deviants;
+               };
+             ]
+           else [])
         @ topology_shrinks d
       in
       match List.find_map regrade candidates with
@@ -397,16 +557,58 @@ let shrink ?(weaken = No_weaken) ?(max_grades = 60) graded =
 
 let campaign_seed ~master i = seed_bits (Rng.fork (Rng.create master) i)
 
-let run_batch ?(weaken = No_weaken) ~campaigns ~seed () =
-  List.init campaigns (fun i -> grade ~weaken (of_seed (campaign_seed ~master:seed i)))
+let run_batch ?(weaken = No_weaken) ?(mix = stock) ~campaigns ~seed () =
+  List.init campaigns (fun i ->
+      grade ~weaken (of_seed ~mix (campaign_seed ~master:seed i)))
 
 let json_opt f = function None -> Json.Null | Some v -> f v
 
+let json_of_fault f =
+  Json.Obj
+    [
+      ("seed", Json.Int f.Fault.seed);
+      ( "link",
+        json_opt
+          (fun (l : Fault.link) ->
+            Json.Obj
+              [
+                ("loss_p", Json.Float l.Fault.loss_p);
+                ("reorder_p", Json.Float l.Fault.reorder_p);
+                ("reorder_delay", Json.Float l.Fault.reorder_delay);
+              ])
+          f.Fault.link );
+      ( "partition",
+        json_opt
+          (fun (pt : Fault.partition) ->
+            Json.Obj
+              [
+                ( "island",
+                  Json.List (List.map (fun i -> Json.Int i) pt.Fault.island) );
+                ("phase", Json.String (Fault.phase_name pt.Fault.part_phase));
+                ("at", Json.Float pt.Fault.at);
+                ("heals_at", Json.Float pt.Fault.heals_at);
+              ])
+          f.Fault.partition );
+      ( "crash",
+        json_opt
+          (fun (c : Fault.crash) ->
+            Json.Obj
+              [
+                ("node", Json.Int c.Fault.node);
+                ("phase", Json.String (Fault.phase_name c.Fault.crash_phase));
+                ("at", Json.Float c.Fault.at);
+                ("recovers_at", Json.Float c.Fault.recovers_at);
+              ])
+          f.Fault.crash );
+    ]
+
+(* Mixed-mode fields are emitted only when present, so stock-mode output
+   (faults off, no ε) stays byte-identical to the damd-gauntlet/1 era. *)
 let json_of_graded gr =
   let d = gr.descr in
   let p = d.perturb in
   Json.Obj
-    [
+    ([
       ("seed", Json.Int d.seed);
       ("topology", Json.String (topology_name d.topology));
       ("n", Json.Int (topology_n d.topology));
@@ -429,6 +631,21 @@ let json_of_graded gr =
             ("drop_p", Json.Float p.Runner.drop_p);
             ("drop_budget", Json.Int p.Runner.drop_budget);
           ] );
+    ]
+    @ (match d.fault with
+      | None -> []
+      | Some f -> [ ("fault", json_of_fault f) ])
+    @ (if gr.epsilon_active = [] then []
+       else
+         [
+           ( "epsilon_active",
+             Json.List
+               (List.map
+                  (fun (i, a) ->
+                    Json.Obj [ ("node", Json.Int i); ("active", Json.Bool a) ])
+                  gr.epsilon_active) );
+         ])
+    @ [
       ("verdict", Json.String (verdict_name gr.verdict));
       ("violation_kind", json_opt (fun s -> Json.String s) gr.violation_kind);
       ("completed", Json.Bool gr.completed);
@@ -454,15 +671,21 @@ let json_of_graded gr =
       ("max_delta", json_opt (fun x -> Json.Float x) gr.max_delta);
       ("tables_match", json_opt (fun b -> Json.Bool b) gr.tables_match);
       ("sim_time", Json.Float gr.sim_time);
-    ]
+    ])
 
 let report ?(shrunk = []) ~weaken ~seed gradeds =
   let count v =
     List.length (List.filter (fun gr -> gr.verdict = v) gradeds)
   in
+  let mixed =
+    List.exists
+      (fun gr -> gr.descr.fault <> None || gr.epsilon_active <> [])
+      gradeds
+  in
   Json.Obj
     [
-      ("schema", Json.String "damd-gauntlet/1");
+      ( "schema",
+        Json.String (if mixed then "damd-gauntlet/2" else "damd-gauntlet/1") );
       ("master_seed", Json.Int seed);
       ("campaigns", Json.Int (List.length gradeds));
       ("weaken", Json.String (weaken_name weaken));

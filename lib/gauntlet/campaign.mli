@@ -46,10 +46,31 @@ type descr = {
   traffic_rate : float;  (** uniform all-pairs demand *)
   deviants : (int * Adversary.t) list;  (** sorted by node id *)
   perturb : Runner.perturb;
+  fault : Damd_sim.Fault.spec option;
+      (** seeded mixed-failure schedule ([None] on stock campaigns) *)
 }
 (** A fully explicit campaign description. [of_seed] produces one from a
     seed; the shrinker mutates it directly (at which point it no longer
     equals any [of_seed] output and is reported in full). *)
+
+type mix = {
+  faults : bool;
+      (** sample a mixed-failure schedule (link loss/reorder, healing
+          partition, crash/recover) for every campaign, occasionally
+          promote a deviant to [Adversary.Byzantine_arbitrary], and run
+          the bank's checkpoints in fault-tolerant evidence mode *)
+  epsilon : float option;
+      (** wrap every sampled deviant in [Adversary.Epsilon_rational]
+          with this activation threshold *)
+}
+(** Mixed-failure campaign configuration. With [stock] the sampler, the
+    runs and the JSON are bit-for-bit the historical (faults-free)
+    gauntlet; all mixed-mode seed draws happen strictly after the stock
+    draws. *)
+
+val stock : mix
+
+val is_stock : mix -> bool
 
 type weaken = No_weaken | Weaken_pricing | Weaken_settlement | Weaken_all
 (** Deliberate bank sabotage for oracle-validation runs: skip the BANK2
@@ -66,7 +87,14 @@ val verdict_name : verdict -> string
 type graded = {
   descr : descr;
   verdict : verdict;
-  violation_kind : string option;  (** ["profit"] or ["integrity"] *)
+  violation_kind : string option;
+      (** ["profit"], ["integrity"] or ["false-accusation"] (a bank
+          detection named a node whose resolved behavior was faithful —
+          the blame-correctness failure fault campaigns assert never
+          happens) *)
+  epsilon_active : (int * bool) list;
+      (** per ε-rational deviant: did its measured unilateral gain exceed
+          its threshold, i.e. did the inner deviation actually run? *)
   completed : bool;
   stuck_phase : string option;
   detected_in : string option;
@@ -85,8 +113,10 @@ type graded = {
   sim_time : float;
 }
 
-val of_seed : int -> descr
-(** Deterministically sample a campaign from its seed. Invariants: the
+val of_seed : ?mix:mix -> int -> descr
+(** Deterministically sample a campaign from its seed (and the mix
+    configuration: replaying a mixed campaign requires the same [mix]
+    flags alongside the seed). Invariants: the
     topology is biconnected; between 1 and 3 deviants (a coalition counts
     its colluders); every checker-caught deviant keeps at least one
     honest neighbor, so sampled coalitions never cover a full
@@ -115,7 +145,8 @@ val campaign_seed : master:int -> int -> int
     of a batch run with master seed [master] (an [Rng.fork] derivation:
     independent of every other index). *)
 
-val run_batch : ?weaken:weaken -> campaigns:int -> seed:int -> unit -> graded list
+val run_batch :
+  ?weaken:weaken -> ?mix:mix -> campaigns:int -> seed:int -> unit -> graded list
 (** Grade campaigns [0 .. campaigns-1] derived from the master seed. *)
 
 val json_of_graded : graded -> Damd_util.Json.t
@@ -123,5 +154,9 @@ val json_of_graded : graded -> Damd_util.Json.t
 
 val report :
   ?shrunk:graded list -> weaken:weaken -> seed:int -> graded list -> Damd_util.Json.t
-(** The [damd-gauntlet/1] document: config, per-verdict summary counts,
-    every campaign ([json_of_graded]), and minimized violations. *)
+(** The gauntlet report: config, per-verdict summary counts, every
+    campaign ([json_of_graded]), and minimized violations. Schema is
+    [damd-gauntlet/1] — byte-identical to the historical format — unless
+    some campaign carries a fault schedule or ε-agents, in which case it
+    is [damd-gauntlet/2] (same shape plus the per-campaign [fault] /
+    [epsilon_active] fields). *)

@@ -6,18 +6,23 @@ type 'msg event =
 
 type outcome = Quiescent | Event_limit
 
+type shaping = Pass | Lose | Delay of float
+
 type 'msg t = {
   n : int;
   latency : src:int -> dst:int -> float;
   queue : 'msg event Pqueue.t;
   handlers : (sender:int -> 'msg -> unit) option array;
   mutable tap : (src:int -> dst:int -> 'msg -> 'msg option) option;
+  mutable shaper : (src:int -> dst:int -> now:float -> 'msg -> shaping) option;
+  down : bool array;
   mutable size_of : 'msg -> int;
   mutable clock : float;
   mutable processed : int;
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
+  mutable lost : int;
   mutable bytes : int;
   sent_by : int array;
   received_by : int array;
@@ -31,12 +36,15 @@ let create ?(latency = fun ~src:_ ~dst:_ -> 1.0) ~n () =
     queue = Pqueue.create ();
     handlers = Array.make n None;
     tap = None;
+    shaper = None;
+    down = Array.make n false;
     size_of = (fun _ -> 1);
     clock = 0.;
     processed = 0;
     sent = 0;
     delivered = 0;
     dropped = 0;
+    lost = 0;
     bytes = 0;
     sent_by = Array.make n 0;
     received_by = Array.make n 0;
@@ -54,6 +62,20 @@ let set_tap t tap = t.tap <- Some tap
 
 let clear_tap t = t.tap <- None
 
+let set_shaper t shaper = t.shaper <- Some shaper
+
+let clear_shaper t = t.shaper <- None
+
+let set_down t i down =
+  if i < 0 || i >= t.n then invalid_arg "Engine.set_down: node out of range";
+  t.down.(i) <- down
+
+let is_down t i =
+  if i < 0 || i >= t.n then invalid_arg "Engine.is_down: node out of range";
+  t.down.(i)
+
+let all_up t = Array.fill t.down 0 t.n false
+
 let set_size t f = t.size_of <- f
 
 let send t ~src ~dst msg =
@@ -70,9 +92,26 @@ let send t ~src ~dst msg =
       t.sent <- t.sent + 1;
       t.sent_by.(src) <- t.sent_by.(src) + 1;
       t.bytes <- t.bytes + t.size_of msg;
-      let latency = t.latency ~src ~dst in
-      if latency < 0. then invalid_arg "Engine.send: negative latency";
-      Pqueue.push t.queue (t.clock +. latency) (Deliver { src; dst; msg })
+      (* The fault shaper runs after the (adversarial) tap: an injected
+         link fault acts on whatever actually went onto the wire. Shaper
+         decisions are drawn in global send order, which is deterministic
+         given a deterministic protocol, so a seeded shaper keeps runs
+         bit-for-bit reproducible. *)
+      let shaping =
+        if t.down.(src) then Lose
+        else
+          match t.shaper with
+          | None -> Pass
+          | Some shape -> shape ~src ~dst ~now:t.clock msg
+      in
+      (match shaping with
+      | Lose -> t.lost <- t.lost + 1
+      | Pass | Delay _ ->
+          let extra = match shaping with Delay d -> d | _ -> 0. in
+          if extra < 0. then invalid_arg "Engine.send: negative shaper delay";
+          let latency = t.latency ~src ~dst in
+          if latency < 0. then invalid_arg "Engine.send: negative latency";
+          Pqueue.push t.queue (t.clock +. latency +. extra) (Deliver { src; dst; msg }))
 
 let schedule t ~delay callback =
   if delay < 0. then invalid_arg "Engine.schedule: negative delay";
@@ -97,11 +136,15 @@ let run ?(max_events = 10_000_000) t =
           (match event with
           | Timer callback -> callback ()
           | Deliver { src; dst; msg } -> (
-              t.delivered <- t.delivered + 1;
-              t.received_by.(dst) <- t.received_by.(dst) + 1;
-              match t.handlers.(dst) with
-              | None -> () (* no handler installed: message discarded *)
-              | Some h -> h ~sender:src msg));
+              if t.down.(dst) then t.lost <- t.lost + 1
+                (* in-flight message reaching a crashed node: lost, not
+                   delivered — the node's handler must not observe it *)
+              else (
+                t.delivered <- t.delivered + 1;
+                t.received_by.(dst) <- t.received_by.(dst) + 1;
+                match t.handlers.(dst) with
+                | None -> () (* no handler installed: message discarded *)
+                | Some h -> h ~sender:src msg)));
           loop ()
   in
   loop ()
@@ -114,6 +157,8 @@ let messages_delivered t = t.delivered
 
 let messages_dropped t = t.dropped
 
+let messages_lost t = t.lost
+
 let bytes_sent t = t.bytes
 
 let sent_by t i = t.sent_by.(i)
@@ -125,6 +170,7 @@ let reset_stats t =
   t.sent <- 0;
   t.delivered <- 0;
   t.dropped <- 0;
+  t.lost <- 0;
   t.bytes <- 0;
   Array.fill t.sent_by 0 t.n 0;
   Array.fill t.received_by 0 t.n 0

@@ -43,6 +43,11 @@ type outcome =
   | Quiescent  (** event queue drained — the network converged *)
   | Event_limit  (** stopped after [max_events] deliveries *)
 
+type shaping =
+  | Pass  (** deliver normally *)
+  | Lose  (** silently lose the message (counted in [messages_lost]) *)
+  | Delay of float  (** add this much to the link latency (must be >= 0) *)
+
 val create : ?latency:(src:int -> dst:int -> float) -> n:int -> unit -> 'msg t
 (** A fresh engine with [n] nodes, no handlers, empty queue, time 0. *)
 
@@ -60,6 +65,36 @@ val set_tap : 'msg t -> (src:int -> dst:int -> 'msg -> 'msg option) -> unit
     to (possibly) rewrite it. At most one tap; [clear_tap] removes it. *)
 
 val clear_tap : 'msg t -> unit
+
+val set_shaper :
+  'msg t -> (src:int -> dst:int -> now:float -> 'msg -> shaping) -> unit
+(** Environment fault hook, distinct from the tap: the tap models a
+    *node's* deviation (it can rewrite payloads), the shaper models the
+    *network* (it can only lose or delay what was actually sent). The
+    shaper runs after the tap, once per send, in global send order — so a
+    shaper driven by a seeded [Damd_util.Rng] makes the fault realization
+    a pure function of (seed, protocol behavior) and runs stay
+    bit-for-bit reproducible. Equal-timestamp ties among delayed messages
+    are still broken by enqueue order (see the determinism guarantee
+    above), so link faults never introduce scheduling nondeterminism.
+    At most one shaper; [clear_shaper] removes it. [Delay] composes with
+    link latency additively; note a positive delay can reorder messages
+    *within* a link, which is exactly the reordering fault model. *)
+
+val clear_shaper : 'msg t -> unit
+
+val set_down : 'msg t -> int -> bool -> unit
+(** Crash-stop a node (or bring it back). While down, a node neither
+    sends ([send] with a down [src] loses the message) nor receives —
+    in-flight messages reaching it at delivery time are lost, matching
+    the fail-stop model where a crash forfeits the channel contents.
+    Handlers and node state are untouched: recovery is the protocol
+    layer's job (table handoff in [Damd_faithful.Runner]). *)
+
+val is_down : 'msg t -> int -> bool
+
+val all_up : 'msg t -> unit
+(** Clear every down flag (end of a fault campaign's injection window). *)
 
 val set_size : 'msg t -> ('msg -> int) -> unit
 (** Message-size model for byte accounting (default: every message is one
@@ -94,6 +129,12 @@ val messages_sent : 'msg t -> int
 val messages_delivered : 'msg t -> int
 val messages_dropped : 'msg t -> int
 (** Dropped by the tap. *)
+
+val messages_lost : 'msg t -> int
+(** Lost to injected faults: shaper [Lose] decisions plus messages sent
+    by or delivered to a down node. Kept separate from [messages_dropped]
+    so adversarial drops and environment faults stay distinguishable in
+    the accounting. *)
 
 val bytes_sent : 'msg t -> int
 val sent_by : 'msg t -> int -> int

@@ -19,6 +19,7 @@ type t =
   | Combined_pricing_attack
   | Lying_checker
   | Collude_with
+  | Byzantine_arbitrary
 
 let all =
   [
@@ -42,6 +43,7 @@ let all =
     Combined_pricing_attack;
     Lying_checker;
     Collude_with;
+    Byzantine_arbitrary;
   ]
 
 let to_string = function
@@ -65,3 +67,4 @@ let to_string = function
   | Combined_pricing_attack -> "combined-pricing-attack"
   | Lying_checker -> "lying-checker"
   | Collude_with -> "collude-with"
+  | Byzantine_arbitrary -> "byzantine-arbitrary"

@@ -30,6 +30,10 @@ type t =
   | Combined_pricing_attack
   | Lying_checker
   | Collude_with
+  | Byzantine_arbitrary
+      (** seed-derived fixed plan composing construction and execution
+          manipulations — the fail-arbitrary peer of the rational library
+          ([Adversary.Byzantine_arbitrary]) *)
 
 val all : t list
 (** Every label, [Faithful] first. *)

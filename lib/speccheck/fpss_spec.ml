@@ -53,6 +53,7 @@ let actions : Ir.action list =
           Dev.Corrupt_routing_copies;
           Dev.Spoof_routing_update;
           Dev.Combined_routing_attack;
+          Dev.Byzantine_arbitrary;
         ];
     };
     {
@@ -63,7 +64,8 @@ let actions : Ir.action list =
       rules = [ Rule.PRINC1; Rule.BANK1 ];
       mirrored = true;
       digested = true;
-      deviations = [ Dev.Miscompute_routing; Dev.Silent_in_construction ];
+      deviations =
+        [ Dev.Miscompute_routing; Dev.Silent_in_construction; Dev.Byzantine_arbitrary ];
     };
     {
       id = "mirror-routing";
@@ -90,6 +92,7 @@ let actions : Ir.action list =
           Dev.Corrupt_pricing_copies;
           Dev.Spoof_pricing_update;
           Dev.Combined_pricing_attack;
+          Dev.Byzantine_arbitrary;
         ];
     };
     {
@@ -100,7 +103,8 @@ let actions : Ir.action list =
       rules = [ Rule.PRINC2; Rule.BANK2 ];
       mirrored = true;
       digested = true;
-      deviations = [ Dev.Miscompute_pricing; Dev.Silent_in_construction ];
+      deviations =
+        [ Dev.Miscompute_pricing; Dev.Silent_in_construction; Dev.Byzantine_arbitrary ];
     };
     {
       id = "mirror-pricing";
@@ -130,7 +134,7 @@ let actions : Ir.action list =
       rules = [ Rule.EXEC ];
       mirrored = false;
       digested = false;
-      deviations = [ Dev.Misroute_packets ];
+      deviations = [ Dev.Misroute_packets; Dev.Byzantine_arbitrary ];
     };
     {
       id = "report-payments";
@@ -141,7 +145,8 @@ let actions : Ir.action list =
       (* the bank itself recomputes DATA4 from the certified tables *)
       mirrored = true;
       digested = true;
-      deviations = [ Dev.Underreport_payments; Dev.Misattribute_payments ];
+      deviations =
+        [ Dev.Underreport_payments; Dev.Misattribute_payments; Dev.Byzantine_arbitrary ];
     };
   ]
 

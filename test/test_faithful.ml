@@ -1268,6 +1268,129 @@ let test_scale_halts_on_detection () =
   checkf "no payments" 0. report.Scale.total_payments;
   Array.iter (fun u -> checkf "utilities untouched" 0. u) report.Scale.utilities
 
+(* --- Fault injection through the runner: blame correctness --- *)
+
+module Fault = Damd_sim.Fault
+
+let fault_params spec =
+  { Runner.default_params with Runner.fault = Some spec; max_restarts = 4 }
+
+let no_honest_accusation r =
+  List.for_all (fun det -> det.Bank.culprit = None) r.Runner.detections
+
+let test_fault_loss_never_accuses_honest () =
+  (* Pure link loss against an all-honest run: progress may degrade
+     (restarts, a stuck phase) but the FT evidence split must never
+     produce a culprit — loss is an omission, not a contradiction. *)
+  let g, _ = Lazy.force fig1 in
+  let deviations = Array.make 6 Adversary.Faithful in
+  List.iter
+    (fun seed ->
+      let spec =
+        {
+          Fault.seed;
+          link = Some { Fault.loss_p = 0.05; reorder_p = 0.2; reorder_delay = 1.5 };
+          partition = None;
+          crash = None;
+        }
+      in
+      let r =
+        Runner.run ~params:(fault_params spec) ~graph:g ~traffic:fig1_traffic
+          ~deviations ()
+      in
+      check Alcotest.bool "no honest node accused" true (no_honest_accusation r);
+      if r.Runner.completed then
+        match (r.Runner.tables, (Lazy.force faithful_run).Runner.tables) with
+        | Some t, Some t' ->
+            check Alcotest.bool "certified tables are correct" true
+              (Tables.routing_equal t t' && Tables.prices_equal t t')
+        | _ -> Alcotest.fail "completed run without tables")
+    [ 11; 23; 37; 58 ]
+
+let test_fault_crash_handoff_recovers () =
+  (* Fail-stop with recovery inside the routing phase: the neighbor
+     handoff plus bank-ordered restarts must carry the run to a clean
+     certification with no one blamed. *)
+  let g, _ = Lazy.force fig1 in
+  let deviations = Array.make 6 Adversary.Faithful in
+  let spec =
+    {
+      Fault.seed = 7;
+      link = None;
+      partition = None;
+      crash =
+        Some { Fault.node = 3; crash_phase = `Routing; at = 1.0; recovers_at = 2.5 };
+    }
+  in
+  let r =
+    Runner.run ~params:(fault_params spec) ~graph:g ~traffic:fig1_traffic
+      ~deviations ()
+  in
+  check Alcotest.bool "no honest node accused" true (no_honest_accusation r);
+  check Alcotest.bool "run completes after recovery" true r.Runner.completed;
+  match (r.Runner.tables, (Lazy.force faithful_run).Runner.tables) with
+  | Some t, Some t' ->
+      check Alcotest.bool "tables unaffected by the crash" true
+        (Tables.routing_equal t t' && Tables.prices_equal t t')
+  | _ -> Alcotest.fail "completed run without tables"
+
+let test_fault_partition_heals_and_completes () =
+  let g, _ = Lazy.force fig1 in
+  let deviations = Array.make 6 Adversary.Faithful in
+  let spec =
+    {
+      Fault.seed = 9;
+      link = None;
+      partition =
+        Some
+          { Fault.island = [ 0; 1 ]; part_phase = `Costs; at = 0.5; heals_at = 3.0 };
+      crash = None;
+    }
+  in
+  let r =
+    Runner.run ~params:(fault_params spec) ~graph:g ~traffic:fig1_traffic
+      ~deviations ()
+  in
+  check Alcotest.bool "no honest node accused" true (no_honest_accusation r)
+
+let test_plan_of_seed_deterministic () =
+  List.iter
+    (fun s ->
+      check Alcotest.bool "pure in the seed" true
+        (Adversary.plan_of_seed s = Adversary.plan_of_seed s))
+    [ 0; 1; 42; 9001 ];
+  check Alcotest.bool "seeds differentiate plans" true
+    (List.exists
+       (fun s -> Adversary.plan_of_seed s <> Adversary.plan_of_seed 0)
+       [ 1; 2; 3; 4; 5 ])
+
+let test_byzantine_deviant_caught () =
+  (* A Byzantine node never slides damage past certification: either the
+     bank refuses to certify / flags it, or the plan was behaviorally
+     inert on this topology and the certified tables are still the
+     honest ones (e.g. a cost pair whose two values land on same-parity
+     neighbors, or corrupted forwards that lose the first-arrival race
+     in the flood). At least some seeds must actually be caught. *)
+  let g, _ = Lazy.force fig1 in
+  let caught = ref 0 in
+  List.iter
+    (fun seed ->
+      let deviations = Array.make 6 Adversary.Faithful in
+      deviations.(2) <- Adversary.Byzantine_arbitrary seed;
+      let r = Runner.run ~graph:g ~traffic:fig1_traffic ~deviations () in
+      if (not r.Runner.completed) || r.Runner.detections <> [] then incr caught
+      else
+        (* Undetected plans amount to strategic misdeclaration — legal
+           under the AC model, and Theorem 1 makes them unprofitable. *)
+        let gain =
+          Runner.utility_gain ~graph:g ~traffic:fig1_traffic ~node:2
+            ~deviation:(Adversary.Byzantine_arbitrary seed) ()
+        in
+        check Alcotest.bool "undetected byz plan is unprofitable" true
+          (gain <= 1e-9))
+    [ 1; 2; 3; 17; 101 ];
+  check Alcotest.bool "most byz plans are caught" true (!caught >= 3)
+
 let suites =
   [
     ( "faithful.protocol",
@@ -1451,5 +1574,18 @@ let suites =
         Alcotest.test_case "pricing distorter caught" `Quick
           test_scale_pricing_distorter_caught;
         Alcotest.test_case "halt on detection" `Quick test_scale_halts_on_detection;
+      ] );
+    ( "faithful.fault",
+      [
+        Alcotest.test_case "loss never accuses honest" `Quick
+          test_fault_loss_never_accuses_honest;
+        Alcotest.test_case "crash handoff recovers" `Quick
+          test_fault_crash_handoff_recovers;
+        Alcotest.test_case "partition heals" `Quick
+          test_fault_partition_heals_and_completes;
+        Alcotest.test_case "byz plan pure in seed" `Quick
+          test_plan_of_seed_deterministic;
+        Alcotest.test_case "byzantine deviant caught" `Quick
+          test_byzantine_deviant_caught;
       ] );
   ]

@@ -533,6 +533,36 @@ let prop_sparse_equals_dense =
       t.Tables.routing = d.Distributed.tables.Tables.routing
       && t.Tables.prices = d.Distributed.tables.Tables.prices)
 
+let prop_sparse_warm_equals_dense_warm =
+  (* Warm-start differential: after a single cost change,
+     [Sparse.update_cost] + [rerun] from the stale announced state must
+     land on exactly the tables the dense engine reaches from
+     [~warm_start] on the same change — on AS-like power-law topologies,
+     where the hub/leaf asymmetry makes stale-loop inflation (the
+     count-to-infinity walk of a cost increase) most likely. Strictly
+     positive costs, as the warm contract requires. *)
+  QCheck.Test.make ~name:"sparse warm restart = dense warm start (as_like)"
+    ~count:50
+    QCheck.(triple small_nat small_nat (int_bound 9))
+    (fun (seed, node_pick, new_cost) ->
+      let rng = Rng.create (seed + 2200) in
+      let n = 12 + (seed mod 12) in
+      let g, _ = Gen.as_like rng ~n ~m:2 (Gen.Uniform_int (1, 10)) in
+      let sp = Sparse.create g in
+      Sparse.run sp;
+      let cold = Distributed.run g in
+      let i = node_pick mod n in
+      let c = float_of_int (1 + new_cost) in
+      let changed = Graph.with_cost g i c in
+      let warm_dense =
+        Distributed.run ~warm_start:cold.Distributed.tables changed
+      in
+      Sparse.update_cost sp i c;
+      Sparse.rerun sp;
+      let t = Sparse.to_tables sp in
+      t.Tables.routing = warm_dense.Distributed.tables.Tables.routing
+      && t.Tables.prices = warm_dense.Distributed.tables.Tables.prices)
+
 let test_sparse_deviation_checkpoints () =
   (* Honest fixpoints have zero residual at every node; a node distorting
      its announcements by delta shows residual exactly delta at itself —
@@ -695,5 +725,6 @@ let suites =
         Alcotest.test_case "deviation checkpoints" `Quick
           test_sparse_deviation_checkpoints;
         QCheck_alcotest.to_alcotest prop_sparse_equals_dense;
+        QCheck_alcotest.to_alcotest prop_sparse_warm_equals_dense_warm;
       ] );
   ]

@@ -118,6 +118,174 @@ let test_campaign_seeds_distinct () =
   check Alcotest.int "index stable" (Campaign.campaign_seed ~master:42 7)
     (List.nth seeds 7)
 
+(* --- Mixed-failure mode: faults, epsilon agents, blame correctness --- *)
+
+module Fault = Damd_sim.Fault
+
+let mixed = { Campaign.faults = true; epsilon = None }
+
+let quiet_perturb =
+  { Damd_faithful.Runner.jitter = 0.; dup_p = 0.; drop_p = 0.; drop_budget = 0; perturb_seed = 0 }
+
+let test_mixed_of_seed_deterministic () =
+  List.iter
+    (fun seed ->
+      let a = Campaign.of_seed ~mix:mixed seed in
+      check Alcotest.bool "same descr" true (a = Campaign.of_seed ~mix:mixed seed);
+      check Alcotest.bool "carries a fault schedule" true (a.Campaign.fault <> None);
+      check Alcotest.bool "stock sampling unchanged by the mix draws" true
+        ({ a with Campaign.fault = None } = Campaign.of_seed seed
+        || a.Campaign.deviants <> (Campaign.of_seed seed).Campaign.deviants))
+    [ 0; 1; 42; 123456789 ]
+
+let test_mixed_grade_replays_byte_identical () =
+  (* The replay guarantee extends to fault campaigns: the schedule is
+     pure data under the seed, so grading twice is byte-identical. *)
+  let d = Campaign.of_seed ~mix:mixed 42 in
+  let j () =
+    Json.to_string ~indent:2 (Campaign.json_of_graded (Campaign.grade d))
+  in
+  check Alcotest.string "byte-identical replay" (j ()) (j ())
+
+let test_mixed_batch_no_false_accusation () =
+  (* The acceptance gate: 100 seeded mixed-failure campaigns, zero
+     violations — in particular zero "false-accusation" verdicts, i.e.
+     no injected fault ever gets pinned on an honest node. *)
+  let graded = Campaign.run_batch ~mix:mixed ~campaigns:100 ~seed:42 () in
+  check Alcotest.int "batch size" 100 (List.length graded);
+  List.iter
+    (fun gr ->
+      check Alcotest.bool "no violation under mixed failures" true
+        (gr.Campaign.verdict <> Campaign.Violation))
+    graded
+
+let knob_descr ~seed fault =
+  {
+    Campaign.seed;
+    topology = Campaign.Mesh (3, 3);
+    graph_seed = seed;
+    traffic_rate = 1.;
+    deviants = [];
+    perturb = { quiet_perturb with Damd_faithful.Runner.perturb_seed = seed };
+    fault = Some fault;
+  }
+
+let check_knob_blameless fault_of_seed =
+  List.iter
+    (fun seed ->
+      let gr = Campaign.grade (knob_descr ~seed (fault_of_seed seed)) in
+      check Alcotest.bool "fault alone never a violation" true
+        (gr.Campaign.verdict <> Campaign.Violation);
+      List.iter
+        (fun (_rule, culprit) ->
+          check (Alcotest.option Alcotest.int) "no node accused" None culprit)
+        gr.Campaign.detections)
+    [ 1; 2; 3; 5; 8; 13 ]
+
+let test_loss_knob_accuses_nobody () =
+  check_knob_blameless (fun seed ->
+      {
+        Fault.seed;
+        link = Some { Fault.loss_p = 0.05; reorder_p = 0.2; reorder_delay = 1.5 };
+        partition = None;
+        crash = None;
+      })
+
+let test_partition_knob_accuses_nobody () =
+  check_knob_blameless (fun seed ->
+      {
+        Fault.seed;
+        link = None;
+        partition =
+          Some
+            {
+              Fault.island = [ 0; 1; 3 ];
+              part_phase = (if seed mod 2 = 0 then `Costs else `Routing);
+              at = 0.5;
+              heals_at = 3.0;
+            };
+        crash = None;
+      })
+
+let test_crash_knob_accuses_nobody () =
+  check_knob_blameless (fun seed ->
+      {
+        Fault.seed;
+        link = None;
+        partition = None;
+        crash =
+          Some
+            {
+              Fault.node = seed mod 9;
+              crash_phase = (if seed mod 2 = 0 then `Routing else `Pricing);
+              at = 1.0;
+              recovers_at = 3.0;
+            };
+      })
+
+let test_epsilon_agents_inactive_on_stock () =
+  (* Theorem 1 keeps every unilateral gain <= 0 on the stock bank, so an
+     epsilon-rational wrapper (any positive threshold) never activates:
+     the campaign grades exactly like an all-faithful run of itself. *)
+  let mix = { Campaign.faults = false; epsilon = Some 0.05 } in
+  List.iter
+    (fun seed ->
+      let gr = Campaign.grade (Campaign.of_seed ~mix seed) in
+      check Alcotest.bool "has epsilon wrappers" true
+        (gr.Campaign.epsilon_active <> []);
+      List.iter
+        (fun (_i, active) ->
+          check Alcotest.bool "inactive on stock" false active)
+        gr.Campaign.epsilon_active;
+      check Alcotest.bool "no violation" true
+        (gr.Campaign.verdict <> Campaign.Violation))
+    [ 3; 12; 27 ]
+
+(* Campaign 8 of master seed 42 (replay seed 585031616423906090) is the
+   known settlement-weakening escape: three execution deviants profit
+   once verified clearing is off. *)
+let violating_seed = 585031616423906090
+
+let test_weakened_violation_replays_and_shrinks () =
+  let weaken = Campaign.Weaken_settlement in
+  let gr = Campaign.grade ~weaken (Campaign.of_seed violating_seed) in
+  check Alcotest.bool "violation found" true
+    (gr.Campaign.verdict = Campaign.Violation);
+  check (Alcotest.option Alcotest.string) "profit kind" (Some "profit")
+    gr.Campaign.violation_kind;
+  (* --replay byte-identity of the violating campaign *)
+  let j () = Json.to_string ~indent:2 (Campaign.json_of_graded gr) in
+  let j2 =
+    Json.to_string ~indent:2
+      (Campaign.json_of_graded
+         (Campaign.grade ~weaken (Campaign.of_seed violating_seed)))
+  in
+  check Alcotest.string "replay byte-identical" (j ()) j2;
+  (* shrinker soundness: the minimized campaign re-grades to the same
+     verdict class from its descr alone *)
+  let s = Campaign.shrink ~weaken gr in
+  check Alcotest.bool "shrunk still violates" true
+    (s.Campaign.verdict = Campaign.Violation);
+  let regraded = Campaign.grade ~weaken s.Campaign.descr in
+  check Alcotest.bool "shrunk descr reproduces the violation" true
+    (regraded.Campaign.verdict = Campaign.Violation);
+  check (Alcotest.option Alcotest.string) "same kind" gr.Campaign.violation_kind
+    regraded.Campaign.violation_kind
+
+let test_epsilon_agents_activate_on_weakened_bank () =
+  (* Same campaign, deviants wrapped epsilon-rational: the weakened bank
+     lets the inner deviations clear their gain threshold, so the
+     wrappers activate and the violation reappears. *)
+  let mix = { Campaign.faults = false; epsilon = Some 0.05 } in
+  let gr =
+    Campaign.grade ~weaken:Campaign.Weaken_settlement
+      (Campaign.of_seed ~mix violating_seed)
+  in
+  check Alcotest.bool "violation with epsilon agents" true
+    (gr.Campaign.verdict = Campaign.Violation);
+  check Alcotest.bool "some wrapper activated" true
+    (List.exists snd gr.Campaign.epsilon_active)
+
 let suites =
   [
     ( "gauntlet.campaign",
@@ -135,5 +303,26 @@ let suites =
         Alcotest.test_case "weaken_of_string round-trip" `Quick
           test_weaken_of_string_roundtrip;
         Alcotest.test_case "campaign seeds distinct" `Quick test_campaign_seeds_distinct;
+      ] );
+    ( "gauntlet.mixed",
+      [
+        Alcotest.test_case "mixed of_seed deterministic" `Quick
+          test_mixed_of_seed_deterministic;
+        Alcotest.test_case "mixed grade replays byte-identical" `Quick
+          test_mixed_grade_replays_byte_identical;
+        Alcotest.test_case "100 mixed campaigns: no false accusation" `Slow
+          test_mixed_batch_no_false_accusation;
+        Alcotest.test_case "loss knob accuses nobody" `Quick
+          test_loss_knob_accuses_nobody;
+        Alcotest.test_case "partition knob accuses nobody" `Quick
+          test_partition_knob_accuses_nobody;
+        Alcotest.test_case "crash knob accuses nobody" `Quick
+          test_crash_knob_accuses_nobody;
+        Alcotest.test_case "epsilon inactive on stock" `Quick
+          test_epsilon_agents_inactive_on_stock;
+        Alcotest.test_case "weakened violation replays and shrinks" `Slow
+          test_weakened_violation_replays_and_shrinks;
+        Alcotest.test_case "epsilon activates on weakened bank" `Slow
+          test_epsilon_agents_activate_on_weakened_bank;
       ] );
   ]

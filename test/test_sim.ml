@@ -353,6 +353,205 @@ let test_out_of_range_src_rejected () =
   Alcotest.check_raises "bad src" (Invalid_argument "Engine.send: node out of range")
     (fun () -> Engine.send e ~src:(-1) ~dst:1 ())
 
+(* --- fault injection: shaper, down nodes, seeded schedules --- *)
+
+module Fault = Damd_sim.Fault
+
+let test_shaper_lose_delay_and_clear () =
+  let e = Engine.create ~n:3 () in
+  let got = ref [] in
+  for i = 1 to 2 do
+    Engine.set_handler e i (fun ~sender:_ msg -> got := (i, msg) :: !got)
+  done;
+  Engine.set_shaper e (fun ~src:_ ~dst ~now:_ msg ->
+      if dst = 1 && msg = "lose" then Engine.Lose
+      else if msg = "slow" then Engine.Delay 5.
+      else Engine.Pass);
+  Engine.send e ~src:0 ~dst:1 "lose";
+  Engine.send e ~src:0 ~dst:2 "slow";
+  (* same link, sent after "slow", but undelayed: overtakes it *)
+  Engine.send e ~src:0 ~dst:2 "fast";
+  ignore (Engine.run e);
+  check Alcotest.int "shaper Lose counted" 1 (Engine.messages_lost e);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+    "Delay reorders within the link"
+    [ (2, "fast"); (2, "slow") ]
+    (List.rev !got);
+  Engine.clear_shaper e;
+  Engine.send e ~src:0 ~dst:1 "lose";
+  ignore (Engine.run e);
+  check Alcotest.bool "clear_shaper restores delivery" true
+    (List.mem (1, "lose") !got)
+
+let test_down_node_loses_both_directions () =
+  let e = Engine.create ~n:2 () in
+  let got = ref 0 in
+  Engine.set_handler e 0 (fun ~sender:_ () -> incr got);
+  Engine.set_handler e 1 (fun ~sender:_ () -> incr got);
+  Engine.set_down e 1 true;
+  check Alcotest.bool "is_down" true (Engine.is_down e 1);
+  Engine.send e ~src:0 ~dst:1 ();
+  Engine.send e ~src:1 ~dst:0 ();
+  ignore (Engine.run e);
+  check Alcotest.int "lost at send and at delivery" 2 (Engine.messages_lost e);
+  check Alcotest.int "nothing delivered" 0 !got;
+  Engine.all_up e;
+  check Alcotest.bool "all_up revives" false (Engine.is_down e 1);
+  Engine.send e ~src:0 ~dst:1 ();
+  ignore (Engine.run e);
+  check Alcotest.int "delivery restored" 1 !got
+
+let test_fault_loss_deterministic () =
+  let run_once () =
+    let e = Engine.create ~n:4 () in
+    let log = ref [] in
+    for i = 0 to 3 do
+      Engine.set_handler e i (fun ~sender msg ->
+          log := (i, sender, msg) :: !log;
+          if msg > 0 then Engine.send e ~src:i ~dst:((i + 1) mod 4) (msg - 1))
+    done;
+    let spec =
+      {
+        Fault.seed = 77;
+        link = Some { Fault.loss_p = 0.3; reorder_p = 0.3; reorder_delay = 2.5 };
+        partition = None;
+        crash = None;
+      }
+    in
+    ignore (Fault.install e spec);
+    Engine.send e ~src:0 ~dst:1 30;
+    Engine.send e ~src:2 ~dst:3 30;
+    ignore (Engine.run e);
+    (List.rev !log, Engine.messages_lost e, Engine.events_processed e)
+  in
+  let a = run_once () in
+  let b = run_once () in
+  check Alcotest.bool "same seed, bit-identical trace" true (a = b);
+  let _, lost, _ = a in
+  check Alcotest.bool "losses actually occurred" true (lost > 0)
+
+let test_fault_crash_window_and_arm_once () =
+  let e = Engine.create ~n:2 () in
+  let delivered = ref [] in
+  Engine.set_handler e 0 (fun ~sender:_ _ -> ());
+  Engine.set_handler e 1 (fun ~sender:_ msg -> delivered := msg :: !delivered);
+  let spec =
+    {
+      Fault.seed = 1;
+      link = None;
+      partition = None;
+      crash =
+        Some { Fault.node = 1; crash_phase = `Routing; at = 2.; recovers_at = 5. };
+    }
+  in
+  let ctl = Fault.install e spec in
+  (* anchored to `Routing: arming `Costs does nothing *)
+  Fault.arm e ctl ~phase:`Costs;
+  Engine.send e ~src:0 ~dst:1 "costs-phase";
+  ignore (Engine.run e);
+  check Alcotest.bool "not down before its phase" false (Engine.is_down e 1);
+  let crashed = ref (-1.) in
+  let recovered = ref (-1.) in
+  let t0 = Engine.now e in
+  Fault.arm e ctl ~phase:`Routing
+    ~on_crash:(fun i ->
+      check Alcotest.int "crash callback node" 1 i;
+      crashed := Engine.now e)
+    ~on_recover:(fun _ -> recovered := Engine.now e);
+  (* lands at t0+4, inside the down window [t0+2, t0+5) *)
+  Engine.schedule e ~delay:3. (fun () -> Engine.send e ~src:0 ~dst:1 "mid");
+  Engine.schedule e ~delay:6. (fun () -> Engine.send e ~src:0 ~dst:1 "after");
+  ignore (Engine.run e);
+  check (Alcotest.float 1e-9) "crash offset from phase start" (t0 +. 2.) !crashed;
+  check (Alcotest.float 1e-9) "recover offset" (t0 +. 5.) !recovered;
+  check Alcotest.bool "in-window message lost" true
+    (not (List.mem "mid" !delivered));
+  check Alcotest.bool "post-recovery message delivered" true
+    (List.mem "after" !delivered);
+  (* re-arming the same phase (a restart) must not re-inject *)
+  Fault.arm e ctl ~phase:`Routing ~on_crash:(fun _ ->
+      Alcotest.fail "crash re-armed on restart");
+  ignore (Engine.run e)
+
+let test_fault_partition_window_and_heal () =
+  let e = Engine.create ~n:4 () in
+  let got = ref [] in
+  for i = 0 to 3 do
+    Engine.set_handler e i (fun ~sender:_ msg -> got := msg :: !got)
+  done;
+  let spec =
+    {
+      Fault.seed = 3;
+      link = None;
+      partition =
+        Some { Fault.island = [ 0; 1 ]; part_phase = `Costs; at = 0.; heals_at = 4. };
+      crash = None;
+    }
+  in
+  let ctl = Fault.install e spec in
+  Fault.arm e ctl ~phase:`Costs;
+  Engine.send e ~src:0 ~dst:2 "cross-early";
+  Engine.send e ~src:0 ~dst:1 "intra-island";
+  Engine.send e ~src:2 ~dst:3 "outside-island";
+  Engine.schedule e ~delay:5. (fun () -> Engine.send e ~src:0 ~dst:2 "cross-late");
+  ignore (Engine.run e);
+  check Alcotest.bool "cut message lost in window" true
+    (not (List.mem "cross-early" !got));
+  check Alcotest.bool "intra-island passes" true (List.mem "intra-island" !got);
+  check Alcotest.bool "outside-island passes" true
+    (List.mem "outside-island" !got);
+  check Alcotest.bool "link heals" true (List.mem "cross-late" !got);
+  check Alcotest.int "exactly the cut message lost" 1 (Engine.messages_lost e)
+
+let test_fault_deactivate_stops_injection () =
+  let e = Engine.create ~n:2 () in
+  let got = ref 0 in
+  Engine.set_handler e 1 (fun ~sender:_ () -> incr got);
+  let spec =
+    {
+      Fault.seed = 5;
+      link = Some { Fault.loss_p = 1.; reorder_p = 0.; reorder_delay = 0. };
+      partition = None;
+      crash = None;
+    }
+  in
+  let ctl = Fault.install e spec in
+  Engine.send e ~src:0 ~dst:1 ();
+  ignore (Engine.run e);
+  check Alcotest.int "total loss while active" 0 !got;
+  check Alcotest.bool "active" true (Fault.active ctl);
+  Fault.deactivate e ctl;
+  Engine.send e ~src:0 ~dst:1 ();
+  ignore (Engine.run e);
+  check Alcotest.int "delivery restored after deactivate" 1 !got;
+  check Alcotest.bool "inactive" false (Fault.active ctl)
+
+let test_fault_validate_rejects_malformed () =
+  let e : unit Engine.t = Engine.create ~n:3 () in
+  let bad l p c = { Fault.seed = 0; link = l; partition = p; crash = c } in
+  List.iter
+    (fun spec ->
+      check Alcotest.bool "malformed spec rejected" true
+        (match Fault.install e spec with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+    [
+      bad (Some { Fault.loss_p = 1.5; reorder_p = 0.; reorder_delay = 0. }) None None;
+      bad (Some { Fault.loss_p = 0.1; reorder_p = -0.1; reorder_delay = 0. }) None
+        None;
+      bad None
+        (Some { Fault.island = [ 3 ]; part_phase = `Costs; at = 0.; heals_at = 1. })
+        None;
+      bad None
+        (Some { Fault.island = [ 0 ]; part_phase = `Costs; at = 2.; heals_at = 1. })
+        None;
+      bad None None
+        (Some { Fault.node = -1; crash_phase = `Costs; at = 0.; recovers_at = 1. });
+      bad None None
+        (Some { Fault.node = 0; crash_phase = `Costs; at = 3.; recovers_at = 1. });
+    ]
+
 let suites =
   [
     ( "sim.engine",
@@ -395,5 +594,22 @@ let suites =
           test_out_of_range_set_handler_rejected;
         Alcotest.test_case "out of range src" `Quick
           test_out_of_range_src_rejected;
+        Alcotest.test_case "shaper lose/delay/clear" `Quick
+          test_shaper_lose_delay_and_clear;
+        Alcotest.test_case "down node loses both ways" `Quick
+          test_down_node_loses_both_directions;
+      ] );
+    ( "sim.fault",
+      [
+        Alcotest.test_case "seeded loss deterministic" `Quick
+          test_fault_loss_deterministic;
+        Alcotest.test_case "crash window arms once" `Quick
+          test_fault_crash_window_and_arm_once;
+        Alcotest.test_case "partition window heals" `Quick
+          test_fault_partition_window_and_heal;
+        Alcotest.test_case "deactivate ends injection" `Quick
+          test_fault_deactivate_stops_injection;
+        Alcotest.test_case "validate rejects malformed" `Quick
+          test_fault_validate_rejects_malformed;
       ] );
   ]
