@@ -33,6 +33,8 @@ module Replication = Damd_faithful.Replication
 module Campaign = Damd_gauntlet.Campaign
 module Scale = Damd_faithful.Scale
 module Sparse = Damd_fpss.Sparse
+module Obs = Damd_obs.Obs
+module Clock = Damd_obs.Clock
 
 (* Shared fixtures, built once. *)
 let fig1, _names = Gen.figure1 ()
@@ -43,6 +45,12 @@ let graph8 = Gen.chordal_ring (Rng.create 2) ~n:8 ~chords:2 (Gen.Uniform_int (1,
 let traffic8 = Traffic.uniform ~n:8 ~rate:1.
 let graph64 = Gen.erdos_renyi (Rng.create 3) ~n:64 ~p:0.1 (Gen.Uniform_int (1, 10))
 let payload_64k = String.make 65536 'x'
+
+(* Fixture for the trace-overhead pair: the n=64 sparse faithful pass
+   (the Runner plays n=64 in ~10 s — unsampleable; the scale path runs it
+   in milliseconds and exercises the same obs span/sample machinery). *)
+let graph64_as = fst (Gen.as_like (Rng.create 7) ~n:64 ~m:2 (Gen.Uniform_int (1, 10)))
+let dests64 = Array.init 8 (fun i -> i * 64 / 8)
 
 (* Nodes with converged state for the bank-checkpoint benchmark: drive the
    construction synchronously once and keep the node array. *)
@@ -249,6 +257,16 @@ let micro_tests =
       Test.make ~name:"graph_gen_er_n64"
         (Staged.stage (fun () ->
              ignore (Gen.erdos_renyi (Rng.create 4) ~n:64 ~p:0.1 (Gen.Uniform_int (1, 10)))));
+      (* The instrumentation-overhead pair: the same n=64 faithful pass
+         with the noop sink (every obs call is a tag test that must stay
+         within noise of the uninstrumented baseline) and with a live
+         in-memory ring (what a `damd trace`-style capture costs). *)
+      Test.make ~name:"trace_overhead_n64_noop"
+        (Staged.stage (fun () ->
+             ignore (Scale.run ~dests:dests64 ~obs:Obs.noop graph64_as)));
+      Test.make ~name:"trace_overhead_n64_memory"
+        (Staged.stage (fun () ->
+             ignore (Scale.run ~dests:dests64 ~obs:(Obs.memory ()) graph64_as)));
     ]
 
 let run_and_report ~quota ~limit tests =
@@ -344,13 +362,16 @@ let run_scaling_sweep () =
     List.map
       (fun n ->
         let rng = Rng.create (1000 + n) in
-        let t0 = Unix.gettimeofday () in
+        (* Monotonic clock (same one the obs spans use): wall-clock via
+           [Unix.gettimeofday] can step backwards under NTP and produce
+           negative sweep timings. *)
+        let t0 = Clock.now_ns () in
         let g, _relations = Gen.as_like rng ~n ~m:2 (Gen.Uniform_int (1, 10)) in
-        let gen_s = Unix.gettimeofday () -. t0 in
+        let gen_s = Clock.s_since t0 in
         let dests = Array.init 8 (fun i -> i * n / 8) in
-        let t1 = Unix.gettimeofday () in
+        let t1 = Clock.now_ns () in
         let report, sp = Scale.run ~dests g in
-        let run_s = Unix.gettimeofday () -. t1 in
+        let run_s = Clock.s_since t1 in
         if not report.Scale.completed then
           failwith (Printf.sprintf "scaling sweep: n=%d halted at a checkpoint" n);
         Gc.compact ();

@@ -23,6 +23,24 @@ module Runner = Damd_faithful.Runner
 module Scale = Damd_faithful.Scale
 module Sparse = Damd_fpss.Sparse
 module Biconnect = Damd_graph.Biconnect
+module Obs = Damd_obs.Obs
+module Export = Damd_obs.Export
+module Clock = Damd_obs.Clock
+module Json = Damd_util.Json
+
+(* Every --trace-out writes the pair: the canonical damd-trace/1 document
+   at PATH and the Chrome trace_event twin next to it. *)
+let chrome_path path =
+  if Filename.check_suffix path ".json" then
+    Filename.chop_suffix path ".json" ^ ".chrome.json"
+  else path ^ ".chrome.json"
+
+let write_trace ?meta ~path obs =
+  Export.write ?meta ~path obs;
+  let cp = chrome_path path in
+  Export.write_chrome ?meta ~path:cp obs;
+  Printf.printf "trace written to %s (damd-trace/1) and %s (chrome://tracing)\n"
+    path cp
 
 (* [as:N:M] also carries commercial edge annotations; commands that only
    need the graph take [parse_topology], the topo inspector keeps them. *)
@@ -197,9 +215,9 @@ let spread_dests n k =
   Array.init k (fun i -> i * n / k)
 
 let run_topo topology seed converge dests_k dot_path =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now_ns () in
   let g, annotations = parse_topology_full topology seed in
-  let gen_s = Unix.gettimeofday () -. t0 in
+  let gen_s = Clock.s_since t0 in
   let n = Graph.n g in
   let e = Graph.num_edges g in
   let dmin = ref max_int and dmax = ref 0 in
@@ -241,9 +259,9 @@ let run_topo topology seed converge dests_k dot_path =
       Printf.printf "dot written to %s\n" path);
   if converge then begin
     let dests = spread_dests n dests_k in
-    let t1 = Unix.gettimeofday () in
+    let t1 = Clock.now_ns () in
     let report, sp = Scale.run ~dests g in
-    let run_s = Unix.gettimeofday () -. t1 in
+    let run_s = Clock.s_since t1 in
     Printf.printf "faithful run (k=%d dests): %s in %.3fs\n" report.Scale.k
       (if report.Scale.completed then "completed" else "HALTED AT CHECKPOINT")
       run_s;
@@ -481,7 +499,7 @@ let list_mutations_arg =
 
 (* --- the flow verifier --- *)
 
-let run_verify topology seed mutate json_path bound =
+let run_verify topology seed mutate json_path bound trace_out =
   let module Speccheck = Damd_speccheck in
   let module Check = Speccheck.Check in
   let module Explore = Speccheck.Explore in
@@ -494,11 +512,26 @@ let run_verify topology seed mutate json_path bound =
            (Printf.sprintf
               "unknown mutation %S (see `damd lint --list-mutations`)" m))
   | _ -> ());
+  let obs =
+    match trace_out with None -> Obs.noop | Some _ -> Obs.memory ()
+  in
   let observed = Damd_faithful.Flow.observations () in
   let report =
-    Verify.run ~adversary:Adversary.all_labels ?mutation:mutate ~bound
+    Verify.run ~adversary:Adversary.all_labels ?mutation:mutate ~bound ~obs
       ~observed ~graph:g ~topology Damd_speccheck.Fpss_spec.ir
   in
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+      write_trace
+        ~meta:
+          [
+            ("command", Json.String "verify");
+            ("topology", Json.String topology);
+            ("seed", Json.Int seed);
+            ("bound", Json.Int bound);
+          ]
+        ~path obs);
   Printf.printf "verify: spec %s, topology %s%s\n" report.Verify.spec topology
     (match mutate with Some m -> ", mutation " ^ m | None -> "");
   let st = report.Verify.stats in
@@ -564,7 +597,7 @@ let verify_json_arg =
 (* --- the adversarial gauntlet --- *)
 
 let run_gauntlet campaigns seed weaken_s json_path replay no_shrink faults
-    epsilon =
+    epsilon trace_out =
   let module Campaign = Damd_gauntlet.Campaign in
   let weaken =
     match Campaign.weaken_of_string weaken_s with
@@ -577,16 +610,58 @@ let run_gauntlet campaigns seed weaken_s json_path replay no_shrink faults
                 weaken_s))
   in
   let mix = { Campaign.faults; epsilon } in
+  let trace_meta extra =
+    [ ("command", Json.String "gauntlet");
+      ("weaken", Json.String (Campaign.weaken_name weaken)) ]
+    @ extra
+  in
   match replay with
   | Some cseed ->
       (* Replay one campaign from its printed seed (plus the same
          --faults/--epsilon flags the batch ran with): the JSON below is
          byte-identical to the campaign's entry in the batch report. *)
-      let gr = Campaign.grade ~weaken (Campaign.of_seed ~mix cseed) in
+      let obs =
+        match trace_out with
+        | None -> Obs.noop
+        | Some _ -> Obs.memory ~detail:true ()
+      in
+      let descr = Campaign.of_seed ~mix cseed in
+      let gr = Campaign.grade ~weaken ~obs descr in
       print_endline (Damd_util.Json.to_string ~indent:2 (Campaign.json_of_graded gr));
+      (match trace_out with
+      | None -> ()
+      | Some path ->
+          (* A violation against a weakened bank leaves no accusation in
+             the timeline — the disabled checkpoint is exactly what let
+             the deviation through. Re-grade the same campaign against
+             the stock bank under a "forensic" span so the timeline ends
+             with the accusation(s) naming the deviant, the phase the
+             evidence surfaced in, and the certifying checkpoint. *)
+          if
+            gr.Campaign.verdict = Campaign.Violation
+            && weaken <> Campaign.No_weaken
+          then
+            ignore
+              (Obs.span obs ~cat:"gauntlet"
+                 ~args:[ ("weaken", Json.String "none") ]
+                 "forensic"
+                 (fun () -> Campaign.grade ~weaken:Campaign.No_weaken ~obs descr));
+          write_trace ~meta:(trace_meta [ ("replay", Json.Int cseed) ]) ~path obs);
       if gr.Campaign.verdict = Campaign.Violation then exit 1
   | None ->
-      let gradeds = Campaign.run_batch ~weaken ~mix ~campaigns ~seed () in
+      let obs =
+        match trace_out with None -> Obs.noop | Some _ -> Obs.memory ()
+      in
+      let gradeds = Campaign.run_batch ~weaken ~mix ~obs ~campaigns ~seed () in
+      (match trace_out with
+      | None -> ()
+      | Some path ->
+          write_trace
+            ~meta:
+              (trace_meta
+                 [ ("master_seed", Json.Int seed);
+                   ("campaigns", Json.Int campaigns) ])
+            ~path obs);
       let violations =
         List.filter (fun g -> g.Campaign.verdict = Campaign.Violation) gradeds
       in
@@ -660,6 +735,69 @@ let run_gauntlet campaigns seed weaken_s json_path replay no_shrink faults
           Printf.printf "\nreport written to %s (schema damd-gauntlet/%d)\n" path
             (if Campaign.is_stock mix then 1 else 2));
       if violations <> [] then exit 1
+
+(* --- forensic tracing --- *)
+
+let run_trace topology seed deviants rate out =
+  let g = parse_topology topology seed in
+  let n = Graph.n g in
+  let traffic = Traffic.uniform ~n ~rate in
+  let deviations = Array.make n Adversary.Faithful in
+  List.iter
+    (fun spec ->
+      let who, d = parse_deviation spec in
+      if who < 0 || who >= n then
+        raise (Invalid_argument (Printf.sprintf "deviant node %d out of range" who));
+      deviations.(who) <- d)
+    deviants;
+  let obs = Obs.memory ~detail:true () in
+  let params = { Runner.default_params with Runner.obs = obs } in
+  let r = Runner.run ~params ~graph:g ~traffic ~deviations () in
+  Printf.printf "trace %s (seed %d): construction %s, %d restart(s), %d detection(s)\n"
+    topology seed
+    (if r.Runner.completed then "CERTIFIED" else "STUCK")
+    r.Runner.restarts
+    (List.length r.Runner.detections);
+  let spans, instants, samples =
+    List.fold_left
+      (fun (sp, it, sa) e ->
+        match e with
+        | Obs.Span _ -> (sp + 1, it, sa)
+        | Obs.Instant _ -> (sp, it + 1, sa)
+        | Obs.Sample _ -> (sp, it, sa + 1))
+      (0, 0, 0) (Obs.events obs)
+  in
+  Printf.printf "recorded %d spans, %d instants, %d samples (%d dropped)\n"
+    spans instants samples (Obs.dropped obs);
+  write_trace
+    ~meta:
+      [
+        ("command", Json.String "trace");
+        ("topology", Json.String topology);
+        ("seed", Json.Int seed);
+        ( "deviants",
+          Json.List (List.map (fun s -> Json.String s) deviants) );
+      ]
+    ~path:out obs;
+  if not r.Runner.completed then exit 1
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Record a forensic trace of the run and write the damd-trace/1 \
+           document here, plus its Chrome trace_event twin (same name with \
+           a .chrome.json suffix) for chrome://tracing or Perfetto.")
+
+let trace_file_arg =
+  Arg.(
+    value & opt string "trace.json"
+    & info [ "o"; "out" ] ~docv:"FILE"
+        ~doc:
+          "Write the damd-trace/1 document here (the Chrome trace_event \
+           twin lands next to it with a .chrome.json suffix).")
 
 let campaigns_arg =
   Arg.(
@@ -751,7 +889,7 @@ let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc)
     Term.(
       const run_verify $ topology $ seed $ mutate_arg $ verify_json_arg
-      $ bound_arg)
+      $ bound_arg $ trace_out_arg)
 
 let gauntlet_cmd =
   let doc =
@@ -761,7 +899,18 @@ let gauntlet_cmd =
   Cmd.v (Cmd.info "gauntlet" ~doc)
     Term.(
       const run_gauntlet $ campaigns_arg $ seed $ weaken_arg $ json_arg
-      $ replay_arg $ no_shrink_arg $ faults_arg $ epsilon_mix_arg)
+      $ replay_arg $ no_shrink_arg $ faults_arg $ epsilon_mix_arg
+      $ trace_out_arg)
+
+let trace_cmd =
+  let doc =
+    "run one protocol instance under a detailed in-memory sink and export \
+     the forensic timeline: phase spans, per-message engine instants, \
+     checkpoint outcomes and accusation events, as damd-trace/1 and Chrome \
+     trace_event JSON"
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run_trace $ topology $ seed $ deviants $ rate $ trace_file_arg)
 
 let converge_arg =
   Arg.(
@@ -802,6 +951,14 @@ let cmd =
       $ deferred $ latency $ loss $ hotspots $ rate $ verbose)
   in
   Cmd.group ~default (Cmd.info "damd" ~doc)
-    [ routing_cmd; election_cmd; topo_cmd; gauntlet_cmd; lint_cmd; verify_cmd ]
+    [
+      routing_cmd;
+      election_cmd;
+      topo_cmd;
+      gauntlet_cmd;
+      lint_cmd;
+      verify_cmd;
+      trace_cmd;
+    ]
 
 let () = exit (Cmd.eval cmd)

@@ -246,7 +246,14 @@ let deliveries_for (nodes : Node.t array) ~src ~dst =
     (fun (s, rate, trace) -> if s = src then Some (rate, trace) else None)
     nodes.(dst).Node.deliveries
 
-let settle ~checking ~epsilon ~registry ~nodes ~traffic =
+let settle ~obs ~checking ~epsilon ~registry ~nodes ~traffic =
+  (* The whole settlement runs under one span; the runner's [note] emits
+     the per-detection accusation instants, so the bank only marks the
+     stage structure. *)
+  Damd_obs.Obs.span obs ~cat:"bank"
+    ~args:[ ("checking", Damd_util.Json.Bool checking) ]
+    "bank.settle"
+  @@ fun () ->
   let n = Array.length nodes in
   let outlays = Array.make n 0. in
   let incomes = Array.make n 0. in

@@ -68,6 +68,7 @@ type settlement = {
 }
 
 val settle :
+  obs:Damd_obs.Obs.t ->
   checking:bool ->
   epsilon:float ->
   registry:Damd_crypto.Signer.registry ->
@@ -77,7 +78,9 @@ val settle :
 (** Clear the execution phase. With [checking = true] payments are
     corrected to the certified tables, misreports and misroutes are
     detected and fined; with [checking = false] the bank naively believes
-    every report (the unfaithful baseline of experiment E7). *)
+    every report (the unfaithful baseline of experiment E7). [obs] (pass
+    [Damd_obs.Obs.noop] when not tracing) runs the settlement under a
+    ["bank.settle"] span. *)
 
 val serialize_report : (int * float) list -> string
 (** Canonical DATA4 payload placed under the signature. *)

@@ -4,6 +4,8 @@ module Phase = Damd_core.Phase
 module Signer = Damd_crypto.Signer
 module Traffic = Damd_fpss.Traffic
 module Tables = Damd_fpss.Tables
+module Obs = Damd_obs.Obs
+module Json = Damd_util.Json
 
 type bank_checks = {
   costs_check : bool;
@@ -42,6 +44,7 @@ type params = {
   perturbation : perturb option;
   fault : Damd_sim.Fault.spec option;
   max_events : int;
+  obs : Obs.t;
 }
 
 let default_params =
@@ -59,6 +62,7 @@ let default_params =
     perturbation = None;
     fault = None;
     max_events = 10_000_000;
+    obs = Obs.noop;
   }
 
 type result = {
@@ -123,6 +127,17 @@ let run ?(params = default_params) ~graph ~traffic ~deviations () =
   in
   let engine : Protocol.msg Engine.t = Engine.create ~latency ~n () in
   Engine.set_size engine Protocol.msg_size;
+  let obs = params.obs in
+  if Obs.enabled obs then
+    Engine.set_obs engine obs
+      ~kinds:[| "cost"; "routing"; "pricing"; "copy"; "packet" |]
+      ~kind_of:(fun msg ->
+        match msg with
+        | Protocol.Update (Protocol.Cost_announce _) -> 0
+        | Protocol.Update (Protocol.Routing_update _) -> 1
+        | Protocol.Update (Protocol.Pricing_update _) -> 2
+        | Protocol.Copy _ -> 3
+        | Protocol.Packet _ -> 4);
   let loss_tap =
     match params.channel_loss with
     | None -> None
@@ -233,7 +248,63 @@ let run ?(params = default_params) ~graph ~traffic ~deviations () =
     Engine.set_handler engine i (fun ~sender msg -> !dispatch i ~sender msg)
   done;
   let detections = ref [] in
-  let note ds = detections := !detections @ ds in
+  (* Forensic context for accusation events: which protocol phase the
+     bank was certifying when the evidence surfaced. *)
+  let current_phase = ref "setup" in
+  let evidence_class (d : Bank.detection) =
+    match d.Bank.culprit with
+    | Some _ ->
+        (* named culprit: the checker holds contradicting signed
+           evidence (digest mismatch, misreport, off-path carriage) *)
+        "contradiction"
+    | None -> if String.equal d.Bank.rule "LIVELOCK" then "livelock" else "omission"
+  in
+  let note ds =
+    if Obs.enabled obs then
+      List.iter
+        (fun (d : Bank.detection) ->
+          Obs.instant obs ~cat:"bank"
+            ~args:
+              [
+                ("rule", Json.String d.Bank.rule);
+                ( "culprit",
+                  match d.Bank.culprit with
+                  | Some c -> Json.Int c
+                  | None -> Json.Null );
+                ("class", Json.String (evidence_class d));
+                ("phase", Json.String !current_phase);
+                ("detail", Json.String d.Bank.detail);
+              ]
+            "accusation")
+        ds;
+    detections := !detections @ ds
+  in
+  let phase_attempt : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let phase_span name body () =
+    current_phase := name;
+    let a = 1 + Option.value ~default:0 (Hashtbl.find_opt phase_attempt name) in
+    Hashtbl.replace phase_attempt name a;
+    Obs.span obs ~cat:"phase" ~args:[ ("attempt", Json.Int a) ] name body
+  in
+  let checkpoint name result =
+    if Obs.enabled obs then
+      Obs.instant obs ~cat:"bank"
+        ~args:
+          [
+            ("phase", Json.String name);
+            ( "outcome",
+              Json.String
+                (match result with
+                | Ok () -> "certified"
+                | Error _ -> "failed") );
+            ( "reason",
+              match result with
+              | Ok () -> Json.Null
+              | Error e -> Json.String e );
+          ]
+        "checkpoint";
+    result
+  in
   let quiesce name =
     match Engine.run ~max_events:params.max_events engine with
     | Engine.Quiescent -> Ok ()
@@ -244,7 +315,7 @@ let run ?(params = default_params) ~graph ~traffic ~deviations () =
     {
       Phase.name = "construction-1 (costs)";
       run =
-        (fun () ->
+        phase_span "construction-1 (costs)" (fun () ->
           Array.iter Node.reset_costs nodes;
           dispatch :=
             (fun i ~sender msg ->
@@ -256,27 +327,28 @@ let run ?(params = default_params) ~graph ~traffic ~deviations () =
           match quiesce "phase1" with Ok () -> () | Error e -> note [ { Bank.rule = "LIVELOCK"; culprit = None; detail = e } ]);
       certify =
         (fun () ->
-          let complete = Array.for_all Node.finalize_costs nodes in
-          if not complete then Error "some node is missing transit costs"
-          else if params.deferred_certification then Ok ()
-          else begin
-            let ds =
-              if params.checking && params.checks.costs_check then
-                Bank.checkpoint_costs nodes
-              else []
-            in
-            note ds;
-            match ds with
-            | [] -> Ok ()
-            | d :: _ -> Error d.Bank.detail
-          end);
+          checkpoint "construction-1 (costs)"
+            (let complete = Array.for_all Node.finalize_costs nodes in
+             if not complete then Error "some node is missing transit costs"
+             else if params.deferred_certification then Ok ()
+             else begin
+               let ds =
+                 if params.checking && params.checks.costs_check then
+                   Bank.checkpoint_costs nodes
+                 else []
+               in
+               note ds;
+               match ds with
+               | [] -> Ok ()
+               | d :: _ -> Error d.Bank.detail
+             end));
     }
   in
   let phase2a =
     {
       Phase.name = "construction-2a (routing)";
       run =
-        (fun () ->
+        phase_span "construction-2a (routing)" (fun () ->
           Array.iter Node.reset_routing_phase nodes;
           dispatch := (fun i ~sender msg -> Node.on_routing_msg nodes.(i) sends.(i) ~sender msg);
           arm_faults `Routing;
@@ -284,25 +356,26 @@ let run ?(params = default_params) ~graph ~traffic ~deviations () =
           match quiesce "phase2a" with Ok () -> () | Error e -> note [ { Bank.rule = "LIVELOCK"; culprit = None; detail = e } ]);
       certify =
         (fun () ->
-          if
-            (not params.checking)
-            || (not params.checks.routing_check)
-            || params.deferred_certification
-          then Ok ()
-          else begin
-            let ds = Bank.checkpoint_routing ~fault_tolerant:ft nodes in
-            note ds;
-            match ds with
-            | [] -> Ok ()
-            | d :: _ -> Error d.Bank.detail
-          end);
+          checkpoint "construction-2a (routing)"
+            (if
+               (not params.checking)
+               || (not params.checks.routing_check)
+               || params.deferred_certification
+             then Ok ()
+             else begin
+               let ds = Bank.checkpoint_routing ~fault_tolerant:ft nodes in
+               note ds;
+               match ds with
+               | [] -> Ok ()
+               | d :: _ -> Error d.Bank.detail
+             end));
     }
   in
   let phase2b =
     {
       Phase.name = "construction-2b (pricing)";
       run =
-        (fun () ->
+        phase_span "construction-2b (pricing)" (fun () ->
           Array.iter Node.reset_pricing_phase nodes;
           dispatch := (fun i ~sender msg -> Node.on_pricing_msg nodes.(i) sends.(i) ~sender msg);
           arm_faults `Pricing;
@@ -310,18 +383,19 @@ let run ?(params = default_params) ~graph ~traffic ~deviations () =
           match quiesce "phase2b" with Ok () -> () | Error e -> note [ { Bank.rule = "LIVELOCK"; culprit = None; detail = e } ]);
       certify =
         (fun () ->
-          if
-            (not params.checking)
-            || (not params.checks.pricing_check)
-            || params.deferred_certification
-          then Ok ()
-          else begin
-            let ds = Bank.checkpoint_pricing ~fault_tolerant:ft nodes in
-            note ds;
-            match ds with
-            | [] -> Ok ()
-            | d :: _ -> Error d.Bank.detail
-          end);
+          checkpoint "construction-2b (pricing)"
+            (if
+               (not params.checking)
+               || (not params.checks.pricing_check)
+               || params.deferred_certification
+             then Ok ()
+             else begin
+               let ds = Bank.checkpoint_pricing ~fault_tolerant:ft nodes in
+               note ds;
+               match ds with
+               | [] -> Ok ()
+               | d :: _ -> Error d.Bank.detail
+             end));
     }
   in
   Engine.reset_stats engine;
@@ -331,8 +405,17 @@ let run ?(params = default_params) ~graph ~traffic ~deviations () =
   let construction_messages = Engine.messages_sent engine in
   let construction_bytes = Engine.bytes_sent engine in
   let bank_bytes = if params.checking then Bank.checkpoint_bytes nodes else 0 in
+  (* Snapshot construction-epoch engine counters before the execution
+     reset wipes them. *)
+  (match Obs.metrics obs with
+  | Some reg -> Engine.obs_metrics ~prefix:"engine.construction" engine reg
+  | None -> ());
   match construction with
   | Phase.Stuck { phase; progress; _ } ->
+      if Obs.enabled obs then
+        Obs.instant obs ~cat:"phase"
+          ~args:[ ("phase", Json.String phase) ]
+          "construction.stuck";
       {
         completed = false;
         stuck_phase = Some phase;
@@ -384,18 +467,27 @@ let run ?(params = default_params) ~graph ~traffic ~deviations () =
          attributable to the deviant rather than to fault noise. *)
       Option.iter (fun ctl -> Damd_sim.Fault.deactivate engine ctl) fault_control;
       Engine.reset_stats engine;
-      Array.iter Node.reset_execution nodes;
-      dispatch := (fun i ~sender msg -> Node.on_packet nodes.(i) sends.(i) ~sender msg);
-      List.iter
-        (fun (src, dst, rate) -> Node.originate_traffic nodes.(src) sends.(src) ~dst ~rate)
-        (Traffic.demand_pairs traffic);
-      (match quiesce "execution" with
-      | Ok () -> ()
-      | Error e -> note [ { Bank.rule = "LIVELOCK"; culprit = None; detail = e } ]);
+      Obs.span obs ~cat:"phase" "execution" (fun () ->
+          current_phase := "execution";
+          Array.iter Node.reset_execution nodes;
+          dispatch :=
+            (fun i ~sender msg -> Node.on_packet nodes.(i) sends.(i) ~sender msg);
+          List.iter
+            (fun (src, dst, rate) ->
+              Node.originate_traffic nodes.(src) sends.(src) ~dst ~rate)
+            (Traffic.demand_pairs traffic);
+          match quiesce "execution" with
+          | Ok () -> ()
+          | Error e ->
+              note [ { Bank.rule = "LIVELOCK"; culprit = None; detail = e } ]);
       let execution_messages = Engine.messages_sent engine in
+      (match Obs.metrics obs with
+      | Some reg -> Engine.obs_metrics ~prefix:"engine.execution" engine reg
+      | None -> ());
       let registry = Signer.create_registry ~seed:7 in
+      current_phase := "settlement";
       let settlement =
-        Bank.settle
+        Bank.settle ~obs
           ~checking:(params.checking && params.checks.settlement_check)
           ~epsilon:params.epsilon ~registry ~nodes ~traffic
       in

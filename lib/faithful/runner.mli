@@ -97,6 +97,19 @@ type params = {
           detection. The default (10^7) effectively never fires on honest
           runs; the gauntlet lowers it so livelocking deviations fail
           fast. *)
+  obs : Damd_obs.Obs.t;
+      (** observability sink (default [Damd_obs.Obs.noop], which is
+          allocation-free on the hot path). With a live sink the runner
+          instruments the engine (per-message-kind counters, queue-depth
+          samples, per-message instants when the sink is detailed), wraps
+          each construction phase attempt and the execution/settlement in
+          spans, and emits ["checkpoint"] instants (certified/failed with
+          reason) and ["accusation"] instants — one per bank detection,
+          tagged with rule, culprit, evidence class
+          (contradiction/omission/livelock) and the phase in which the
+          evidence surfaced. Engine counters are snapshotted into the
+          sink's metrics registry under [engine.construction.*] and
+          [engine.execution.*]. *)
 }
 
 val default_params : params

@@ -85,7 +85,7 @@ let settle ~value_per_packet g sp utilities =
 
 let run ?dests ?max_rounds ?(tolerance = 1e-9)
     ?(value_per_packet = default_value_per_packet)
-    ?(deviations = fun _ -> Honest) g =
+    ?(deviations = fun _ -> Honest) ?obs g =
   let n = Graph.n g in
   let routing_offsets = Array.make n 0. in
   let pricing_offsets = Array.make n 0. in
@@ -101,6 +101,7 @@ let run ?dests ?max_rounds ?(tolerance = 1e-9)
         any_pricing := true
   done;
   let sp = Sparse.create ?dests g in
+  Option.iter (Sparse.set_obs sp) obs;
   Sparse.run ?max_rounds
     ?routing_offsets:(if !any_routing then Some routing_offsets else None)
     ?pricing_offsets:(if !any_pricing then Some pricing_offsets else None)

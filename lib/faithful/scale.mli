@@ -61,6 +61,7 @@ val run :
   ?tolerance:float ->
   ?value_per_packet:float ->
   ?deviations:(int -> deviation) ->
+  ?obs:Damd_obs.Obs.t ->
   Damd_graph.Graph.t ->
   report * Damd_fpss.Sparse.t
 (** Full faithful pass: flood, routing fixpoint, routing checkpoint,
@@ -69,4 +70,6 @@ val run :
     [tolerance] (default 1e-9) is the checker's residual margin;
     [value_per_packet] defaults to 100. Distortion deltas must be
     positive and small enough to keep effective costs non-negative. The
-    returned [Sparse.t] exposes the converged announced state. *)
+    returned [Sparse.t] exposes the converged announced state. [obs]
+    instruments the fixpoints ([Damd_fpss.Sparse.set_obs]: stage spans
+    plus per-round dirty-set samples). *)

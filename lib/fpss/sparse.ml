@@ -1,5 +1,6 @@
 module Graph = Damd_graph.Graph
 module Dijkstra = Damd_graph.Dijkstra
+module Obs = Damd_obs.Obs
 
 let by_transit (a, x) (b, y) =
   let c = Int.compare a b in
@@ -22,6 +23,8 @@ type t = {
   mutable rounds_routing : int;
   mutable rounds_pricing : int;
   mutable messages : int;
+  mutable recomputes : int;
+  mutable obs : Obs.t;
 }
 
 let create ?dests g =
@@ -56,11 +59,15 @@ let create ?dests g =
     rounds_routing = 0;
     rounds_pricing = 0;
     messages = 0;
+    recomputes = 0;
+    obs = Obs.noop;
   }
 
 let graph t = t.g
 let dests t = Array.copy t.dests
 let messages t = t.messages
+let recomputes t = t.recomputes
+let set_obs t obs = t.obs <- obs
 let rounds_flood t = t.rounds_flood
 let rounds_routing t = t.rounds_routing
 let rounds_pricing t = t.rounds_pricing
@@ -201,6 +208,7 @@ let fixpoint ~max_rounds ~stage ~changed ~recompute ~apply t =
       let row_changed = ref false in
       let consider s =
         if t.dests.(s) <> i then begin
+          t.recomputes <- t.recomputes + 1;
           let v = recompute i s in
           if changed i s v then begin
             updates := (i, s, v) :: !updates;
@@ -229,6 +237,16 @@ let fixpoint ~max_rounds ~stage ~changed ~recompute ~apply t =
       if !row_changed then round_changed := i :: !round_changed
     done;
     List.iter (fun (i, s, v) -> apply i s v) !updates;
+    (* Per-round dirty-set telemetry: how many nodes changed and how
+       many (node, slot) pairs they re-announced. *)
+    if Obs.enabled t.obs then begin
+      Obs.sample t.obs
+        (Printf.sprintf "sparse.%s.dirty_nodes" stage)
+        (float_of_int (List.length !round_changed));
+      Obs.sample t.obs
+        (Printf.sprintf "sparse.%s.dirty_pairs" stage)
+        (float_of_int (List.length !updates))
+    end;
     Array.blit next_dirty 0 dirty 0 n;
     changed_nodes := !round_changed;
     first := false
@@ -261,8 +279,18 @@ let routing_fixpoint ?max_rounds ?offsets t =
     t.hops.(ix) <- h;
     t.next.(ix) <- a
   in
+  let r0 = t.recomputes in
   t.rounds_routing <-
-    fixpoint ~max_rounds ~stage:"routing" ~changed ~recompute ~apply t
+    Obs.span t.obs ~cat:"fpss" "sparse.routing" (fun () ->
+        fixpoint ~max_rounds ~stage:"routing" ~changed ~recompute ~apply t);
+  if Obs.enabled t.obs then
+    Obs.instant t.obs ~cat:"fpss"
+      ~args:
+        [
+          ("rounds", Damd_util.Json.Int t.rounds_routing);
+          ("recomputes", Damd_util.Json.Int (t.recomputes - r0));
+        ]
+      "sparse.routing.done"
 
 (* DATA3: the pricing recurrence of [Distributed.pricing_fixpoint] on
    announced sparse routing state. Runs only after routing converged, so
@@ -323,8 +351,18 @@ let pricing_fixpoint ?max_rounds ?offsets t =
   in
   let changed i s v = v <> t.prices.(idx t i s) in
   let apply i s v = t.prices.(idx t i s) <- v in
+  let r0 = t.recomputes in
   t.rounds_pricing <-
-    fixpoint ~max_rounds ~stage:"pricing" ~changed ~recompute ~apply t
+    Obs.span t.obs ~cat:"fpss" "sparse.pricing" (fun () ->
+        fixpoint ~max_rounds ~stage:"pricing" ~changed ~recompute ~apply t);
+  if Obs.enabled t.obs then
+    Obs.instant t.obs ~cat:"fpss"
+      ~args:
+        [
+          ("rounds", Damd_util.Json.Int t.rounds_pricing);
+          ("recomputes", Damd_util.Json.Int (t.recomputes - r0));
+        ]
+      "sparse.pricing.done"
 
 let run ?max_rounds ?routing_offsets ?pricing_offsets t =
   flood t;

@@ -115,6 +115,17 @@ val rounds_flood : t -> int
 val rounds_routing : t -> int
 val rounds_pricing : t -> int
 
+val recomputes : t -> int
+(** Total [recompute] evaluations across all fixpoint rounds since
+    creation — the work metric the dirty-set propagation minimizes
+    (a dense Jacobi sweep would be [n*k] per round). *)
+
+val set_obs : t -> Damd_obs.Obs.t -> unit
+(** Install a trace sink: each fixpoint stage runs under a span and
+    emits per-round [sparse.<stage>.dirty_nodes] /
+    [sparse.<stage>.dirty_pairs] counter samples plus a completion
+    instant with rounds and recompute counts. Default: noop. *)
+
 val to_tables : t -> Tables.t
 (** Dense tables for oracle comparison. Requires the full destination
     set; intended for tests and small n. *)

@@ -10,6 +10,7 @@ module Adversary = Damd_faithful.Adversary
 module Runner = Damd_faithful.Runner
 module Bank = Damd_faithful.Bank
 module Fault = Damd_sim.Fault
+module Obs = Damd_obs.Obs
 
 type topology =
   | Mesh of int * int
@@ -314,7 +315,38 @@ let declared_graph g deviants =
 
 let profit_tolerance = 1e-6
 
-let grade ?(weaken = No_weaken) descr =
+let grade ?(weaken = No_weaken) ?(obs = Obs.noop) descr =
+  Obs.span obs ~cat:"gauntlet"
+    ~args:
+      (if Obs.enabled obs then
+         [
+           ("seed", Json.Int descr.seed);
+           ("topology", Json.String (topology_name descr.topology));
+           ("weaken", Json.String (weaken_name weaken));
+         ]
+       else [])
+    "campaign"
+  @@ fun () ->
+  (* One "verdict" instant closes every campaign's timeline segment. *)
+  let finish gr =
+    if Obs.enabled obs then
+      Obs.instant obs ~cat:"gauntlet"
+        ~args:
+          [
+            ("seed", Json.Int gr.descr.seed);
+            ("verdict", Json.String (verdict_name gr.verdict));
+            ( "violation_kind",
+              match gr.violation_kind with
+              | Some k -> Json.String k
+              | None -> Json.Null );
+            ( "max_delta",
+              match gr.max_delta with
+              | Some d -> Json.Float d
+              | None -> Json.Null );
+          ]
+        "verdict";
+    gr
+  in
   let g = graph_of descr in
   let n = Graph.n g in
   let traffic = Traffic.uniform ~n ~rate:descr.traffic_rate in
@@ -340,7 +372,13 @@ let grade ?(weaken = No_weaken) descr =
           deviations.(i) <- (if active then inner else Adversary.Faithful))
     descr.deviants;
   let epsilon_active = List.rev !epsilon_active in
-  let full = Runner.run ~params ~graph:g ~traffic ~deviations () in
+  (* Only the campaign's own run carries the sink: ε-resolution and the
+     unilateral baselines would otherwise flood the timeline with
+     counterfactual runs. *)
+  let full =
+    Runner.run ~params:{ params with Runner.obs = obs } ~graph:g ~traffic
+      ~deviations ()
+  in
   let detections =
     List.map (fun d -> (d.Bank.rule, d.Bank.culprit)) full.Runner.detections
   in
@@ -371,6 +409,7 @@ let grade ?(weaken = No_weaken) descr =
       if honest_accused then (Violation, Some "false-accusation")
       else (Detected, None)
     in
+    finish
     {
       descr;
       verdict;
@@ -438,6 +477,7 @@ let grade ?(weaken = No_weaken) descr =
         | Some rule -> (Detected, None, Some rule)
         | None -> (Undetected_unprofitable, None, None)
     in
+    finish
     {
       descr;
       verdict;
@@ -557,9 +597,9 @@ let shrink ?(weaken = No_weaken) ?(max_grades = 60) graded =
 
 let campaign_seed ~master i = seed_bits (Rng.fork (Rng.create master) i)
 
-let run_batch ?(weaken = No_weaken) ?(mix = stock) ~campaigns ~seed () =
+let run_batch ?(weaken = No_weaken) ?(mix = stock) ?obs ~campaigns ~seed () =
   List.init campaigns (fun i ->
-      grade ~weaken (of_seed ~mix (campaign_seed ~master:seed i)))
+      grade ~weaken ?obs (of_seed ~mix (campaign_seed ~master:seed i)))
 
 let json_opt f = function None -> Json.Null | Some v -> f v
 

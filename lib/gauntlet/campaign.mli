@@ -128,10 +128,13 @@ val graph_of : descr -> Damd_graph.Graph.t
 (** Rebuild the campaign's graph (pure in [topology] and [graph_seed];
     asserts biconnectivity). *)
 
-val grade : ?weaken:weaken -> descr -> graded
+val grade : ?weaken:weaken -> ?obs:Damd_obs.Obs.t -> descr -> graded
 (** Run the campaign and every needed unilateral baseline, and pronounce
     the verdict. Deterministic: byte-identical [graded] (and JSON) for
-    equal inputs. *)
+    equal inputs. With [obs] (default noop — zero overhead) the whole
+    grade runs under a ["campaign"] span, the campaign's own run (not the
+    ε-resolution or unilateral-baseline counterfactuals) is traced through
+    [Runner], and a final ["verdict"] instant records the outcome. *)
 
 val shrink : ?weaken:weaken -> ?max_grades:int -> graded -> graded
 (** Greedy minimization of a [Violation] campaign: repeatedly try
@@ -146,8 +149,16 @@ val campaign_seed : master:int -> int -> int
     independent of every other index). *)
 
 val run_batch :
-  ?weaken:weaken -> ?mix:mix -> campaigns:int -> seed:int -> unit -> graded list
-(** Grade campaigns [0 .. campaigns-1] derived from the master seed. *)
+  ?weaken:weaken ->
+  ?mix:mix ->
+  ?obs:Damd_obs.Obs.t ->
+  campaigns:int ->
+  seed:int ->
+  unit ->
+  graded list
+(** Grade campaigns [0 .. campaigns-1] derived from the master seed. [obs]
+    is threaded to every [grade], producing one campaign span + verdict
+    instant per seed — the per-campaign verdict timeline. *)
 
 val json_of_graded : graded -> Damd_util.Json.t
 (** One campaign as JSON — also exactly what [--replay] prints. *)

@@ -1,0 +1,7 @@
+external now_ns : unit -> (int64[@unboxed])
+  = "damd_obs_monotonic_ns_byte" "damd_obs_monotonic_ns"
+[@@noalloc]
+
+let ns_to_s ns = Int64.to_float ns *. 1e-9
+let ns_to_us ns = Int64.to_float ns *. 1e-3
+let s_since t0 = ns_to_s (Int64.sub (now_ns ()) t0)

@@ -1,0 +1,22 @@
+(** Monotonic clock.
+
+    Backed by [clock_gettime(CLOCK_MONOTONIC)] via a C stub, so readings
+    never go backwards under NTP steps and reading costs no allocation
+    in native code. All span timestamps in [Obs] and the bench scaling
+    sweep use this clock. *)
+
+external now_ns : unit -> (int64[@unboxed])
+  = "damd_obs_monotonic_ns_byte" "damd_obs_monotonic_ns"
+[@@noalloc]
+(** Nanoseconds since an arbitrary fixed origin (boot, typically).
+    Only differences are meaningful. *)
+
+val s_since : int64 -> float
+(** [s_since t0] is the elapsed time in seconds since the [now_ns]
+    reading [t0]. *)
+
+val ns_to_s : int64 -> float
+(** Convert a nanosecond delta to seconds. *)
+
+val ns_to_us : int64 -> float
+(** Convert a nanosecond delta to microseconds (Chrome trace unit). *)

@@ -1,0 +1,41 @@
+/* Monotonic clock for Damd_obs spans and bench deltas.
+ *
+ * CLOCK_MONOTONIC never steps backwards under NTP adjustments, unlike
+ * the wall clock behind Unix.gettimeofday. The native stub is declared
+ * [@@noalloc] with an unboxed int64 return so reading the clock on the
+ * tracing hot path allocates nothing.
+ */
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <stdint.h>
+
+#if defined(_WIN32)
+#include <windows.h>
+
+int64_t damd_obs_monotonic_ns(void)
+{
+  static LARGE_INTEGER freq;
+  LARGE_INTEGER now;
+  if (freq.QuadPart == 0)
+    QueryPerformanceFrequency(&freq);
+  QueryPerformanceCounter(&now);
+  return (int64_t)((double)now.QuadPart * 1e9 / (double)freq.QuadPart);
+}
+
+#else
+#include <time.h>
+
+int64_t damd_obs_monotonic_ns(void)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+}
+
+#endif
+
+CAMLprim value damd_obs_monotonic_ns_byte(value unit)
+{
+  (void)unit;
+  return caml_copy_int64(damd_obs_monotonic_ns());
+}

@@ -1,0 +1,133 @@
+module Json = Damd_util.Json
+module Stats = Damd_util.Stats
+
+let event_ts = function
+  | Obs.Span { ts_ns; _ } -> ts_ns
+  | Obs.Instant { ts_ns; _ } -> ts_ns
+  | Obs.Sample { ts_ns; _ } -> ts_ns
+
+let sorted_events sink =
+  (* Ring order is completion order; spans complete after their
+     children, so re-sort by start timestamp for a readable document.
+     The sort must be stable so same-ts events keep emission order. *)
+  List.stable_sort
+    (fun a b -> Int64.compare (event_ts a) (event_ts b))
+    (Obs.events sink)
+
+let span_stats events =
+  let tbl : (string, float list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Obs.Span { name; dur_ns; _ } -> (
+          let d = Int64.to_float dur_ns in
+          match Hashtbl.find_opt tbl name with
+          | Some r -> r := d :: !r
+          | None -> Hashtbl.replace tbl name (ref [ d ]))
+      | Obs.Instant _ | Obs.Sample _ -> ())
+    events;
+  Hashtbl.fold (fun name durs acc -> (name, !durs) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.map (fun (name, durs) ->
+         let s = Stats.summarize durs in
+         Json.Obj
+           [
+             ("name", Json.String name);
+             ("n", Json.Int s.Stats.n);
+             ("mean_ns", Json.Float s.Stats.mean);
+             ("p50_ns", Json.Float s.Stats.median);
+             ("p95_ns", Json.Float s.Stats.p95);
+             ("p99_ns", Json.Float s.Stats.p99);
+             ("max_ns", Json.Float s.Stats.max);
+           ])
+
+let meta_field = function
+  | [] -> []
+  | meta -> [ ("meta", Json.Obj meta) ]
+
+let metrics_json sink =
+  match Obs.metrics sink with
+  | None -> Json.Obj []
+  | Some m -> Metrics.to_json m
+
+let to_json ?(meta = []) sink =
+  let events = sorted_events sink in
+  Json.Obj
+    ([
+       ("schema", Json.String "damd-trace/1");
+       ("clock", Json.String "monotonic");
+       ("unit", Json.String "ns");
+     ]
+    @ meta_field meta
+    @ [
+        ("dropped", Json.Int (Obs.dropped sink));
+        ("events", Json.List (List.map Obs.json_of_event events));
+        ("span_stats", Json.List (span_stats events));
+        ("metrics", metrics_json sink);
+      ])
+
+(* Chrome trace_event: timestamps in microseconds, one process/thread;
+   the viewer nests "X" events by containment. *)
+
+let us ts_ns = Json.Float (Clock.ns_to_us ts_ns)
+
+let chrome_args args = ("args", Json.Obj args)
+
+let chrome_event = function
+  | Obs.Span { name; cat; ts_ns; dur_ns; args; _ } ->
+      Json.Obj
+        ([
+           ("name", Json.String name);
+           ("cat", Json.String (match cat with "" -> "damd" | c -> c));
+           ("ph", Json.String "X");
+           ("ts", us ts_ns);
+           ("dur", us dur_ns);
+           ("pid", Json.Int 1);
+           ("tid", Json.Int 1);
+         ]
+        @ match args with [] -> [] | a -> [ chrome_args a ])
+  | Obs.Instant { name; cat; ts_ns; args } ->
+      Json.Obj
+        ([
+           ("name", Json.String name);
+           ("cat", Json.String (match cat with "" -> "damd" | c -> c));
+           ("ph", Json.String "i");
+           ("s", Json.String "t");
+           ("ts", us ts_ns);
+           ("pid", Json.Int 1);
+           ("tid", Json.Int 1);
+         ]
+        @ match args with [] -> [] | a -> [ chrome_args a ])
+  | Obs.Sample { name; ts_ns; value } ->
+      Json.Obj
+        [
+          ("name", Json.String name);
+          ("ph", Json.String "C");
+          ("ts", us ts_ns);
+          ("pid", Json.Int 1);
+          ("args", Json.Obj [ ("value", Json.Float value) ]);
+        ]
+
+let to_chrome ?(meta = []) sink =
+  let events = sorted_events sink in
+  let process_name =
+    Json.Obj
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int 1);
+        ("args", Json.Obj [ ("name", Json.String "damd") ]);
+      ]
+  in
+  Json.Obj
+    ([
+       ("displayTimeUnit", Json.String "ms");
+       ( "traceEvents",
+         Json.List (process_name :: List.map chrome_event events) );
+     ]
+    @ meta_field meta)
+
+let write ?meta ~path sink = Json.to_file path (to_json ?meta sink)
+
+let write_chrome ?meta ~path sink =
+  Json.to_file path (to_chrome ?meta sink)

@@ -1,4 +1,7 @@
 module Pqueue = Damd_util.Pqueue
+module Obs = Damd_obs.Obs
+module Metrics = Damd_obs.Metrics
+module Json = Damd_util.Json
 
 type 'msg event =
   | Deliver of { src : int; dst : int; msg : 'msg }
@@ -26,6 +29,20 @@ type 'msg t = {
   mutable bytes : int;
   sent_by : int array;
   received_by : int array;
+  (* Observability (Damd_obs). [obs] defaults to the noop sink; the
+     per-kind arrays are empty until [set_obs] installs a classifier,
+     so the uninstrumented hot path pays one [None] check per send. *)
+  mutable obs : Obs.t;
+  mutable obs_detail : bool;
+  mutable kind_of : ('msg -> int) option;
+  mutable kind_names : string array;
+  mutable k_sent : int array;
+  mutable k_delivered : int array;
+  mutable k_dropped : int array;
+  mutable k_lost : int array;
+  mutable shaper_losses : int;
+  mutable shaper_delays : int;
+  mutable queue_peak : int;
 }
 
 let create ?(latency = fun ~src:_ ~dst:_ -> 1.0) ~n () =
@@ -48,6 +65,17 @@ let create ?(latency = fun ~src:_ ~dst:_ -> 1.0) ~n () =
     bytes = 0;
     sent_by = Array.make n 0;
     received_by = Array.make n 0;
+    obs = Obs.noop;
+    obs_detail = false;
+    kind_of = None;
+    kind_names = [||];
+    k_sent = [||];
+    k_delivered = [||];
+    k_dropped = [||];
+    k_lost = [||];
+    shaper_losses = 0;
+    shaper_delays = 0;
+    queue_peak = 0;
   }
 
 let n t = t.n
@@ -78,20 +106,53 @@ let all_up t = Array.fill t.down 0 t.n false
 
 let set_size t f = t.size_of <- f
 
+let set_obs ?(kinds = [||]) ?kind_of t obs =
+  t.obs <- obs;
+  t.obs_detail <- Obs.detailed obs;
+  t.kind_of <- kind_of;
+  t.kind_names <- kinds;
+  let nk = Array.length kinds in
+  t.k_sent <- Array.make nk 0;
+  t.k_delivered <- Array.make nk 0;
+  t.k_dropped <- Array.make nk 0;
+  t.k_lost <- Array.make nk 0
+
+let kind_index t msg =
+  match t.kind_of with
+  | None -> -1
+  | Some f ->
+      let k = f msg in
+      if k < 0 || k >= Array.length t.kind_names then -1 else k
+
+let bump a k = if k >= 0 then a.(k) <- a.(k) + 1
+
+let kind_name t k = if k >= 0 then t.kind_names.(k) else "?"
+
+let note_queue_peak t =
+  let depth = Pqueue.length t.queue in
+  if depth > t.queue_peak then t.queue_peak <- depth
+
 let send t ~src ~dst msg =
   if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
     invalid_arg "Engine.send: node out of range";
+  let original = msg in
   let msg =
     match t.tap with
     | None -> Some msg
     | Some tap -> tap ~src ~dst msg
   in
   match msg with
-  | None -> t.dropped <- t.dropped + 1
+  | None ->
+      t.dropped <- t.dropped + 1;
+      bump t.k_dropped (kind_index t original)
   | Some msg ->
       t.sent <- t.sent + 1;
       t.sent_by.(src) <- t.sent_by.(src) + 1;
       t.bytes <- t.bytes + t.size_of msg;
+      (* A tap may rewrite the message, so classify what actually went
+         onto the wire, not what the sender handed us. *)
+      let k = kind_index t msg in
+      bump t.k_sent k;
       (* The fault shaper runs after the (adversarial) tap: an injected
          link fault acts on whatever actually went onto the wire. Shaper
          decisions are drawn in global send order, which is deterministic
@@ -102,20 +163,47 @@ let send t ~src ~dst msg =
         else
           match t.shaper with
           | None -> Pass
-          | Some shape -> shape ~src ~dst ~now:t.clock msg
+          | Some shape ->
+              let s = shape ~src ~dst ~now:t.clock msg in
+              (match s with
+              | Lose -> t.shaper_losses <- t.shaper_losses + 1
+              | Delay _ -> t.shaper_delays <- t.shaper_delays + 1
+              | Pass -> ());
+              s
       in
+      if t.obs_detail then
+        Obs.instant t.obs ~cat:"engine"
+          ~args:
+            [
+              ("src", Json.Int src);
+              ("dst", Json.Int dst);
+              ("kind", Json.String (kind_name t k));
+              ( "shaping",
+                Json.String
+                  (match shaping with
+                  | Pass -> "pass"
+                  | Lose -> if t.down.(src) then "down-src" else "lose"
+                  | Delay _ -> "delay") );
+              ("sim_t", Json.Float t.clock);
+            ]
+          "send";
       (match shaping with
-      | Lose -> t.lost <- t.lost + 1
+      | Lose ->
+          t.lost <- t.lost + 1;
+          bump t.k_lost k
       | Pass | Delay _ ->
           let extra = match shaping with Delay d -> d | _ -> 0. in
           if extra < 0. then invalid_arg "Engine.send: negative shaper delay";
           let latency = t.latency ~src ~dst in
           if latency < 0. then invalid_arg "Engine.send: negative latency";
-          Pqueue.push t.queue (t.clock +. latency +. extra) (Deliver { src; dst; msg }))
+          Pqueue.push t.queue (t.clock +. latency +. extra)
+            (Deliver { src; dst; msg });
+          note_queue_peak t)
 
 let schedule t ~delay callback =
   if delay < 0. then invalid_arg "Engine.schedule: negative delay";
-  Pqueue.push t.queue (t.clock +. delay) (Timer callback)
+  Pqueue.push t.queue (t.clock +. delay) (Timer callback);
+  note_queue_peak t
 
 let run ?(max_events = 10_000_000) t =
   let budget = ref max_events in
@@ -133,18 +221,49 @@ let run ?(max_events = 10_000_000) t =
           decr budget;
           t.processed <- t.processed + 1;
           t.clock <- time;
+          (* Queue-depth gauge, sampled every 64 events to keep the
+             trace volume proportional to the run, not the queue. *)
+          if Obs.enabled t.obs && t.processed land 63 = 0 then
+            Obs.sample t.obs "engine.queue_depth"
+              (float_of_int (Pqueue.length t.queue));
           (match event with
           | Timer callback -> callback ()
           | Deliver { src; dst; msg } -> (
-              if t.down.(dst) then t.lost <- t.lost + 1
+              let k = kind_index t msg in
+              if t.down.(dst) then begin
+                t.lost <- t.lost + 1;
+                bump t.k_lost k;
                 (* in-flight message reaching a crashed node: lost, not
                    delivered — the node's handler must not observe it *)
-              else (
+                if t.obs_detail then
+                  Obs.instant t.obs ~cat:"engine"
+                    ~args:
+                      [
+                        ("src", Json.Int src);
+                        ("dst", Json.Int dst);
+                        ("kind", Json.String (kind_name t k));
+                        ("sim_t", Json.Float t.clock);
+                      ]
+                    "lose.down-dst"
+              end
+              else begin
                 t.delivered <- t.delivered + 1;
                 t.received_by.(dst) <- t.received_by.(dst) + 1;
+                bump t.k_delivered k;
+                if t.obs_detail then
+                  Obs.instant t.obs ~cat:"engine"
+                    ~args:
+                      [
+                        ("src", Json.Int src);
+                        ("dst", Json.Int dst);
+                        ("kind", Json.String (kind_name t k));
+                        ("sim_t", Json.Float t.clock);
+                      ]
+                    "deliver";
                 match t.handlers.(dst) with
                 | None -> () (* no handler installed: message discarded *)
-                | Some h -> h ~sender:src msg)));
+                | Some h -> h ~sender:src msg
+              end));
           loop ()
   in
   loop ()
@@ -165,6 +284,44 @@ let sent_by t i = t.sent_by.(i)
 
 let received_by t i = t.received_by.(i)
 
+let shaper_losses t = t.shaper_losses
+
+let shaper_delays t = t.shaper_delays
+
+let queue_peak t = t.queue_peak
+
+let obs t = t.obs
+
+let kind_stats t =
+  List.init (Array.length t.kind_names) (fun k ->
+      (t.kind_names.(k), t.k_sent.(k), t.k_delivered.(k), t.k_dropped.(k),
+       t.k_lost.(k)))
+
+let obs_metrics ?(prefix = "engine") t reg =
+  let c name v =
+    Metrics.set_counter (Metrics.counter reg (prefix ^ "." ^ name)) v
+  in
+  c "events_processed" t.processed;
+  c "messages_sent" t.sent;
+  c "messages_delivered" t.delivered;
+  c "messages_dropped" t.dropped;
+  c "messages_lost" t.lost;
+  c "bytes_sent" t.bytes;
+  c "shaper_losses" t.shaper_losses;
+  c "shaper_delays" t.shaper_delays;
+  Metrics.set
+    (Metrics.gauge reg (prefix ^ ".queue_peak"))
+    (float_of_int t.queue_peak);
+  List.iter
+    (fun (name, s, d, dr, l) ->
+      c (Printf.sprintf "sent.%s" name) s;
+      c (Printf.sprintf "delivered.%s" name) d;
+      c (Printf.sprintf "dropped.%s" name) dr;
+      c (Printf.sprintf "lost.%s" name) l)
+    (kind_stats t)
+
+let zero a = Array.fill a 0 (Array.length a) 0
+
 let reset_stats t =
   t.processed <- 0;
   t.sent <- 0;
@@ -173,4 +330,11 @@ let reset_stats t =
   t.lost <- 0;
   t.bytes <- 0;
   Array.fill t.sent_by 0 t.n 0;
-  Array.fill t.received_by 0 t.n 0
+  Array.fill t.received_by 0 t.n 0;
+  t.shaper_losses <- 0;
+  t.shaper_delays <- 0;
+  t.queue_peak <- 0;
+  zero t.k_sent;
+  zero t.k_delivered;
+  zero t.k_dropped;
+  zero t.k_lost

@@ -141,4 +141,52 @@ val sent_by : 'msg t -> int -> int
 (** Messages sent by a given node. *)
 
 val received_by : 'msg t -> int -> int
+
+val shaper_losses : 'msg t -> int
+(** Shaper [Lose] decisions (a subset of [messages_lost]: down-node
+    losses are not shaper decisions). *)
+
+val shaper_delays : 'msg t -> int
+(** Shaper [Delay] decisions. *)
+
+val queue_peak : 'msg t -> int
+(** High-water mark of the event queue since the last [reset_stats]. *)
+
 val reset_stats : 'msg t -> unit
+(** Zero every counter above — including the per-kind counters,
+    shaper-decision counts and queue peak read by the obs layer. *)
+
+(** {2 Observability}
+
+    The engine carries a [Damd_obs.Obs] sink (default
+    [Damd_obs.Obs.noop]). With a sink installed, the run loop samples a
+    queue-depth counter track, and — when the sink was created with
+    [~detail:true] — emits a per-message instant for every send,
+    delivery and loss (with src/dst/kind/shaping args), which is the raw
+    material of a forensic timeline. A [kind_of] classifier additionally
+    maintains per-message-kind sent/delivered/dropped/lost counters.
+    None of this perturbs the simulation: no RNG is consulted and no
+    event ordering changes. *)
+
+val set_obs :
+  ?kinds:string array ->
+  ?kind_of:('msg -> int) ->
+  'msg t ->
+  Damd_obs.Obs.t ->
+  unit
+(** Install a sink and (optionally) a message-kind classifier mapping
+    each message to an index into [kinds]. Out-of-range indices are
+    counted as kindless. Installs fresh (zeroed) per-kind counters. *)
+
+val obs : 'msg t -> Damd_obs.Obs.t
+
+val kind_stats : 'msg t -> (string * int * int * int * int) list
+(** Per-kind [(name, sent, delivered, dropped, lost)] in [kinds] order;
+    [[]] until [set_obs] installs a classifier. *)
+
+val obs_metrics : ?prefix:string -> 'msg t -> Damd_obs.Metrics.t -> unit
+(** Snapshot every engine counter (totals, shaper decisions, queue peak
+    and per-kind counts) into a metrics registry under the
+    [<prefix>.*] namespace (default ["engine"]) — callers that
+    [reset_stats] between epochs can snapshot each epoch under its own
+    prefix. *)

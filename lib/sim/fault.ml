@@ -1,4 +1,6 @@
 module Rng = Damd_util.Rng
+module Obs = Damd_obs.Obs
+module Json = Damd_util.Json
 
 type phase_tag = [ `Costs | `Routing | `Pricing ]
 
@@ -101,25 +103,51 @@ let arm ?(on_crash = fun _ -> ()) ?(on_recover = fun _ -> ()) engine control ~ph
      story the graceful-degradation grading expects. *)
   if control.active && not (List.mem phase control.armed) then begin
     control.armed <- phase :: control.armed;
+    let obs = Engine.obs engine in
+    let fault_instant name args =
+      if Obs.enabled obs then
+        Obs.instant obs ~cat:"fault"
+          ~args:(("sim_t", Json.Float (Engine.now engine)) :: args)
+          name
+    in
     let now = Engine.now engine in
     (match control.spec.partition with
     | Some p when p.part_phase = phase ->
         control.partition_window <- Some (now +. p.at, now +. p.heals_at);
-        (* no-op timers pin the window to the drain so it closes even
-           when no other event is queued past the heal instant *)
-        Engine.schedule engine ~delay:p.at (fun () -> ());
-        Engine.schedule engine ~delay:p.heals_at (fun () -> ())
+        fault_instant "fault.arm.partition"
+          [
+            ("phase", Json.String (phase_name phase));
+            ("at", Json.Float p.at);
+            ("heals_at", Json.Float p.heals_at);
+            ("island", Json.List (List.map (fun i -> Json.Int i) p.island));
+          ];
+        (* window-pinning timers keep the drain alive past the heal
+           instant even when no other event is queued; with a sink
+           installed they double as partition open/heal marks *)
+        Engine.schedule engine ~delay:p.at (fun () ->
+            fault_instant "fault.partition.open" []);
+        Engine.schedule engine ~delay:p.heals_at (fun () ->
+            fault_instant "fault.partition.heal" [])
     | _ -> ());
     match control.spec.crash with
     | Some c when c.crash_phase = phase ->
+        fault_instant "fault.arm.crash"
+          [
+            ("phase", Json.String (phase_name phase));
+            ("node", Json.Int c.node);
+            ("at", Json.Float c.at);
+            ("recovers_at", Json.Float c.recovers_at);
+          ];
         Engine.schedule engine ~delay:c.at (fun () ->
             if control.active then begin
               Engine.set_down engine c.node true;
+              fault_instant "fault.crash" [ ("node", Json.Int c.node) ];
               on_crash c.node
             end);
         Engine.schedule engine ~delay:c.recovers_at (fun () ->
             if control.active && Engine.is_down engine c.node then begin
               Engine.set_down engine c.node false;
+              fault_instant "fault.recover" [ ("node", Json.Int c.node) ];
               on_recover c.node
             end)
     | _ -> ()

@@ -1,5 +1,9 @@
 module Action = Damd_core.Action
 module G = Damd_graph.Graph
+module Obs = Damd_obs.Obs
+module Clock = Damd_obs.Clock
+module Metrics = Damd_obs.Metrics
+module Json = Damd_util.Json
 
 type verdict =
   | Detected of { depth : int; certifier : string option }
@@ -12,6 +16,7 @@ type stats = {
   frontier_peak : int;
   scenarios : int;
   truncated : bool;
+  elapsed_s : float;
 }
 
 type outcome = {
@@ -130,8 +135,14 @@ type scen_result = {
    deviation targets; [covered] marks states whose deviant execution
    deposits checkpoint evidence; [stall] models omission (the targeted
    step never completes, blocking the phase barrier). *)
-let run_scenario m ~bound ~n ~initial ~has_deviant ~stall ~targets ~covered
-    ~faithful ~covered_mark ~add_finding ~states_total ~frontier_max =
+let run_scenario m ~obs ~bound ~n ~initial ~has_deviant ~stall ~targets
+    ~covered ~faithful ~covered_mark ~add_finding ~states_total ~frontier_max
+    =
+  let depth_hist =
+    match Obs.metrics obs with
+    | None -> None
+    | Some reg -> Some (Metrics.histogram reg "explore.depth")
+  in
   let min_act = Array.make (max 1 m.nphases) max_int in
   let max_cert = Array.make (max 1 m.nphases) (-1) in
   let cert_rule = Array.make (max 1 m.nphases) None in
@@ -178,6 +189,9 @@ let run_scenario m ~bound ~n ~initial ~has_deviant ~stall ~targets ~covered
     else begin
       let k, s = Queue.pop q in
       let d = Hashtbl.find visited k in
+      (* Frontier-size counter track, sampled every 256 expansions. *)
+      if Obs.enabled obs && Hashtbl.length visited land 255 = 0 then
+        Obs.sample obs "explore.frontier" (float_of_int (Queue.length q));
       let eligible pos = s.ph >= m.nphases || m.phase_of.(pos) = s.ph in
       (* (successor, edge label, destination position or -1) *)
       let succs = ref [] in
@@ -277,6 +291,9 @@ let run_scenario m ~bound ~n ~initial ~has_deviant ~stall ~targets ~covered
             if not (Hashtbl.mem visited k') then begin
               Hashtbl.replace visited k' (d + 1);
               Hashtbl.replace parent k' (k, lbl);
+              (match depth_hist with
+              | None -> ()
+              | Some h -> Metrics.observe h (float_of_int (d + 1)));
               mark st;
               Queue.add (k', st) q;
               if Queue.length q > !frontier_max then
@@ -351,7 +368,9 @@ let exemptions =
 
 let dev_compare a b = String.compare (Dev.to_string a) (Dev.to_string b)
 
-let run ?(bound = 50_000) ?(adversary = Dev.all) ~graph (ir : Ir.t) =
+let run ?(bound = 50_000) ?(adversary = Dev.all) ?(obs = Obs.noop) ~graph
+    (ir : Ir.t) =
+  let t0 = Clock.now_ns () in
   let m = build ir in
   let n = G.n graph in
   let ns = Array.length m.states in
@@ -397,14 +416,20 @@ let run ?(bound = 50_000) ?(adversary = Dev.all) ~graph (ir : Ir.t) =
             frontier_peak = 0;
             scenarios = 0;
             truncated = true;
+            elapsed_s = Clock.s_since t0;
           };
       }
   | Some initial ->
-      let scenario ~has_deviant ~stall ~targets ~covered ~faithful =
+      let scenario ?(label = "scenario") ~has_deviant ~stall ~targets
+          ~covered ~faithful () =
         incr scen_count;
-        run_scenario m ~bound ~n ~initial ~has_deviant ~stall ~targets
-          ~covered ~faithful ~covered_mark ~add_finding ~states_total
-          ~frontier_max
+        Obs.span obs ~cat:"speccheck"
+          ~args:[ ("scenario", Json.String label) ]
+          "explore.scenario"
+          (fun () ->
+            run_scenario m ~obs ~bound ~n ~initial ~has_deviant ~stall
+              ~targets ~covered ~faithful ~covered_mark ~add_finding
+              ~states_total ~frontier_max)
       in
       let no_targets = Array.make ns false in
       let target_mask lbl =
@@ -431,8 +456,12 @@ let run ?(bound = 50_000) ?(adversary = Dev.all) ~graph (ir : Ir.t) =
         in
         List.map
           (fun honest ->
-            scenario ~has_deviant:true ~stall ~targets
-              ~covered:(coverage_mask ~honest) ~faithful:false)
+            scenario
+              ~label:
+                (Printf.sprintf "%s[%s]" (Dev.to_string lbl)
+                   (if honest then "honest-nbrs" else "isolated"))
+              ~has_deviant:true ~stall ~targets
+              ~covered:(coverage_mask ~honest) ~faithful:false ())
           honesties
       in
       let combine rs =
@@ -510,8 +539,12 @@ let run ?(bound = 50_000) ?(adversary = Dev.all) ~graph (ir : Ir.t) =
             combine
               (List.map
                  (fun honest ->
-                   scenario ~has_deviant:true ~stall:false ~targets
-                     ~covered:(coverage_mask ~honest) ~faithful:false)
+                   scenario
+                     ~label:
+                       (if honest then "collude-with[honest-nbrs]"
+                        else "collude-with[isolated]")
+                     ~has_deviant:true ~stall:false ~targets
+                     ~covered:(coverage_mask ~honest) ~faithful:false ())
                  honesties)
           in
           match (v, exposed) with
@@ -561,8 +594,8 @@ let run ?(bound = 50_000) ?(adversary = Dev.all) ~graph (ir : Ir.t) =
       in
       (* the all-faithful product run: no-false-accusation + progress *)
       let (_ : scen_result) =
-        scenario ~has_deviant:false ~stall:false ~targets:no_targets
-          ~covered:no_targets ~faithful:true
+        scenario ~label:"all-faithful" ~has_deviant:false ~stall:false
+          ~targets:no_targets ~covered:no_targets ~faithful:true ()
       in
       List.iter
         (fun (lbl, v) ->
@@ -594,6 +627,21 @@ let run ?(bound = 50_000) ?(adversary = Dev.all) ~graph (ir : Ir.t) =
       let covered_states =
         List.filteri (fun i _ -> covered_mark.(i)) (Array.to_list m.states)
       in
+      let elapsed_s = Clock.s_since t0 in
+      if Obs.enabled obs then
+        Obs.instant obs ~cat:"speccheck"
+          ~args:
+            [
+              ("states", Json.Int !states_total);
+              ("scenarios", Json.Int !scen_count);
+              ("frontier_peak", Json.Int !frontier_max);
+              ( "states_per_sec",
+                Json.Float
+                  (if elapsed_s > 0. then
+                     float_of_int !states_total /. elapsed_s
+                   else 0.) );
+            ]
+          "explore.done";
       {
         verdicts;
         findings = List.rev !findings;
@@ -607,5 +655,6 @@ let run ?(bound = 50_000) ?(adversary = Dev.all) ~graph (ir : Ir.t) =
               List.exists
                 (fun (_, v) -> match v with Truncated -> true | _ -> false)
                 verdicts;
+            elapsed_s;
           };
       }

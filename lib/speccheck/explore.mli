@@ -70,6 +70,10 @@ type stats = {
   frontier_peak : int;  (** largest BFS frontier observed *)
   scenarios : int;  (** scenarios run (deviation × seat, plus all-faithful) *)
   truncated : bool;
+  elapsed_s : float;
+      (** wall-clock exploration time (monotonic clock) — with
+          [states_explored] this is the states/sec figure the scale
+          work tracks *)
 }
 
 type outcome = {
@@ -88,6 +92,7 @@ type outcome = {
 val run :
   ?bound:int ->
   ?adversary:Dev.t list ->
+  ?obs:Damd_obs.Obs.t ->
   graph:Damd_graph.Graph.t ->
   Ir.t ->
   outcome
@@ -96,4 +101,9 @@ val run :
     with [Check.check_ir]. Never raises on malformed IRs: undefined
     transitions self-loop (the [Compile.machine] contract), an undeclared
     initial state skips exploration with an [exploration-truncated]
-    warning, and every loop is bounded by dedup plus [bound]. *)
+    warning, and every loop is bounded by dedup plus [bound].
+
+    [obs] (default noop): each scenario BFS runs under a span labelled
+    with the deviation and honesty class, the frontier size is sampled
+    as a counter track, state depths feed an ["explore.depth"] metrics
+    histogram, and an ["explore.done"] instant reports states/sec. *)

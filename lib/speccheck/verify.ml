@@ -15,7 +15,7 @@ let sort_inputs inputs =
     (fun a b -> String.compare (Taint.input_to_string a) (Taint.input_to_string b))
     inputs
 
-let run ?adversary ?mutation ?bound ~observed ~graph ~topology ir =
+let run ?adversary ?mutation ?bound ?obs ~observed ~graph ~topology ir =
   let ir, graph =
     match mutation with
     | None -> (ir, graph)
@@ -30,7 +30,7 @@ let run ?adversary ?mutation ?bound ~observed ~graph ~topology ir =
   in
   let static = Check.check_ir ?adversary ir @ Check.check_topology graph in
   let flow_findings = Taint.check ir ~observed in
-  let explored = Explore.run ?bound ?adversary ~graph ir in
+  let explored = Explore.run ?bound ?adversary ?obs ~graph ir in
   let flow =
     List.filter_map
       (fun (o : Taint.observation) ->
@@ -100,6 +100,7 @@ let to_json r =
             ("frontier_peak", Json.Int r.stats.Explore.frontier_peak);
             ("scenarios", Json.Int r.stats.Explore.scenarios);
             ("truncated", Json.Bool r.stats.Explore.truncated);
+            ("elapsed_s", Json.Float r.stats.Explore.elapsed_s);
           ] );
       ( "properties",
         Json.Obj

@@ -35,13 +35,16 @@ val run :
   ?adversary:Dev.t list ->
   ?mutation:string ->
   ?bound:int ->
+  ?obs:Damd_obs.Obs.t ->
   observed:Taint.observation list ->
   graph:Damd_graph.Graph.t ->
   topology:string ->
   Ir.t ->
   report
 (** Raises [Invalid_argument] on an unknown mutation name (same contract
-    as [Lint.run]). [bound] is [Explore.run]'s per-scenario state cap. *)
+    as [Lint.run]). [bound] is [Explore.run]'s per-scenario state cap;
+    [obs] is threaded to [Explore.run] (scenario spans, frontier track,
+    depth histogram — what [damd_cli verify --trace-out] exports). *)
 
 val detection_complete : report -> bool
 (** No [Undetected] and no [Truncated] verdict: every non-exempt deviation

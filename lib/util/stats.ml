@@ -6,6 +6,7 @@ type summary = {
   max : float;
   median : float;
   p95 : float;
+  p99 : float;
 }
 
 let mean xs =
@@ -44,16 +45,22 @@ let percentile_of_sorted a p =
       a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
 
 let percentile p xs =
-  if xs = [] then invalid_arg "Stats.percentile: empty list";
-  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
-  percentile_of_sorted (sorted_array xs) p
+  match xs with
+  | [] -> invalid_arg "Stats.percentile: empty list"
+  | _ ->
+      if p < 0. || p > 100. then
+        invalid_arg "Stats.percentile: p out of range";
+      percentile_of_sorted (sorted_array xs) p
 
 let median xs = percentile 50. xs
 
 let summarize xs =
-  if xs = [] then invalid_arg "Stats.summarize: empty list";
-  (* One sort serves min/max/median/p95; mean and stddev are computed from
-     the same array instead of re-traversing the list three more times. *)
+  (match xs with
+  | [] -> invalid_arg "Stats.summarize: empty list"
+  | _ -> ());
+  (* One sort serves min/max/median/p95/p99; mean and stddev are computed
+     from the same array instead of re-traversing the list three more
+     times. *)
   let a = sorted_array xs in
   let n = Array.length a in
   let mean = Array.fold_left ( +. ) 0. a /. float_of_int n in
@@ -73,11 +80,13 @@ let summarize xs =
     max = a.(n - 1);
     median = percentile_of_sorted a 50.;
     p95 = percentile_of_sorted a 95.;
+    p99 = percentile_of_sorted a 99.;
   }
 
 let pp_summary ppf s =
-  Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g med=%.4g p95=%.4g max=%.4g"
-    s.n s.mean s.stddev s.min s.median s.p95 s.max
+  Format.fprintf ppf
+    "n=%d mean=%.4g sd=%.4g min=%.4g med=%.4g p95=%.4g p99=%.4g max=%.4g" s.n
+    s.mean s.stddev s.min s.median s.p95 s.p99 s.max
 
 let histogram ~bins xs =
   if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";

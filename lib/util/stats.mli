@@ -9,6 +9,7 @@ type summary = {
   max : float;
   median : float;
   p95 : float;
+  p99 : float;
 }
 
 val mean : float list -> float

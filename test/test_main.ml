@@ -6,6 +6,7 @@ let () =
     (List.concat
        [
          Test_util.suites;
+         Test_obs.suites;
          Test_crypto.suites;
          Test_graph.suites;
          Test_mech.suites;

@@ -552,6 +552,96 @@ let test_fault_validate_rejects_malformed () =
         (Some { Fault.node = 0; crash_phase = `Costs; at = 3.; recovers_at = 1. });
     ]
 
+(* --- obs-layer counter semantics under faults --- *)
+
+module Obs = Damd_obs.Obs
+module Metrics = Damd_obs.Metrics
+
+let test_obs_kind_counters_under_faults () =
+  (* The three loss classes must stay distinguishable — tap-dropped
+     (adversarial), shaper-lost (environment), crashed src/dst — each
+     classified per message kind for the obs layer. *)
+  let e = Engine.create ~n:4 () in
+  Engine.set_obs e (Obs.memory ()) ~kinds:[| "a"; "b" |] ~kind_of:(fun m -> m);
+  for i = 0 to 3 do
+    Engine.set_handler e i (fun ~sender:_ _ -> ())
+  done;
+  Engine.set_tap e (fun ~src:_ ~dst msg -> if dst = 2 then None else Some msg);
+  Engine.set_shaper e (fun ~src:_ ~dst ~now:_ msg ->
+      if dst = 1 && msg = 1 then Engine.Lose else Engine.Pass);
+  Engine.set_down e 3 true;
+  Engine.send e ~src:0 ~dst:1 0 (* delivered, kind a *);
+  Engine.send e ~src:0 ~dst:1 1 (* shaper-lost, kind b *);
+  Engine.send e ~src:0 ~dst:2 0 (* tap-dropped, kind a *);
+  Engine.send e ~src:0 ~dst:3 1 (* lost at delivery: crashed dst, kind b *);
+  Engine.send e ~src:3 ~dst:1 0 (* lost at send: crashed src, kind a *);
+  ignore (Engine.run e);
+  check Alcotest.int "sent excludes tap-dropped" 4 (Engine.messages_sent e);
+  check Alcotest.int "delivered" 1 (Engine.messages_delivered e);
+  check Alcotest.int "dropped = tap only" 1 (Engine.messages_dropped e);
+  check Alcotest.int "lost = shaper + down-dst + down-src" 3
+    (Engine.messages_lost e);
+  check Alcotest.int "shaper losses" 1 (Engine.shaper_losses e);
+  check Alcotest.int "shaper delays" 0 (Engine.shaper_delays e);
+  check Alcotest.bool "queue peak positive" true (Engine.queue_peak e > 0);
+  check Alcotest.bool "per-kind counters" true
+    (Engine.kind_stats e = [ ("a", 2, 1, 1, 1); ("b", 2, 0, 0, 2) ])
+
+let test_obs_kind_classified_after_rewrite () =
+  (* A tap rewrite changes what goes onto the wire: sent/delivered count
+     the rewritten kind, while a tap *drop* is attributed to the
+     original message's kind (nothing else ever existed). *)
+  let e = Engine.create ~n:2 () in
+  Engine.set_obs e (Obs.memory ()) ~kinds:[| "a"; "b" |] ~kind_of:(fun m -> m);
+  Engine.set_handler e 1 (fun ~sender:_ _ -> ());
+  Engine.set_tap e (fun ~src:_ ~dst:_ _ -> Some 1);
+  Engine.send e ~src:0 ~dst:1 0;
+  ignore (Engine.run e);
+  check Alcotest.bool "rewritten kind counted" true
+    (Engine.kind_stats e = [ ("a", 0, 0, 0, 0); ("b", 1, 1, 0, 0) ])
+
+let test_reset_stats_zeroes_obs_counters () =
+  (* Regression guard for the PR-5 events_processed bug class: every
+     counter the obs layer snapshots must be zeroed by reset_stats —
+     shaper decisions, queue peak and the per-kind arrays included. *)
+  let e = Engine.create ~n:4 () in
+  Engine.set_obs e (Obs.memory ()) ~kinds:[| "a"; "b" |] ~kind_of:(fun m -> m);
+  for i = 0 to 3 do
+    Engine.set_handler e i (fun ~sender:_ _ -> ())
+  done;
+  Engine.set_shaper e (fun ~src:_ ~dst:_ ~now:_ msg ->
+      if msg = 1 then Engine.Lose else Engine.Delay 0.5);
+  Engine.send e ~src:0 ~dst:1 0;
+  Engine.send e ~src:0 ~dst:1 1;
+  ignore (Engine.run e);
+  check Alcotest.bool "counters moved" true
+    (Engine.messages_sent e > 0 && Engine.shaper_losses e > 0
+    && Engine.shaper_delays e > 0 && Engine.queue_peak e > 0);
+  Engine.reset_stats e;
+  check Alcotest.int "sent" 0 (Engine.messages_sent e);
+  check Alcotest.int "delivered" 0 (Engine.messages_delivered e);
+  check Alcotest.int "dropped" 0 (Engine.messages_dropped e);
+  check Alcotest.int "lost" 0 (Engine.messages_lost e);
+  check Alcotest.int "bytes" 0 (Engine.bytes_sent e);
+  check Alcotest.int "events processed" 0 (Engine.events_processed e);
+  check Alcotest.int "shaper losses" 0 (Engine.shaper_losses e);
+  check Alcotest.int "shaper delays" 0 (Engine.shaper_delays e);
+  check Alcotest.int "queue peak" 0 (Engine.queue_peak e);
+  check Alcotest.bool "per-kind zeroed" true
+    (Engine.kind_stats e = [ ("a", 0, 0, 0, 0); ("b", 0, 0, 0, 0) ])
+
+let test_obs_metrics_snapshot () =
+  let e = Engine.create ~n:2 () in
+  Engine.set_obs e (Obs.memory ()) ~kinds:[| "a" |] ~kind_of:(fun _ -> 0);
+  Engine.set_handler e 1 (fun ~sender:_ _ -> ());
+  Engine.send e ~src:0 ~dst:1 ();
+  ignore (Engine.run e);
+  let reg = Metrics.create () in
+  Engine.obs_metrics ~prefix:"epoch" e reg;
+  let counter name = Metrics.counter_value (Metrics.counter reg name) in
+  check Alcotest.int "prefixed sent" 1 (counter "epoch.messages_sent");
+  check Alcotest.int "prefixed per-kind" 1 (counter "epoch.delivered.a")
+
 let suites =
   [
     ( "sim.engine",
@@ -598,6 +688,14 @@ let suites =
           test_shaper_lose_delay_and_clear;
         Alcotest.test_case "down node loses both ways" `Quick
           test_down_node_loses_both_directions;
+        Alcotest.test_case "obs kind counters under faults" `Quick
+          test_obs_kind_counters_under_faults;
+        Alcotest.test_case "obs kind follows tap rewrite" `Quick
+          test_obs_kind_classified_after_rewrite;
+        Alcotest.test_case "reset_stats zeroes obs counters" `Quick
+          test_reset_stats_zeroes_obs_counters;
+        Alcotest.test_case "obs_metrics snapshot prefixing" `Quick
+          test_obs_metrics_snapshot;
       ] );
     ( "sim.fault",
       [

@@ -156,7 +156,17 @@ let test_stats_single_element () =
   checkf "min" 7. s.Stats.min;
   checkf "max" 7. s.Stats.max;
   checkf "median" 7. s.Stats.median;
-  checkf "p95" 7. s.Stats.p95
+  checkf "p95" 7. s.Stats.p95;
+  checkf "p99" 7. s.Stats.p99
+
+let test_stats_summary_p99 () =
+  (* 1..100: p99 = 99th-percentile rank interpolation over the sorted
+     array — distinct from p95 on a spread this wide. *)
+  let s = Stats.summarize (List.init 100 (fun i -> float_of_int (i + 1))) in
+  checkf "p95" 95.05 s.Stats.p95;
+  checkf "p99" 99.01 s.Stats.p99;
+  check Alcotest.bool "p99 above p95" true (s.Stats.p99 > s.Stats.p95);
+  check Alcotest.bool "p99 below max" true (s.Stats.p99 <= s.Stats.max)
 
 let test_stats_summary_unsorted_negative () =
   (* Float.compare (not polymorphic compare on boxed floats) must sort
@@ -438,6 +448,7 @@ let suites =
         Alcotest.test_case "median even" `Quick test_stats_median_even;
         Alcotest.test_case "summary" `Quick test_stats_summary;
         Alcotest.test_case "single element" `Quick test_stats_single_element;
+        Alcotest.test_case "summary p99" `Quick test_stats_summary_p99;
         Alcotest.test_case "unsorted negative" `Quick test_stats_summary_unsorted_negative;
         Alcotest.test_case "empty raises" `Quick test_stats_empty_raises;
         Alcotest.test_case "histogram" `Quick test_stats_histogram;
