@@ -303,7 +303,7 @@ let run_and_report ~quota ~limit tests =
 (* The BENCH_*.json trajectory format (DESIGN.md §9): one object per
    benchmark with the raw OLS nanosecond estimate, so successive PRs can be
    diffed mechanically. *)
-let json_of_rows ~quota ~limit ?scaling rows =
+let json_of_rows ~quota ~limit ?scaling ?explore rows =
   let module Json = Damd_util.Json in
   Json.Obj
     ([
@@ -322,7 +322,8 @@ let json_of_rows ~quota ~limit ?scaling rows =
                   ])
               rows) );
      ]
-    @ match scaling with None -> [] | Some s -> [ ("scaling", s) ])
+    @ (match scaling with None -> [] | Some s -> [ ("scaling", s) ])
+    @ match explore with None -> [] | Some e -> [ ("explore", e) ])
 
 (* --- the n=10k scaling sweep (--scale) ---
 
@@ -443,14 +444,96 @@ let run_scaling_sweep () =
              rows) );
     ]
 
+(* --- the model-checking throughput table (--explore) ---
+
+   One-shot timed runs, not Bechamel: the POR-off 5x5 torus explores ~2M
+   canonical states in seconds and cannot be OLS-sampled inside a sane
+   quota, and the figure of merit is states/second at scale, not
+   nanosecond precision. Each topology runs the full §4.3 catalogue
+   twice — reduction off (pinning the raw product size) and on (the
+   production default) — off the same [Explore.stats] the obs
+   `explore.done` instant reports, so the trajectory rows and the trace
+   exports cannot disagree. *)
+
+type explore_row = {
+  ex_name : string;
+  ex_por : bool;
+  ex_states : int;
+  ex_elapsed_s : float;
+}
+
+let run_explore_sweep () =
+  let module Json = Damd_util.Json in
+  let module Explore = Damd_speccheck.Explore in
+  let ir = Damd_speccheck.Fpss_spec.ir in
+  let torus rows cols seed =
+    Gen.torus ~rows ~cols
+      ~costs:(Gen.draw_costs (Rng.create seed) (Gen.Uniform_int (1, 10)) (rows * cols))
+  in
+  let topologies =
+    [
+      ("explore_fig1", fig1);
+      ("explore_torus_n12", torus 3 4 42);
+      ("explore_torus_n25", torus 5 5 42);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, graph) ->
+        List.map
+          (fun por ->
+            let o = Explore.run ~bound:2_000_000 ~por ~graph ir in
+            if o.Explore.stats.Explore.truncated then
+              failwith (Printf.sprintf "explore sweep: %s truncated" name);
+            {
+              ex_name = name;
+              ex_por = por;
+              ex_states = o.Explore.stats.Explore.states_explored;
+              ex_elapsed_s = o.Explore.stats.Explore.elapsed_s;
+            })
+          [ false; true ])
+      topologies
+  in
+  let t =
+    Damd_util.Table.create [ "exploration"; "por"; "states"; "time"; "states/sec" ]
+  in
+  let per_sec r =
+    if r.ex_elapsed_s > 0. then float_of_int r.ex_states /. r.ex_elapsed_s else 0.
+  in
+  List.iter
+    (fun r ->
+      Damd_util.Table.add_row t
+        [
+          r.ex_name;
+          (if r.ex_por then "on" else "off");
+          string_of_int r.ex_states;
+          Printf.sprintf "%.3f s" r.ex_elapsed_s;
+          Printf.sprintf "%.0f" (per_sec r);
+        ])
+    rows;
+  Damd_util.Table.print t;
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [
+             ("name", Json.String r.ex_name);
+             ("por", Json.Bool r.ex_por);
+             ("states", Json.Int r.ex_states);
+             ("elapsed_s", Json.Float r.ex_elapsed_s);
+             ("states_per_sec", Json.Float (per_sec r));
+           ])
+       rows)
+
 let usage =
-  "usage: main.exe [--json FILE] [--quota SECONDS] [--limit N] [--scale]"
+  "usage: main.exe [--json FILE] [--quota SECONDS] [--limit N] [--scale] [--explore]"
 
 let () =
   let json_path = ref None in
   let quota = ref 0.5 in
   let limit = ref 300 in
   let scale = ref false in
+  let explore = ref false in
   let spec =
     [
       ("--json", Arg.String (fun f -> json_path := Some f),
@@ -461,6 +544,8 @@ let () =
        "N  max samples per benchmark (default 300)");
       ("--scale", Arg.Set scale,
        "  also run the faithful scaling sweep (as:N:2 up to n=10000)");
+      ("--explore", Arg.Set explore,
+       "  also run the model-checking throughput table (POR on/off)");
     ]
   in
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
@@ -478,8 +563,18 @@ let () =
     end
     else None
   in
+  let explore_rows =
+    if !explore then begin
+      print_newline ();
+      print_endline
+        "== model checking at scale (full catalogue, one-shot wall time) ==";
+      Some (run_explore_sweep ())
+    end
+    else None
+  in
   match !json_path with
   | None -> ()
   | Some path ->
       Damd_util.Json.to_file path
-        (json_of_rows ~quota:!quota ~limit:!limit ?scaling (rows @ micro_rows))
+        (json_of_rows ~quota:!quota ~limit:!limit ?scaling ?explore:explore_rows
+           (rows @ micro_rows))

@@ -50,12 +50,17 @@ let parse_topology_full spec seed =
     raise
       (Invalid_argument
          (Printf.sprintf
-            "unknown topology %S (expected fig1 | ring:N | chordal:N:CHORDS | \
-             er:N:P | ba:N:M | as:N:M | waxman:N)"
+            "unknown topology %S (expected fig1 | ring:N | torus:R:C | \
+             chordal:N:CHORDS | er:N:P | ba:N:M | as:N:M | waxman:N)"
             spec))
   in
   match String.split_on_char ':' spec with
   | [ "fig1" ] -> (fst (Gen.figure1 ()), None)
+  | [ "torus"; rows; cols ] ->
+      let rows = int_of_string rows and cols = int_of_string cols in
+      ( Gen.torus ~rows ~cols
+          ~costs:(Gen.draw_costs rng (Gen.Uniform_int (1, 10)) (rows * cols)),
+        None )
   | [ "ring"; n ] ->
       let n = int_of_string n in
       (Gen.ring ~n ~costs:(Gen.draw_costs rng (Gen.Uniform_int (1, 10)) n), None)
@@ -289,10 +294,10 @@ let topology =
   Arg.(
     value
     & opt string "fig1"
-    & info [ "t"; "topology" ] ~docv:"SPEC"
+    & info [ "t"; "topology"; "graph" ] ~docv:"SPEC"
         ~doc:
-          "Topology: fig1 | ring:N | chordal:N:C | er:N:P | ba:N:M | as:N:M | \
-           waxman:N.")
+          "Topology: fig1 | ring:N | torus:R:C | chordal:N:C | er:N:P | \
+           ba:N:M | as:N:M | waxman:N.")
 
 let seed =
   Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Random seed.")
@@ -499,7 +504,8 @@ let list_mutations_arg =
 
 (* --- the flow verifier --- *)
 
-let run_verify topology seed mutate json_path bound trace_out =
+let run_verify topology seed mutate json_path bound por_s domains key_audit
+    trace_out =
   let module Speccheck = Damd_speccheck in
   let module Check = Speccheck.Check in
   let module Explore = Speccheck.Explore in
@@ -512,13 +518,23 @@ let run_verify topology seed mutate json_path bound trace_out =
            (Printf.sprintf
               "unknown mutation %S (see `damd lint --list-mutations`)" m))
   | _ -> ());
+  let por =
+    match por_s with
+    | "on" -> true
+    | "off" -> false
+    | s ->
+        raise
+          (Invalid_argument
+             (Printf.sprintf "bad --por %S (expected on | off)" s))
+  in
   let obs =
     match trace_out with None -> Obs.noop | Some _ -> Obs.memory ()
   in
   let observed = Damd_faithful.Flow.observations () in
   let report =
     Verify.run ~adversary:Adversary.all_labels ?mutation:mutate ~bound ~obs
-      ~observed ~graph:g ~topology Damd_speccheck.Fpss_spec.ir
+      ~por ~domains ~audit:key_audit ~observed ~graph:g ~topology
+      Damd_speccheck.Fpss_spec.ir
   in
   (match trace_out with
   | None -> ()
@@ -530,6 +546,7 @@ let run_verify topology seed mutate json_path bound trace_out =
             ("topology", Json.String topology);
             ("seed", Json.Int seed);
             ("bound", Json.Int bound);
+            ("por", Json.Bool por);
           ]
         ~path obs);
   Printf.printf "verify: spec %s, topology %s%s\n" report.Verify.spec topology
@@ -539,6 +556,12 @@ let run_verify topology seed mutate json_path bound trace_out =
     "explored %d canonical states over %d scenarios (frontier peak %d%s)\n"
     st.Explore.states_explored st.Explore.scenarios st.Explore.frontier_peak
     (if st.Explore.truncated then ", TRUNCATED" else "");
+  Printf.printf "por=%s domains=%d, %.0f states/sec\n"
+    (if st.Explore.por then "on" else "off")
+    st.Explore.domains
+    (if st.Explore.elapsed_s > 0. then
+       float_of_int st.Explore.states_explored /. st.Explore.elapsed_s
+     else 0.);
   Printf.printf "detection-complete: %b\nno-false-accusation: %b\n"
     (Verify.detection_complete report)
     (Verify.no_false_accusation report);
@@ -593,6 +616,125 @@ let verify_json_arg =
     value
     & opt (some string) None
     & info [ "json" ] ~docv:"FILE" ~doc:"Write the damd-verify/1 report here.")
+
+let por_arg =
+  Arg.(
+    value & opt string "on"
+    & info [ "por" ] ~docv:"on|off"
+        ~doc:
+          "Partial-order reduction for the exploration layer: prune \
+           redundant interleavings of phase-internal faithful steps. Exact \
+           (verdicts and findings match the unreduced sweep); self-disables \
+           when the in-phase suggested play is cyclic.")
+
+let domains_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "domains" ] ~docv:"K"
+        ~doc:
+          "Scenario fan-out width (0 = auto, 1 = sequential). Requires an \
+           OCaml 5 build; --trace-out forces sequential.")
+
+let key_audit_arg =
+  Arg.(
+    value & flag
+    & info [ "key-audit" ]
+        ~doc:
+          "Cross-check every packed dedup key against the structural \
+           canonical key and abort on a collision (codec regression \
+           tripwire; roughly doubles exploration memory).")
+
+(* --- the TLA+ backend --- *)
+
+let run_tla deviation nodes seat stall isolated out cfg_out =
+  let module Speccheck = Damd_speccheck in
+  let module Tla = Speccheck.Tla in
+  let module Dev = Speccheck.Dev in
+  let ir = Damd_speccheck.Fpss_spec.ir in
+  let dev =
+    match
+      List.find_opt (fun d -> Dev.to_string d = deviation) Dev.all
+    with
+    | Some d -> d
+    | None ->
+        raise
+          (Invalid_argument
+             (Printf.sprintf "unknown deviation %S (expected one of %s)"
+                deviation
+                (String.concat " | " (List.map Dev.to_string Dev.all))))
+  in
+  let stall = stall || dev = Dev.Silent_in_construction in
+  let module_text = Tla.emit ir in
+  (match out with
+  | None -> print_string module_text
+  | Some path ->
+      let oc = open_out path in
+      output_string oc module_text;
+      close_out oc;
+      Printf.printf "TLA+ module written to %s (module %s)\n" path
+        (Tla.sanitize ir.Speccheck.Ir.name));
+  match cfg_out with
+  | None -> ()
+  | Some path ->
+      let cfg_text =
+        Tla.cfg ir ~deviation:dev ~nodes ~seat ~stall ~honest:(not isolated)
+      in
+      let oc = open_out path in
+      output_string oc cfg_text;
+      close_out oc;
+      Printf.printf "TLC config written to %s (deviation %s, N=%d)\n" path
+        (Dev.to_string dev) nodes
+
+let tla_deviation_arg =
+  Arg.(
+    value & opt string "miscompute-routing"
+    & info [ "deviation" ] ~docv:"LABEL"
+        ~doc:
+          "Deviation the --cfg instance targets (a Dev.t label, e.g. \
+           miscompute-routing). The module itself is deviation-agnostic.")
+
+let tla_nodes_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "nodes" ] ~docv:"N" ~doc:"Seats (N) in the --cfg instance.")
+
+let tla_seat_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seat" ] ~docv:"K"
+        ~doc:"Deviant seat in the --cfg instance (0 = all faithful).")
+
+let tla_stall_arg =
+  Arg.(
+    value & flag
+    & info [ "stall" ]
+        ~doc:
+          "Model the deviation as an omission (the targeted step never \
+           completes). Implied for silent-in-construction. Stall instances \
+           wedge the phase barrier, so run TLC with deadlock checking off \
+           — the deadlock is the progress-timeout detection.")
+
+let tla_isolated_arg =
+  Arg.(
+    value & flag
+    & info [ "isolated" ]
+        ~doc:
+          "Assume the deviant's checker neighborhood has no honest member \
+           (shrinks CoveredStates per the section-4.3 coverage split).")
+
+let tla_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE"
+        ~doc:"Write the TLA+ module here instead of stdout.")
+
+let tla_cfg_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cfg" ] ~docv:"FILE"
+        ~doc:"Also write a TLC configuration instantiating the CONSTANTS.")
 
 (* --- the adversarial gauntlet --- *)
 
@@ -889,7 +1031,19 @@ let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc)
     Term.(
       const run_verify $ topology $ seed $ mutate_arg $ verify_json_arg
-      $ bound_arg $ trace_out_arg)
+      $ bound_arg $ por_arg $ domains_arg $ key_audit_arg $ trace_out_arg)
+
+let tla_cmd =
+  let doc =
+    "emit the spec IR as a TLC-checkable TLA+ module (states, suggested \
+     play, phase checkpoints, and the two section-4.3 properties as \
+     invariants), plus an optional per-deviation TLC configuration — an \
+     independent model checker cross-checking the exploration layer"
+  in
+  Cmd.v (Cmd.info "tla" ~doc)
+    Term.(
+      const run_tla $ tla_deviation_arg $ tla_nodes_arg $ tla_seat_arg
+      $ tla_stall_arg $ tla_isolated_arg $ tla_out_arg $ tla_cfg_arg)
 
 let gauntlet_cmd =
   let doc =
@@ -958,6 +1112,7 @@ let cmd =
       gauntlet_cmd;
       lint_cmd;
       verify_cmd;
+      tla_cmd;
       trace_cmd;
     ]
 

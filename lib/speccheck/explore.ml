@@ -4,6 +4,7 @@ module Obs = Damd_obs.Obs
 module Clock = Damd_obs.Clock
 module Metrics = Damd_obs.Metrics
 module Json = Damd_util.Json
+module Sp = Statepack
 
 type verdict =
   | Detected of { depth : int; certifier : string option }
@@ -17,6 +18,8 @@ type stats = {
   scenarios : int;
   truncated : bool;
   elapsed_s : float;
+  por : bool;  (* the reduction was requested *and* its guard held *)
+  domains : int;  (* scenario fan-out width actually used *)
 }
 
 type outcome = {
@@ -37,6 +40,8 @@ type mach = {
   nphases : int;
   phase_names : string array;
   certifiers : string option array;
+  dev_lbl : string array;  (* "deviant!<aid>" per state, shared *)
+  cp_lbl : string array;  (* "[checkpoint <phase>]" per phase, shared *)
 }
 
 let build (ir : Ir.t) =
@@ -73,6 +78,7 @@ let build (ir : Ir.t) =
           | _ -> ())
         p.Ir.members)
     phases;
+  let phase_names = Array.map (fun (p : Ir.phase) -> p.Ir.pname) phases in
   {
     states;
     sugg_id;
@@ -80,7 +86,7 @@ let build (ir : Ir.t) =
     dst_of;
     phase_of;
     nphases = Array.length phases;
-    phase_names = Array.map (fun (p : Ir.phase) -> p.Ir.pname) phases;
+    phase_names;
     certifiers =
       Array.map
         (fun (p : Ir.phase) ->
@@ -88,6 +94,11 @@ let build (ir : Ir.t) =
           | Some c -> Some (Rule.to_string c.Ir.certifier)
           | None -> None)
         phases;
+    dev_lbl =
+      Array.map
+        (function Some aid -> "deviant!" ^ aid | None -> "deviant!")
+        sugg_id;
+    cp_lbl = Array.map (fun p -> "[checkpoint " ^ p ^ "]") phase_names;
   }
 
 (* ---- evidence coverage: can the declared checking story surface a
@@ -101,43 +112,43 @@ let covered_action (a : Ir.action) ~honest =
   | Some Action.Message_passing -> a.Ir.rules <> [] && honest
   | Some Action.Computation -> a.Ir.mirrored && a.Ir.digested && honest
 
-(* ---- canonical product states: deviant position, sorted faithful
-   multiset, phase index, per-phase acted/evidence bitmasks ---- *)
+(* ---- scenario descriptors and per-scenario results: scenarios are
+   independent, so each runs against private tables and the driver merges
+   the outputs deterministically in scenario order ---- *)
 
-type pst = { dev : int; others : int array; ph : int; acted : int; evid : int }
+type job = {
+  j_label : string;
+  j_has_deviant : bool;
+  j_stall : bool;
+  j_targets : bool array;
+  j_covered : bool array;
+  j_faithful : bool;
+}
 
-let key (s : pst) =
-  let b = Buffer.create 48 in
-  Buffer.add_string b (string_of_int s.dev);
-  Buffer.add_char b '|';
-  Array.iter
-    (fun p ->
-      Buffer.add_string b (string_of_int p);
-      Buffer.add_char b ',')
-    s.others;
-  Buffer.add_char b '|';
-  Buffer.add_string b (string_of_int s.ph);
-  Buffer.add_char b ':';
-  Buffer.add_string b (string_of_int ((s.acted lsl 16) lor s.evid));
-  Buffer.contents b
-
-type scen_result = {
-  sr_escape : string option;  (* witness trace of an uncaught green-light *)
-  sr_timeout : int option;  (* omission stall depth *)
-  sr_lag : int;  (* worst act-to-certification distance; -1 = none *)
-  sr_certifier : string option;
-  sr_acted : bool;
-  sr_truncated : bool;
+type scen_out = {
+  so_escape : string option;  (* witness trace of an uncaught green-light *)
+  so_timeout : int option;  (* omission stall depth *)
+  so_lag : int;  (* worst act-to-certification distance; -1 = none *)
+  so_certifier : string option;
+  so_acted : bool;
+  so_truncated : bool;
+  so_states : int;
+  so_frontier : int;
+  so_covered : bool array;
+  so_findings : Check.finding list;
 }
 
 (* One scenario: BFS the product with [n] seats, one seat optionally
-   running the deviation. [targets] marks states whose suggested action the
-   deviation targets; [covered] marks states whose deviant execution
-   deposits checkpoint evidence; [stall] models omission (the targeted
-   step never completes, blocking the phase barrier). *)
-let run_scenario m ~obs ~bound ~n ~initial ~has_deviant ~stall ~targets
-    ~covered ~faithful ~covered_mark ~add_finding ~states_total ~frontier_max
-    =
+   running the deviation. [j_targets] marks states whose suggested action
+   the deviation targets; [j_covered] marks states whose deviant execution
+   deposits checkpoint evidence; [j_stall] models omission (the targeted
+   step never completes, blocking the phase barrier). [encode] canonicalizes
+   a product state into the dedup key — an immediate int whenever the
+   packed layout fits one word. [por] enables the invisible-step reduction
+   when its acyclicity guard holds. *)
+let run_scenario (type k) m ~(encode : Sp.state -> k) ~audit ~por ~obs ~bound
+    ~n ~initial (job : job) : scen_out =
+  let ns = Array.length m.states in
   let depth_hist =
     match Obs.metrics obs with
     | None -> None
@@ -150,9 +161,33 @@ let run_scenario m ~obs ~bound ~n ~initial ~has_deviant ~stall ~targets
   let timeout = ref None in
   let acted_ever = ref false in
   let truncated = ref false in
-  let visited : (string, int) Hashtbl.t = Hashtbl.create 512 in
-  let parent : (string, string * string) Hashtbl.t = Hashtbl.create 512 in
-  let q : (string * pst) Queue.t = Queue.create () in
+  let covered_mark = Array.make ns false in
+  let findings = ref [] in
+  let seen = Hashtbl.create 8 in
+  let add_finding severity id location message =
+    if not (Hashtbl.mem seen (id, location)) then begin
+      Hashtbl.add seen (id, location) ();
+      findings := { Check.id; severity; location; message } :: !findings
+    end
+  in
+  let visited : (k, int) Hashtbl.t = Hashtbl.create 1024 in
+  let parent : (k, k * string) Hashtbl.t = Hashtbl.create 1024 in
+  let audit_tbl : (k, string) Hashtbl.t option =
+    if audit then Some (Hashtbl.create 1024) else None
+  in
+  let encode st =
+    let k = encode st in
+    (match audit_tbl with
+    | None -> ()
+    | Some tbl -> (
+        let s = Sp.structural st in
+        match Hashtbl.find_opt tbl k with
+        | None -> Hashtbl.add tbl k s
+        | Some s0 when String.equal s0 s -> ()
+        | Some s0 -> raise (Sp.Collision (s0, s))));
+    k
+  in
+  let q : (k * Sp.state) Queue.t = Queue.create () in
   let witness_of k =
     let rec climb k acc fuel =
       if fuel = 0 then "…" :: acc
@@ -163,20 +198,23 @@ let run_scenario m ~obs ~bound ~n ~initial ~has_deviant ~stall ~targets
     in
     String.concat " ; " (climb k [] 14)
   in
-  let mark st =
-    if st.dev >= 0 then covered_mark.(st.dev) <- true;
-    Array.iter (fun p -> covered_mark.(p) <- true) st.others
+  let mark (st : Sp.state) =
+    if st.Sp.dev >= 0 then covered_mark.(st.Sp.dev) <- true;
+    Array.iteri (fun i c -> if c > 0 then covered_mark.(i) <- true) st.Sp.cnt
   in
+  let frontier_max = ref 0 in
   let s0 =
+    let cnt = Array.make ns 0 in
+    cnt.(initial) <- (if job.j_has_deviant then n - 1 else n);
     {
-      dev = (if has_deviant then initial else -1);
-      others = Array.make (if has_deviant then n - 1 else n) initial;
+      Sp.dev = (if job.j_has_deviant then initial else -1);
+      cnt;
       ph = 0;
       acted = 0;
       evid = 0;
     }
   in
-  let k0 = key s0 in
+  let k0 = encode s0 in
   Hashtbl.replace visited k0 0;
   mark s0;
   Queue.add (k0, s0) q;
@@ -192,78 +230,105 @@ let run_scenario m ~obs ~bound ~n ~initial ~has_deviant ~stall ~targets
       (* Frontier-size counter track, sampled every 256 expansions. *)
       if Obs.enabled obs && Hashtbl.length visited land 255 = 0 then
         Obs.sample obs "explore.frontier" (float_of_int (Queue.length q));
-      let eligible pos = s.ph >= m.nphases || m.phase_of.(pos) = s.ph in
+      let ph = s.Sp.ph in
+      let eligible pos = ph >= m.nphases || m.phase_of.(pos) = ph in
       (* (successor, edge label, destination position or -1) *)
       let succs = ref [] in
       let push st lbl dst = succs := (st, lbl, dst) :: !succs in
       (* deviant move *)
-      (if s.dev >= 0 && eligible s.dev then
-         match m.sugg_id.(s.dev) with
+      (if s.Sp.dev >= 0 && eligible s.Sp.dev then
+         match m.sugg_id.(s.Sp.dev) with
          | None -> ()
-         | Some aid ->
-             let is_t = targets.(s.dev) in
-             if stall && is_t then
+         | Some _aid ->
+             let dv = s.Sp.dev in
+             let is_t = job.j_targets.(dv) in
+             if job.j_stall && is_t then
                (* omission: the targeted step never completes *)
                ()
              else begin
                let pbit =
-                 if s.ph < m.nphases then s.ph else max 0 (m.nphases - 1)
+                 if ph < m.nphases then ph else max 0 (m.nphases - 1)
                in
-               let acted = if is_t then s.acted lor (1 lsl pbit) else s.acted in
+               let acted =
+                 if is_t then s.Sp.acted lor (1 lsl pbit) else s.Sp.acted
+               in
                let evid =
-                 if is_t && covered.(s.dev) then s.evid lor (1 lsl pbit)
-                 else s.evid
+                 if is_t && job.j_covered.(dv) then s.Sp.evid lor (1 lsl pbit)
+                 else s.Sp.evid
                in
                if is_t then begin
                  acted_ever := true;
                  if d + 1 < min_act.(pbit) then min_act.(pbit) <- d + 1
                end;
                push
-                 { s with dev = m.dst_of.(s.dev); acted; evid }
-                 ("deviant!" ^ aid) m.dst_of.(s.dev)
+                 { s with Sp.dev = m.dst_of.(dv); acted; evid }
+                 m.dev_lbl.(dv) m.dst_of.(dv)
              end);
-      (* faithful moves: one per distinct position (symmetry reduction) *)
-      let tried = Hashtbl.create 8 in
-      Array.iteri
-        (fun oi pos ->
-          if not (Hashtbl.mem tried pos) then begin
-            Hashtbl.add tried pos ();
-            if eligible pos then
-              match m.sugg_id.(pos) with
-              | None -> ()
-              | Some aid ->
-                  let others = Array.copy s.others in
-                  others.(oi) <- m.dst_of.(pos);
-                  Array.sort Int.compare others;
-                  push { s with others } aid m.dst_of.(pos)
-          end)
-        s.others;
+      (* faithful class moves (symmetry: one per occupied chain state),
+         POR-pruned to the lowest invisible class when the guard holds *)
+      let pick_invisible =
+        match por with
+        | Some ctx when ctx.Por.active ->
+            let r = ref (-1) in
+            (try
+               for i = 0 to ns - 1 do
+                 if s.Sp.cnt.(i) > 0 && Por.invisible ctx ~ph i then begin
+                   r := i;
+                   raise Exit
+                 end
+               done
+             with Exit -> ());
+            !r
+        | _ -> -1
+      in
+      for i = 0 to ns - 1 do
+        if s.Sp.cnt.(i) > 0 && eligible i then
+          match m.sugg_id.(i) with
+          | None -> ()
+          | Some aid ->
+              let inv =
+                pick_invisible >= 0
+                &&
+                match por with
+                | Some ctx -> Por.invisible ctx ~ph i
+                | None -> false
+              in
+              if (not inv) || i = pick_invisible then begin
+                let dst = m.dst_of.(i) in
+                let cnt = Array.copy s.Sp.cnt in
+                cnt.(i) <- cnt.(i) - 1;
+                cnt.(dst) <- cnt.(dst) + 1;
+                push { s with Sp.cnt } aid dst
+              end
+      done;
       (* checkpoint: fires exactly when nobody remains inside the phase *)
-      if s.ph < m.nphases then begin
+      if ph < m.nphases then begin
         let someone_inside =
-          (s.dev >= 0 && m.phase_of.(s.dev) = s.ph)
-          || Array.exists (fun p -> m.phase_of.(p) = s.ph) s.others
+          (s.Sp.dev >= 0 && m.phase_of.(s.Sp.dev) = ph)
+          ||
+          let ins = ref false in
+          for i = 0 to ns - 1 do
+            if s.Sp.cnt.(i) > 0 && m.phase_of.(i) = ph then ins := true
+          done;
+          !ins
         in
         if not someone_inside then begin
-          let bit = 1 lsl s.ph in
-          (if s.acted land bit <> 0 then
-             match m.certifiers.(s.ph) with
-             | Some rule when s.evid land bit <> 0 ->
-                 if d + 1 > max_cert.(s.ph) then begin
-                   max_cert.(s.ph) <- d + 1;
-                   cert_rule.(s.ph) <- Some rule
+          let bit = 1 lsl ph in
+          (if s.Sp.acted land bit <> 0 then
+             match m.certifiers.(ph) with
+             | Some rule when s.Sp.evid land bit <> 0 ->
+                 if d + 1 > max_cert.(ph) then begin
+                   max_cert.(ph) <- d + 1;
+                   cert_rule.(ph) <- Some rule
                  end
              | _ ->
                  (* green light with the deviation unflagged *)
                  if !escape = None then
                    escape :=
                      Some
-                       (witness_of k ^ " ; [green-light " ^ m.phase_names.(s.ph)
+                       (witness_of k ^ " ; [green-light " ^ m.phase_names.(ph)
                       ^ "]"));
-          push
-            { s with ph = s.ph + 1 }
-            ("[checkpoint " ^ m.phase_names.(s.ph) ^ "]")
-            (-1)
+          push { s with Sp.ph = ph + 1 } m.cp_lbl.(ph) (-1)
         end
       end;
       (* enqueue with post-certification reentry pruning *)
@@ -273,7 +338,7 @@ let run_scenario m ~obs ~bound ~n ~initial ~has_deviant ~stall ~targets
           let reentry =
             dst >= 0
             && m.phase_of.(dst) >= 0
-            && m.phase_of.(dst) < min s.ph m.nphases
+            && m.phase_of.(dst) < min ph m.nphases
           in
           if reentry then begin
             incr progress;
@@ -286,7 +351,7 @@ let run_scenario m ~obs ~bound ~n ~initial ~has_deviant ~stall ~targets
                  m.phase_names.(m.phase_of.(dst)))
           end
           else begin
-            let k' = key st in
+            let k' = encode st in
             if k' <> k then incr progress;
             if not (Hashtbl.mem visited k') then begin
               Hashtbl.replace visited k' (d + 1);
@@ -302,12 +367,12 @@ let run_scenario m ~obs ~bound ~n ~initial ~has_deviant ~stall ~targets
           end)
         !succs;
       (* deadlock: the current phase can never reach its certifier *)
-      if !progress = 0 && s.ph < m.nphases then begin
+      if !progress = 0 && ph < m.nphases then begin
         let stalling_deviant =
-          s.dev >= 0 && stall
-          && m.phase_of.(s.dev) = s.ph
-          && targets.(s.dev)
-          && m.sugg_id.(s.dev) <> None
+          s.Sp.dev >= 0 && job.j_stall
+          && m.phase_of.(s.Sp.dev) = ph
+          && job.j_targets.(s.Sp.dev)
+          && m.sugg_id.(s.Sp.dev) <> None
         in
         if stalling_deviant then (
           match !timeout with
@@ -315,23 +380,23 @@ let run_scenario m ~obs ~bound ~n ~initial ~has_deviant ~stall ~targets
           | _ -> timeout := Some (d + 1))
         else
           add_finding Check.Error
-            (if faithful then "false-accusation" else "certifier-unreachable")
-            m.phase_names.(s.ph)
-            (if faithful then
+            (if job.j_faithful then "false-accusation"
+             else "certifier-unreachable")
+            m.phase_names.(ph)
+            (if job.j_faithful then
                Printf.sprintf
                  "the all-faithful run deadlocks inside phase %S: the bank's \
                   progress timeout would punish nodes that followed the \
                   suggested play to the letter"
-                 m.phase_names.(s.ph)
+                 m.phase_names.(ph)
              else
                Printf.sprintf
                  "phase %S can deadlock before its certifier runs: a \
                   deviation inside it is never surfaced at a checkpoint"
-                 m.phase_names.(s.ph))
+                 m.phase_names.(ph))
       end
     end
   done;
-  states_total := !states_total + Hashtbl.length visited;
   let lag = ref (-1) in
   let certifier = ref None in
   Array.iteri
@@ -345,12 +410,16 @@ let run_scenario m ~obs ~bound ~n ~initial ~has_deviant ~stall ~targets
       end)
     max_cert;
   {
-    sr_escape = !escape;
-    sr_timeout = !timeout;
-    sr_lag = !lag;
-    sr_certifier = !certifier;
-    sr_acted = !acted_ever;
-    sr_truncated = !truncated;
+    so_escape = !escape;
+    so_timeout = !timeout;
+    so_lag = !lag;
+    so_certifier = !certifier;
+    so_acted = !acted_ever;
+    so_truncated = !truncated;
+    so_states = Hashtbl.length visited;
+    so_frontier = !frontier_max;
+    so_covered = covered_mark;
+    so_findings = List.rev !findings;
   }
 
 (* ---- exemptions: deviations the checking story does not claim ---- *)
@@ -368,24 +437,24 @@ let exemptions =
 
 let dev_compare a b = String.compare (Dev.to_string a) (Dev.to_string b)
 
-let run ?(bound = 50_000) ?(adversary = Dev.all) ?(obs = Obs.noop) ~graph
-    (ir : Ir.t) =
+let run ?(bound = 50_000) ?(adversary = Dev.all) ?(obs = Obs.noop)
+    ?(por = true) ?(domains = 0) ?(audit = false) ~graph (ir : Ir.t) =
   let t0 = Clock.now_ns () in
   let m = build ir in
   let n = G.n graph in
   let ns = Array.length m.states in
-  let covered_mark = Array.make ns false in
-  let findings = ref [] in
-  let seen = Hashtbl.create 16 in
-  let add_finding severity id location message =
-    if not (Hashtbl.mem seen (id, location)) then begin
-      Hashtbl.add seen (id, location) ();
-      findings := { Check.id; severity; location; message } :: !findings
-    end
+  let codec = Sp.make ~ns ~n ~nphases:m.nphases in
+  let por_ctx =
+    if por then
+      Some
+        (Por.make ~phase_of:m.phase_of ~dst_of:m.dst_of
+           ~has_sugg:(Array.map Option.is_some m.sugg_id)
+           ~nphases:m.nphases)
+    else None
   in
-  let states_total = ref 0 in
-  let frontier_max = ref 0 in
-  let scen_count = ref 0 in
+  let por_active =
+    match por_ctx with Some c -> c.Por.active | None -> false
+  in
   let initial =
     let rec find i =
       if i >= ns then None
@@ -417,20 +486,11 @@ let run ?(bound = 50_000) ?(adversary = Dev.all) ?(obs = Obs.noop) ~graph
             scenarios = 0;
             truncated = true;
             elapsed_s = Clock.s_since t0;
+            por = por_active;
+            domains = 1;
           };
       }
   | Some initial ->
-      let scenario ?(label = "scenario") ~has_deviant ~stall ~targets
-          ~covered ~faithful () =
-        incr scen_count;
-        Obs.span obs ~cat:"speccheck"
-          ~args:[ ("scenario", Json.String label) ]
-          "explore.scenario"
-          (fun () ->
-            run_scenario m ~obs ~bound ~n ~initial ~has_deviant ~stall
-              ~targets ~covered ~faithful ~covered_mark ~add_finding
-              ~states_total ~frontier_max)
-      in
       let no_targets = Array.make ns false in
       let target_mask lbl =
         Array.init ns (fun i ->
@@ -448,36 +508,40 @@ let run ?(bound = 50_000) ?(adversary = Dev.all) ?(obs = Obs.noop) ~graph
          honesty of the deviant's checker neighborhood, so seats sharing an
          honesty value share one BFS — the sweep is still exhaustive over
          seats because every seat maps into one of the explored classes. *)
-      let single_seat_results lbl ~stall =
+      let honesties =
+        List.sort_uniq Bool.compare
+          (List.init n (fun i -> G.degree graph i > 0))
+      in
+      let single_seat_jobs lbl ~stall =
         let targets = target_mask lbl in
-        let honesties =
-          List.sort_uniq Bool.compare
-            (List.init n (fun i -> G.degree graph i > 0))
-        in
         List.map
           (fun honest ->
-            scenario
-              ~label:
-                (Printf.sprintf "%s[%s]" (Dev.to_string lbl)
-                   (if honest then "honest-nbrs" else "isolated"))
-              ~has_deviant:true ~stall ~targets
-              ~covered:(coverage_mask ~honest) ~faithful:false ())
+            {
+              j_label =
+                Printf.sprintf "%s[%s]" (Dev.to_string lbl)
+                  (if honest then "honest-nbrs" else "isolated");
+              j_has_deviant = true;
+              j_stall = stall;
+              j_targets = targets;
+              j_covered = coverage_mask ~honest;
+              j_faithful = false;
+            })
           honesties
       in
       let combine rs =
-        if List.exists (fun r -> r.sr_truncated) rs then Truncated
+        if List.exists (fun r -> r.so_truncated) rs then Truncated
         else
-          match List.find_opt (fun r -> r.sr_escape <> None) rs with
-          | Some r -> Undetected { witness = Option.get r.sr_escape }
+          match List.find_opt (fun r -> r.so_escape <> None) rs with
+          | Some r -> Undetected { witness = Option.get r.so_escape }
           | None -> (
               match
-                List.find_opt (fun r -> r.sr_lag < 0 && r.sr_timeout = None) rs
+                List.find_opt (fun r -> r.so_lag < 0 && r.so_timeout = None) rs
               with
               | Some r ->
                   Undetected
                     {
                       witness =
-                        (if r.sr_acted then
+                        (if r.so_acted then
                            "the deviation occurs but no certification event \
                             ever follows it"
                          else
@@ -489,8 +553,8 @@ let run ?(bound = 50_000) ?(adversary = Dev.all) ?(obs = Obs.noop) ~graph
                     List.fold_left
                       (fun (d0, c0) r ->
                         let d, c =
-                          if r.sr_lag >= 0 then (r.sr_lag, r.sr_certifier)
-                          else (Option.get r.sr_timeout, None)
+                          if r.so_lag >= 0 then (r.so_lag, r.so_certifier)
+                          else (Option.get r.so_timeout, None)
                         in
                         if d > d0 then (d, c) else (d0, c0))
                       (-1, None) rs
@@ -508,14 +572,15 @@ let run ?(bound = 50_000) ?(adversary = Dev.all) ?(obs = Obs.noop) ~graph
          while the colluding checker vouches for it; detection needs some
          *other* honest checker in the principal's neighborhood, so the
          honesty class of the pair (p, c) is "p has a neighbor besides c". *)
-      let collude_verdict () =
+      let collude_plan () =
         if not (List.exists coalition_shield ir.Ir.actions) then
-          Undetected
-            {
-              witness =
-                "no mirrored computation exists for the coalition to shield, \
-                 so the coalition case analysis is vacuous";
-            }
+          `Done
+            (Undetected
+               {
+                 witness =
+                   "no mirrored computation exists for the coalition to \
+                    shield, so the coalition case analysis is vacuous";
+               })
         else begin
           let targets =
             Array.init ns (fun i ->
@@ -532,70 +597,154 @@ let run ?(bound = 50_000) ?(adversary = Dev.all) ?(obs = Obs.noop) ~graph
             List.exists (fun nb -> nb <> c) (G.neighbors graph p)
           in
           let exposed = List.filter (fun pc -> not (honest_of pc)) pairs in
-          let honesties =
+          let chonesties =
             List.sort_uniq Bool.compare (List.map honest_of pairs)
           in
-          let v =
-            combine
-              (List.map
-                 (fun honest ->
-                   scenario
-                     ~label:
-                       (if honest then "collude-with[honest-nbrs]"
-                        else "collude-with[isolated]")
-                     ~has_deviant:true ~stall:false ~targets
-                     ~covered:(coverage_mask ~honest) ~faithful:false ())
-                 honesties)
-          in
-          match (v, exposed) with
-          | Undetected { witness }, (p, c) :: _ ->
-              Undetected
+          let jobs =
+            List.map
+              (fun honest ->
                 {
-                  witness =
-                    Printf.sprintf
-                      "%s [principal %d, colluding checker %d covers its \
-                       entire neighborhood]"
-                      witness p c;
-                }
-          | _ -> v
+                  j_label =
+                    (if honest then "collude-with[honest-nbrs]"
+                     else "collude-with[isolated]");
+                  j_has_deviant = true;
+                  j_stall = false;
+                  j_targets = targets;
+                  j_covered = coverage_mask ~honest;
+                  j_faithful = false;
+                })
+              chonesties
+          in
+          let post v =
+            match (v, exposed) with
+            | Undetected { witness }, (p, c) :: _ ->
+                Undetected
+                  {
+                    witness =
+                      Printf.sprintf
+                        "%s [principal %d, colluding checker %d covers its \
+                         entire neighborhood]"
+                        witness p c;
+                  }
+            | _ -> v
+          in
+          `Jobs (jobs, post)
         end
       in
       let labels =
         List.sort_uniq dev_compare
           (List.filter (fun d -> d <> Dev.Faithful) adversary)
       in
-      let verdicts =
+      let plan =
         List.map
           (fun lbl ->
-            let v =
+            let p =
               match List.assoc_opt lbl exemptions with
-              | Some reason -> Exempt { reason }
+              | Some reason -> `Done (Exempt { reason })
               | None ->
-                  if lbl = Dev.Collude_with then collude_verdict ()
+                  if lbl = Dev.Collude_with then collude_plan ()
                   else if
                     not
                       (List.exists
                          (fun (a : Ir.action) -> List.mem lbl a.Ir.deviations)
                          ir.Ir.actions)
                   then
-                    Undetected
-                      {
-                        witness =
-                          "no catalogue action targets this deviation, so the \
-                           section-4.3 case analysis cannot place it";
-                      }
+                    `Done
+                      (Undetected
+                         {
+                           witness =
+                             "no catalogue action targets this deviation, so \
+                              the section-4.3 case analysis cannot place it";
+                         })
                   else
-                    combine
-                      (single_seat_results lbl
-                         ~stall:(lbl = Dev.Silent_in_construction))
+                    `Jobs
+                      ( single_seat_jobs lbl
+                          ~stall:(lbl = Dev.Silent_in_construction),
+                        fun v -> v )
             in
-            (lbl, v))
+            (lbl, p))
           labels
       in
       (* the all-faithful product run: no-false-accusation + progress *)
-      let (_ : scen_result) =
-        scenario ~label:"all-faithful" ~has_deviant:false ~stall:false
-          ~targets:no_targets ~covered:no_targets ~faithful:true ()
+      let faithful_job =
+        {
+          j_label = "all-faithful";
+          j_has_deviant = false;
+          j_stall = false;
+          j_targets = no_targets;
+          j_covered = no_targets;
+          j_faithful = true;
+        }
+      in
+      let all_jobs =
+        List.concat_map
+          (fun (_, p) -> match p with `Done _ -> [] | `Jobs (js, _) -> js)
+          plan
+        @ [ faithful_job ]
+      in
+      let njobs = List.length all_jobs in
+      (* Tracing sinks are not thread-safe, so an enabled obs pins the
+         fan-out to one domain; results are merged in job order either
+         way, so the outcome is identical. *)
+      let dom =
+        if Obs.enabled obs then 1
+        else
+          let req = if domains <= 0 then Pool.default_domains () else domains in
+          max 1 (min req njobs)
+      in
+      let exec job =
+        Obs.span obs ~cat:"speccheck"
+          ~args:[ ("scenario", Json.String job.j_label) ]
+          "explore.scenario"
+          (fun () ->
+            if Sp.fits_int codec then
+              run_scenario m ~encode:(Sp.pack_int codec) ~audit ~por:por_ctx
+                ~obs ~bound ~n ~initial job
+            else
+              run_scenario m ~encode:(Sp.pack_string codec) ~audit
+                ~por:por_ctx ~obs ~bound ~n ~initial job)
+      in
+      let outs = Pool.map ~domains:dom exec all_jobs in
+      (* deterministic merge, in job (= label) order *)
+      let covered_mark = Array.make ns false in
+      let findings = ref [] in
+      let seen = Hashtbl.create 16 in
+      let add_finding severity id location message =
+        if not (Hashtbl.mem seen (id, location)) then begin
+          Hashtbl.add seen (id, location) ();
+          findings := { Check.id; severity; location; message } :: !findings
+        end
+      in
+      let states_total = ref 0 in
+      let frontier_max = ref 0 in
+      List.iter
+        (fun o ->
+          states_total := !states_total + o.so_states;
+          if o.so_frontier > !frontier_max then frontier_max := o.so_frontier;
+          Array.iteri
+            (fun i b -> if b then covered_mark.(i) <- true)
+            o.so_covered;
+          List.iter
+            (fun (f : Check.finding) ->
+              add_finding f.Check.severity f.Check.id f.Check.location
+                f.Check.message)
+            o.so_findings)
+        outs;
+      let outs_arr = Array.of_list outs in
+      let idx = ref 0 in
+      let take count =
+        let l = List.init count (fun j -> outs_arr.(!idx + j)) in
+        idx := !idx + count;
+        l
+      in
+      let verdicts =
+        List.map
+          (fun (lbl, p) ->
+            match p with
+            | `Done v -> (lbl, v)
+            | `Jobs (js, post) ->
+                (lbl, post (combine (take (List.length js)))))
+          plan
       in
       List.iter
         (fun (lbl, v) ->
@@ -633,7 +782,7 @@ let run ?(bound = 50_000) ?(adversary = Dev.all) ?(obs = Obs.noop) ~graph
           ~args:
             [
               ("states", Json.Int !states_total);
-              ("scenarios", Json.Int !scen_count);
+              ("scenarios", Json.Int njobs);
               ("frontier_peak", Json.Int !frontier_max);
               ( "states_per_sec",
                 Json.Float
@@ -650,11 +799,13 @@ let run ?(bound = 50_000) ?(adversary = Dev.all) ?(obs = Obs.noop) ~graph
           {
             states_explored = !states_total;
             frontier_peak = !frontier_max;
-            scenarios = !scen_count;
+            scenarios = njobs;
             truncated =
               List.exists
                 (fun (_, v) -> match v with Truncated -> true | _ -> false)
                 verdicts;
             elapsed_s;
+            por = por_active;
+            domains = dom;
           };
       }

@@ -44,10 +44,15 @@
 
     Dedup uses canonical state hashing: faithful nodes are behaviorally
     interchangeable (topology enters only through the deviant's coverage
-    predicate), so a product state is canonicalized as the *sorted
-    multiset* of faithful positions plus the deviant's position, phase
-    index, and evidence bits — the standard symmetry reduction, which
-    keeps Fig-1-scale scenarios to a few hundred states each. *)
+    predicate), so a product state is canonicalized as the *count
+    vector* of faithful positions plus the deviant's position, phase
+    index, and evidence bits — the standard symmetry reduction — and
+    packed by [Statepack] into an immediate int whenever the layout fits
+    63 bits (DESIGN.md §16). On top of that, [Por] prunes redundant
+    interleavings of phase-internal faithful steps when its acyclicity
+    guard holds, and scenarios fan out across domains via [Pool]; both
+    are exact — verdicts, findings, and detection depths are unchanged
+    (witness *traces* may route differently under POR). *)
 
 type verdict =
   | Detected of { depth : int; certifier : string option }
@@ -74,6 +79,11 @@ type stats = {
       (** wall-clock exploration time (monotonic clock) — with
           [states_explored] this is the states/sec figure the scale
           work tracks *)
+  por : bool;
+      (** partial-order reduction was requested {e and} its in-phase
+          acyclicity guard held, so the reduced successor relation was
+          actually used *)
+  domains : int;  (** scenario fan-out width actually used *)
 }
 
 type outcome = {
@@ -89,10 +99,19 @@ type outcome = {
   stats : stats;
 }
 
+val covered_action : Ir.action -> honest:bool -> bool
+(** The abstract §4.3 coverage case split: can the declared checking
+    story surface a deviant execution of this action, given whether the
+    deviant's checker neighborhood contains an honest node? Exposed for
+    the [Tla] backend, which must emit the same evidence model. *)
+
 val run :
   ?bound:int ->
   ?adversary:Dev.t list ->
   ?obs:Damd_obs.Obs.t ->
+  ?por:bool ->
+  ?domains:int ->
+  ?audit:bool ->
   graph:Damd_graph.Graph.t ->
   Ir.t ->
   outcome
@@ -102,6 +121,15 @@ val run :
     transitions self-loop (the [Compile.machine] contract), an undeclared
     initial state skips exploration with an [exploration-truncated]
     warning, and every loop is bounded by dedup plus [bound].
+
+    [por] (default true) enables the invisible-step partial-order
+    reduction; it self-disables (see [Por]) when the in-phase
+    suggested-play graph is cyclic. [domains] (default 0 = auto) is the
+    scenario fan-out width; 1 forces sequential, and an enabled [obs]
+    also forces sequential because tracing sinks are not thread-safe.
+    The merge is deterministic in scenario order either way. [audit]
+    (default false) cross-checks every packed dedup key against the
+    structural key and raises [Statepack.Collision] on mismatch.
 
     [obs] (default noop): each scenario BFS runs under a span labelled
     with the deviation and honesty class, the frontier size is sampled

@@ -1,0 +1,8 @@
+(* Sequential fallback for compilers without multicore support. A dune
+   rule copies this file to pool.ml when %{ocaml_version} < 5.0; see
+   pool_domains.ml5 for the parallel implementation and the signature
+   contract (order-preserving map, first worker exception re-raised). *)
+
+let available = false
+let default_domains () = 1
+let map ~domains:_ f xs = List.map f xs

@@ -1,0 +1,55 @@
+(** Packed canonical product states for [Explore]'s dedup tables.
+
+    The BFS dedups millions of canonical states per scenario, so the key
+    representation dominates its allocation and hash cost. A [codec] is
+    sized once per (IR, topology) pair from the three dimensions that
+    bound every field — [ns] chain states, [n] seats, [nphases] phases —
+    and assigns each field a fixed-width lane: [ns] count lanes wide
+    enough for [0..n], one deviant lane ([dev + 1], so "no deviant"
+    packs as 0), one phase-cursor lane, and two [nphases]-bit mask
+    lanes. When the lanes total ≤ 63 bits the whole state packs into one
+    immediate int (no allocation, O(1) hash — the common case: the stock
+    spec on fig1 needs 51 bits, a 12-state chain at n = 12 exactly 63);
+    otherwise it packs into a fixed-width string a fraction of the size
+    of the decimal join the first verifier used. Both packings are
+    injective by construction; [structural] remains as the verbose
+    oracle for the opt-in collision audit and the QCheck differential. *)
+
+type state = {
+  dev : int;  (** deviant's chain position; -1 = no deviant seated *)
+  cnt : int array;  (** faithful seats per chain state, length [ns] *)
+  ph : int;  (** phase cursor; [nphases] = every phase certified *)
+  acted : int;  (** per-phase "the deviation executed" bitmask *)
+  evid : int;  (** per-phase "checkpoint evidence deposited" bitmask *)
+}
+
+type codec
+
+val make : ns:int -> n:int -> nphases:int -> codec
+(** Sizes the lanes for states with [ns]-length [cnt] vectors, counts in
+    [0..n], and phase cursor in [0..nphases]. Raises [Invalid_argument]
+    when [nphases > 16] (the mask lanes of the wide encoding, like the
+    acted/evid bitmasks themselves, are 16-bit). *)
+
+val fits_int : codec -> bool
+(** Whether the packed layout fits a native int (≤ 63 bits — packing
+    exactly 63 spills into the sign bit, harmless for a key). *)
+
+val pack_int : codec -> state -> int
+(** Injective when [fits_int]; unspecified garbage otherwise. *)
+
+val pack_string : codec -> state -> string
+(** Injective fixed-width byte encoding, for layouts wider than 63 bits. *)
+
+val structural : state -> string
+(** The delimited decimal rendering — the audit oracle: two states are
+    equal iff their structural keys are. *)
+
+exception Collision of string * string
+(** Raised by [Explore]'s collision audit when two structurally distinct
+    states produce the same packed key; carries both structural
+    renderings. Impossible unless the codec is broken — the audit is a
+    regression tripwire, not a runtime guard. *)
+
+val bits_for : int -> int
+(** [bits_for v] is the smallest width (≥ 1) with [2^bits - 1 >= v]. *)

@@ -15,7 +15,8 @@ let sort_inputs inputs =
     (fun a b -> String.compare (Taint.input_to_string a) (Taint.input_to_string b))
     inputs
 
-let run ?adversary ?mutation ?bound ?obs ~observed ~graph ~topology ir =
+let run ?adversary ?mutation ?bound ?obs ?por ?domains ?audit ~observed ~graph
+    ~topology ir =
   let ir, graph =
     match mutation with
     | None -> (ir, graph)
@@ -30,7 +31,7 @@ let run ?adversary ?mutation ?bound ?obs ~observed ~graph ~topology ir =
   in
   let static = Check.check_ir ?adversary ir @ Check.check_topology graph in
   let flow_findings = Taint.check ir ~observed in
-  let explored = Explore.run ?bound ?adversary ?obs ~graph ir in
+  let explored = Explore.run ?bound ?adversary ?obs ?por ?domains ?audit ~graph ir in
   let flow =
     List.filter_map
       (fun (o : Taint.observation) ->
@@ -101,6 +102,14 @@ let to_json r =
             ("scenarios", Json.Int r.stats.Explore.scenarios);
             ("truncated", Json.Bool r.stats.Explore.truncated);
             ("elapsed_s", Json.Float r.stats.Explore.elapsed_s);
+            ( "states_per_sec",
+              Json.Float
+                (if r.stats.Explore.elapsed_s > 0. then
+                   float_of_int r.stats.Explore.states_explored
+                   /. r.stats.Explore.elapsed_s
+                 else 0.) );
+            ("por", Json.Bool r.stats.Explore.por);
+            ("domains", Json.Int r.stats.Explore.domains);
           ] );
       ( "properties",
         Json.Obj

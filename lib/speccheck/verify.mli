@@ -36,6 +36,9 @@ val run :
   ?mutation:string ->
   ?bound:int ->
   ?obs:Damd_obs.Obs.t ->
+  ?por:bool ->
+  ?domains:int ->
+  ?audit:bool ->
   observed:Taint.observation list ->
   graph:Damd_graph.Graph.t ->
   topology:string ->
@@ -44,7 +47,9 @@ val run :
 (** Raises [Invalid_argument] on an unknown mutation name (same contract
     as [Lint.run]). [bound] is [Explore.run]'s per-scenario state cap;
     [obs] is threaded to [Explore.run] (scenario spans, frontier track,
-    depth histogram — what [damd_cli verify --trace-out] exports). *)
+    depth histogram — what [damd_cli verify --trace-out] exports);
+    [por], [domains], and [audit] are [Explore.run]'s reduction,
+    fan-out, and key-audit switches. *)
 
 val detection_complete : report -> bool
 (** No [Undetected] and no [Truncated] verdict: every non-exempt deviation
@@ -61,7 +66,8 @@ val exit_code : report -> int
 
 val to_json : report -> Damd_util.Json.t
 (** The [damd-verify/1] document: provenance, exploration stats (states
-    explored, frontier peak, scenarios, truncation), the two property
-    bits, the per-action flow table, one record per verdict (label, kind,
-    detection depth / certifier / witness / reason), and one record per
-    finding — DESIGN.md §12. *)
+    explored, frontier peak, scenarios, truncation, states/sec, POR and
+    fan-out width actually used), the two property bits, the per-action
+    flow table, one record per verdict (label, kind, detection depth /
+    certifier / witness / reason), and one record per finding —
+    DESIGN.md §12. *)

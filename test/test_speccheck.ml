@@ -458,33 +458,184 @@ let test_explore_covers_suggested_chain () =
         (List.mem s o.Explore.covered_states))
     (walk ir.Ir.initial [ ir.Ir.initial ])
 
-(* QCheck: exploration is total — randomly edited IRs (extra transitions,
-   overridden suggestions, appended states) never raise and always
-   terminate within the bound. *)
-let prop_explore_total =
+(* A shared generator of randomly edited IRs: extra transitions,
+   overridden suggestions, appended states — the adversarial inputs for
+   the totality and differential properties below. *)
+let edited_ir (i, j, k) =
   let action_arr = Array.of_list action_ids in
   let state_arr = Array.of_list ir.Ir.states in
-  QCheck.Test.make ~name:"exploration of edited IRs is total" ~count:15
+  let s_at x = state_arr.(x mod Array.length state_arr) in
+  let a_at x = action_arr.(x mod Array.length action_arr) in
+  {
+    ir with
+    Ir.states =
+      (if i mod 3 = 0 then ir.Ir.states @ [ "limbo" ] else ir.Ir.states);
+    transitions =
+      { Ir.src = s_at i; act = a_at j; dst = s_at k } :: ir.Ir.transitions;
+    suggested =
+      (if k mod 2 = 0 then (s_at k, a_at i) :: ir.Ir.suggested
+       else ir.Ir.suggested);
+  }
+
+(* QCheck: exploration is total — randomly edited IRs never raise and
+   always terminate within the bound. [audit] keeps the packed-key
+   encoding honest on every run: each canonical key is cross-checked
+   against the structural (unpacked) key, and any collision raises
+   [Statepack.Collision], failing the property. This is the
+   packed-equals-structural differential. *)
+let prop_explore_total =
+  QCheck.Test.make ~name:"exploration of edited IRs is total (keys audited)"
+    ~count:15
     QCheck.(triple small_nat small_nat small_nat)
-    (fun (i, j, k) ->
-      let s_at x = state_arr.(x mod Array.length state_arr) in
-      let a_at x = action_arr.(x mod Array.length action_arr) in
-      let edited =
-        {
-          ir with
-          Ir.states =
-            (if i mod 3 = 0 then ir.Ir.states @ [ "limbo" ] else ir.Ir.states);
-          transitions =
-            { Ir.src = s_at i; act = a_at j; dst = s_at k }
-            :: ir.Ir.transitions;
-          suggested =
-            (if k mod 2 = 0 then (s_at k, a_at i) :: ir.Ir.suggested
-             else ir.Ir.suggested);
-        }
-      in
-      let o = Explore.run ~bound:1500 ~graph:(fig1 ()) edited in
+    (fun triple ->
+      let o = Explore.run ~bound:1500 ~audit:true ~graph:(fig1 ()) (edited_ir triple) in
       o.Explore.stats.Explore.scenarios > 0
       && o.Explore.stats.Explore.states_explored >= 0)
+
+(* --- POR soundness: the reduced exploration proves the same things ----- *)
+
+(* Witness strings record one concrete interleaving, which the reduction
+   legitimately changes; verdicts are compared with witnesses erased.
+   Depths are NOT erased: equal-length commuting paths are part of the
+   soundness argument (DESIGN.md §16), so POR must preserve the BFS
+   detection depth exactly. *)
+let normalize_verdict = function
+  | Explore.Undetected _ -> Explore.Undetected { witness = "" }
+  | v -> v
+
+let normalized_verdicts (o : Explore.outcome) =
+  List.map (fun (d, v) -> (d, normalize_verdict v)) o.Explore.verdicts
+
+let finding_keys fs =
+  List.sort
+    (fun (a, b) (c, d) ->
+      match String.compare a c with 0 -> String.compare b d | n -> n)
+    (List.map (fun f -> (f.Check.id, f.Check.location)) fs)
+
+let prop_por_differential =
+  QCheck.Test.make
+    ~name:"POR-on = POR-off: identical verdicts and findings" ~count:10
+    QCheck.(triple small_nat small_nat small_nat)
+    (fun triple ->
+      let edited = edited_ir triple in
+      let on = Explore.run ~bound:1500 ~por:true ~graph:(fig1 ()) edited in
+      let off = Explore.run ~bound:1500 ~por:false ~graph:(fig1 ()) edited in
+      (* The soundness claim is about complete explorations: if either
+         side hit the bound the verdict sets may legitimately diverge
+         (Truncated vs a late detection), so the property degrades to
+         totality for that sample. *)
+      if on.Explore.stats.Explore.truncated || off.Explore.stats.Explore.truncated
+      then true
+      else
+        normalized_verdicts on = normalized_verdicts off
+        && finding_keys on.Explore.findings = finding_keys off.Explore.findings
+        && List.sort String.compare on.Explore.covered_states
+           = List.sort String.compare off.Explore.covered_states)
+
+(* --- parallel fan-out: domains do not change the outcome --------------- *)
+
+let test_parallel_matches_sequential () =
+  (* Scenarios are independent by construction; the merge is deterministic
+     in scenario order, so everything except wall-clock must be bit-equal.
+     [~domains:4] forces real Domain.spawn even on a single-core runner. *)
+  let seq = Explore.run ~domains:1 ~graph:(fig1 ()) ir in
+  let par = Explore.run ~domains:4 ~graph:(fig1 ()) ir in
+  check Alcotest.bool "verdicts identical (witnesses included)" true
+    (seq.Explore.verdicts = par.Explore.verdicts);
+  check Alcotest.bool "findings identical" true
+    (seq.Explore.findings = par.Explore.findings);
+  check (Alcotest.list Alcotest.string) "covered states identical"
+    seq.Explore.covered_states par.Explore.covered_states;
+  check Alcotest.int "states identical"
+    seq.Explore.stats.Explore.states_explored
+    par.Explore.stats.Explore.states_explored;
+  check Alcotest.int "frontier peak identical"
+    seq.Explore.stats.Explore.frontier_peak
+    par.Explore.stats.Explore.frontier_peak;
+  check Alcotest.bool "neither truncated" false
+    (seq.Explore.stats.Explore.truncated
+    || par.Explore.stats.Explore.truncated)
+
+(* --- model checking at scale: the 4x4 torus (n = 16) ------------------- *)
+
+let torus_4x4 () =
+  let rng = Damd_util.Rng.create 42 in
+  Gen.torus ~rows:4 ~cols:4
+    ~costs:(Gen.draw_costs rng (Gen.Uniform_int (1, 10)) 16)
+
+let test_explore_torus_scale () =
+  (* The full §4.3 catalogue on n=16 — an order of magnitude past the
+     seed's fig1 run (16,222 canonical states pre-reduction). POR-off
+     pins the raw product size; POR-on must reach the same verdicts
+     (same depths, same certifiers) over a far smaller state set. *)
+  let on = Explore.run ~bound:1_000_000 ~por:true ~graph:(torus_4x4 ()) ir in
+  let off = Explore.run ~bound:1_000_000 ~por:false ~graph:(torus_4x4 ()) ir in
+  check Alcotest.bool "POR-off not truncated" false
+    off.Explore.stats.Explore.truncated;
+  check Alcotest.bool "POR-on not truncated" false
+    on.Explore.stats.Explore.truncated;
+  check Alcotest.bool "unreduced space is >= 10x the seed's fig1 run" true
+    (off.Explore.stats.Explore.states_explored >= 162_220);
+  check Alcotest.bool "reduction shrinks the space" true
+    (on.Explore.stats.Explore.states_explored
+    < off.Explore.stats.Explore.states_explored / 2);
+  check Alcotest.bool "POR is actually active at n=16" true
+    on.Explore.stats.Explore.por;
+  check Alcotest.bool "verdicts agree (witnesses normalized)" true
+    (normalized_verdicts on = normalized_verdicts off);
+  check (Alcotest.list Alcotest.string) "no findings at n=16" []
+    (finding_ids on.Explore.findings);
+  List.iter
+    (fun (d, v) ->
+      match v with
+      | Explore.Detected _ | Explore.Exempt _ -> ()
+      | _ -> Alcotest.failf "%s not detected at n=16" (Dev.to_string d))
+    on.Explore.verdicts
+
+(* --- the TLA+ backend --------------------------------------------------- *)
+
+module Tla = Damd_speccheck.Tla
+
+let test_tla_emission_shape () =
+  let m = Tla.emit ir in
+  List.iter
+    (fun needle ->
+      check Alcotest.bool ("module contains " ^ needle) true
+        (Astring.String.is_infix ~affix:needle m))
+    [
+      "MODULE extended_fpss";
+      "DetectionComplete";
+      "NoFalseAccusation";
+      "Checkpoint ==";
+      "Deviant ==";
+      "NPhases == 4";
+      "\"" ^ ir.Ir.initial ^ "\"";
+    ];
+  (* deterministic: emission is a pure function of the IR *)
+  check Alcotest.string "emission is deterministic" m (Tla.emit ir)
+
+let test_tla_target_covered_sets () =
+  (* The state-level view of the target mask: miscompute-routing targets
+     exactly the routing-computation state, and with an honest
+     neighborhood the mirror check covers it (CoveredStates = targets).
+     An isolated neighborhood drops the coverage, never the target. *)
+  let dev = Dev.Miscompute_routing in
+  check (Alcotest.list Alcotest.string) "targets" [ "routing-compute" ]
+    (Tla.target_states ir dev);
+  check (Alcotest.list Alcotest.string) "covered (honest)"
+    [ "routing-compute" ]
+    (Tla.covered_states ir dev ~honest:true);
+  List.iter
+    (fun d ->
+      let t = Tla.target_states ir d in
+      let c = Tla.covered_states ir d ~honest:true in
+      check Alcotest.bool
+        (Dev.to_string d ^ ": covered subset of targets")
+        true
+        (List.for_all (fun s -> List.mem s t) c))
+    Dev.all;
+  check Alcotest.string "module-name sanitization" "extended_fpss"
+    (Tla.sanitize ir.Ir.name)
 
 (* --- the verify driver -------------------------------------------------- *)
 
@@ -587,6 +738,17 @@ let suites =
         Alcotest.test_case "covers the suggested chain" `Quick
           test_explore_covers_suggested_chain;
         QCheck_alcotest.to_alcotest prop_explore_total;
+        QCheck_alcotest.to_alcotest prop_por_differential;
+        Alcotest.test_case "parallel fan-out matches sequential" `Quick
+          test_parallel_matches_sequential;
+        Alcotest.test_case "4x4 torus at scale (POR on = POR off)" `Slow
+          test_explore_torus_scale;
+      ] );
+    ( "speccheck.tla",
+      [
+        Alcotest.test_case "emission shape" `Quick test_tla_emission_shape;
+        Alcotest.test_case "target and covered sets" `Quick
+          test_tla_target_covered_sets;
       ] );
     ( "speccheck.verify",
       [
