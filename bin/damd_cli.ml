@@ -434,14 +434,16 @@ let run_lint topology seed mutate json_path list_mutations =
   let module Lint = Speccheck.Lint in
   if list_mutations then
     List.iter
-      (fun (name, finding) ->
-        Printf.printf "%-22s lint:%-22s verify:%s\n" name finding
-          (Option.value ~default:"-" (Speccheck.Mutate.expected_verify name)))
-      Speccheck.Mutate.all
+      (fun name ->
+        Printf.printf "%-28s lint:%-22s verify:%-22s analyze:%s\n" name
+          (Option.value ~default:"-" (Speccheck.Mutate.expected name))
+          (Option.value ~default:"-" (Speccheck.Mutate.expected_verify name))
+          (Option.value ~default:"-" (Speccheck.Mutate.expected_analyze name)))
+      Speccheck.Mutate.names
   else begin
     let g = parse_topology topology seed in
     (match mutate with
-    | Some m when Speccheck.Mutate.expected m = None ->
+    | Some m when not (Speccheck.Mutate.known m) ->
         raise
           (Invalid_argument
              (Printf.sprintf
@@ -512,7 +514,7 @@ let run_verify topology seed mutate json_path bound por_s domains key_audit
   let module Verify = Speccheck.Verify in
   let g = parse_topology topology seed in
   (match mutate with
-  | Some m when Speccheck.Mutate.expected m = None ->
+  | Some m when not (Speccheck.Mutate.known m) ->
       raise
         (Invalid_argument
            (Printf.sprintf
@@ -643,6 +645,146 @@ let key_audit_arg =
           "Cross-check every packed dedup key against the structural \
            canonical key and abort on a collision (codec regression \
            tripwire; roughly doubles exploration memory).")
+
+(* --- the static analyzer --- *)
+
+let run_analyze topology seed mutate json_path bound differential
+    explore_bound trace_out =
+  let module Speccheck = Damd_speccheck in
+  let module Check = Speccheck.Check in
+  let module Absint = Speccheck.Absint in
+  let module Analyze = Speccheck.Analyze in
+  let g = parse_topology topology seed in
+  (match mutate with
+  | Some m when not (Speccheck.Mutate.known m) ->
+      raise
+        (Invalid_argument
+           (Printf.sprintf
+              "unknown mutation %S (see `damd lint --list-mutations`)" m))
+  | _ -> ());
+  let obs =
+    match trace_out with None -> Obs.noop | Some _ -> Obs.memory ()
+  in
+  let report =
+    Analyze.run ~adversary:Adversary.all_labels ?mutation:mutate ~bound
+      ~differential ~explore_bound ~obs ~graph:g ~topology
+      Damd_speccheck.Fpss_spec.ir
+  in
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+      write_trace
+        ~meta:
+          [
+            ("command", Json.String "analyze");
+            ("topology", Json.String topology);
+            ("seed", Json.Int seed);
+            ("differential", Json.Bool differential);
+          ]
+        ~path obs);
+  Printf.printf "analyze: spec %s, topology %s%s\n" report.Analyze.spec
+    topology
+    (match mutate with Some m -> ", mutation " ^ m | None -> "");
+  let res = report.Analyze.result in
+  Printf.printf "abstract states: %d in %.4fs; blind spots: %d%s\n"
+    res.Absint.states_explored res.Absint.elapsed_s
+    (Analyze.blind_spots report)
+    (match Analyze.frontier_sound report with
+    | None -> ""
+    | Some b -> Printf.sprintf "; frontier sound vs exploration: %b" b);
+  print_newline ();
+  let ft = Table.create [ "action"; "taint"; "flow path" ] in
+  List.iter
+    (fun sm ->
+      Table.add_row ft
+        [
+          sm.Absint.sm_action;
+          Speccheck.Taint.to_string sm.Absint.sm_out;
+          String.concat " -> " sm.Absint.sm_path;
+        ])
+    res.Absint.flows;
+  Table.print ft;
+  print_newline ();
+  let vt =
+    Table.create [ "deviation"; "static verdict"; "certifier"; "distance" ]
+  in
+  List.iter
+    (fun fr ->
+      let verdict =
+        match fr.Absint.fr_verdict with
+        | Absint.Scertified { depth; certifier; _ } ->
+            Printf.sprintf "certified (depth %d, %s)" depth
+              (Option.value ~default:"progress timeout" certifier)
+        | Absint.Sblind _ -> "BLIND"
+        | Absint.Sexempt _ -> "exempt"
+        | Absint.Struncated -> "truncated"
+      in
+      Table.add_row vt
+        [
+          Speccheck.Dev.to_string fr.Absint.fr_dev;
+          verdict;
+          (match (fr.Absint.fr_certifier, fr.Absint.fr_phase) with
+          | Some c, Some p -> Printf.sprintf "%s @ %s" c p
+          | Some c, None -> c
+          | None, _ -> "-");
+          (match fr.Absint.fr_distance with
+          | Some d -> string_of_int d
+          | None -> "-");
+        ])
+    res.Absint.frontier;
+  Table.print vt;
+  if report.Analyze.findings = [] then print_endline "no findings"
+  else begin
+    let t = Table.create [ "id"; "severity"; "location"; "explanation" ] in
+    List.iter
+      (fun (f : Check.finding) ->
+        Table.add_row t
+          [
+            f.Check.id;
+            Check.severity_to_string f.Check.severity;
+            f.Check.location;
+            f.Check.message;
+          ])
+      report.Analyze.findings;
+    Table.print t
+  end;
+  Printf.printf "%d error(s)\n" (Analyze.error_count report);
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      Damd_util.Json.to_file path (Analyze.to_json report);
+      Printf.printf "report written to %s (schema damd-analyze/1)\n" path);
+  exit (Analyze.exit_code report)
+
+let analyze_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Write the damd-analyze/1 report here.")
+
+let analyze_bound_arg =
+  Arg.(
+    value & opt int 200_000
+    & info [ "bound" ] ~docv:"N"
+        ~doc:"Per-scenario abstract-state cap (safety net; the two-seat \
+              abstraction stays far below it).")
+
+let differential_arg =
+  Arg.(
+    value & flag
+    & info [ "differential" ]
+        ~doc:
+          "Also run the bounded exploration and cross-check the static \
+           frontier against the measured detection depths: any verdict-kind \
+           disagreement or static depth exceeding the dynamic one is a \
+           static-frontier-gap error.")
+
+let explore_bound_arg =
+  Arg.(
+    value & opt int 50_000
+    & info [ "explore-bound" ] ~docv:"N"
+        ~doc:"Per-scenario canonical-state cap for the --differential \
+              exploration run.")
 
 (* --- the TLA+ backend --- *)
 
@@ -1033,6 +1175,21 @@ let verify_cmd =
       const run_verify $ topology $ seed $ mutate_arg $ verify_json_arg
       $ bound_arg $ por_arg $ domains_arg $ key_audit_arg $ trace_out_arg)
 
+let analyze_cmd =
+  let doc =
+    "statically derive the detection frontier: a whole-program abstract \
+     interpretation of the spec IR computing flow-sensitive \
+     information-flow summaries (witnessed CC/AC violations a syntactic \
+     scan cannot see) and, per deviation, the earliest checkpoint whose \
+     certifier's evidence depends on what the deviation perturbs — \
+     optionally cross-checked against the exploration layer"
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(
+      const run_analyze $ topology $ seed $ mutate_arg $ analyze_json_arg
+      $ analyze_bound_arg $ differential_arg $ explore_bound_arg
+      $ trace_out_arg)
+
 let tla_cmd =
   let doc =
     "emit the spec IR as a TLC-checkable TLA+ module (states, suggested \
@@ -1112,6 +1269,7 @@ let cmd =
       gauntlet_cmd;
       lint_cmd;
       verify_cmd;
+      analyze_cmd;
       tla_cmd;
       trace_cmd;
     ]

@@ -105,6 +105,13 @@ val covered_action : Ir.action -> honest:bool -> bool
     deviant's checker neighborhood contains an honest node? Exposed for
     the [Tla] backend, which must emit the same evidence model. *)
 
+val exemptions : (Dev.t * string) list
+(** Deviations the checking story does not claim, with the reason —
+    [Misreport_cost] (neutralized by VCG strategyproofness, not by
+    checkers) and [Lying_checker] (a checker-role no-op in isolation).
+    Exposed so [Absint]'s static frontier exempts exactly the same
+    labels the exploration does. *)
+
 val run :
   ?bound:int ->
   ?adversary:Dev.t list ->

@@ -18,7 +18,7 @@ let run ?adversary ?mutation ~graph ~topology ir =
             raise
               (Invalid_argument
                  (Printf.sprintf "unknown mutation %S (expected one of %s)" name
-                    (String.concat " | " (List.map fst Mutate.all)))))
+                    (String.concat " | " Mutate.names))))
   in
   let findings = Check.check_ir ?adversary ir @ Check.check_topology graph in
   { spec = ir.Ir.name; topology; mutation; findings }
@@ -29,24 +29,6 @@ let exit_code r = if error_count r = 0 then 0 else 1
 
 let to_json r =
   Json.Obj
-    [
-      ("schema", Json.String "damd-lint/1");
-      ("spec", Json.String r.spec);
-      ("topology", Json.String r.topology);
-      ( "mutation",
-        match r.mutation with None -> Json.Null | Some m -> Json.String m );
-      ("errors", Json.Int (error_count r));
-      ( "findings",
-        Json.List
-          (List.map
-             (fun (f : Check.finding) ->
-               Json.Obj
-                 [
-                   ("id", Json.String f.Check.id);
-                   ( "severity",
-                     Json.String (Check.severity_to_string f.Check.severity) );
-                   ("location", Json.String f.Check.location);
-                   ("explanation", Json.String f.Check.message);
-                 ])
-             r.findings) );
-    ]
+    (Report.provenance ~schema:"damd-lint/1" ~spec:r.spec ~topology:r.topology
+       ~mutation:r.mutation ~errors:(error_count r)
+    @ [ ("findings", Report.findings_json r.findings) ])

@@ -36,6 +36,34 @@ let all_verify =
 
 let expected_verify name = List.assoc_opt name all_verify
 
+(* The static-analysis counterpart: the finding [Analyze.run] must produce
+   for each mutation. The last three mutations are invisible to the
+   syntactic checks (lint exits 0 on them) and exist precisely to exercise
+   the flow-sensitive layer: a private value laundered through an
+   intermediate computation, a leak through the digest channel, and a
+   checkpoint whose evidence sources are silently defanged. *)
+let all_analyze =
+  [
+    ("drop-checkpoint", "certifier-blind-spot");
+    ("unclassify-action", "certifier-blind-spot");
+    ("orphan-deviation", "certifier-blind-spot");
+    ("leak-private-info", "cc-private-leak-flow");
+    ("unmirror-computation", "ac-unmirrored-flow");
+    ("undigest-computation", "ac-undigested-flow");
+    ("cut-checker-edge", "certifier-blind-spot");
+    ("dead-state", "unexplored-state");
+    ("loop-forever", "phase-reentry");
+    ("launder-private-taint", "cc-private-leak-flow");
+    ("private-digest-channel", "cc-private-leak-flow");
+    ("starve-checkpoint-evidence", "checkpoint-starved");
+  ]
+
+let expected_analyze name = List.assoc_opt name all_analyze
+
+let names = List.map fst all_analyze
+
+let known name = List.mem_assoc name all_analyze
+
 let map_action id f (ir : Ir.t) =
   {
     ir with
@@ -106,6 +134,33 @@ let apply name ((ir : Ir.t), g) =
             ir,
           g )
   | "cut-checker-edge" -> Some (ir, cut_checker_edge g)
+  | "launder-private-taint" ->
+      (* the private cost flows into the mirrored routing computation,
+         whose output then reaches later message-passing actions through
+         protocol state — every individual declaration still looks
+         innocent, so the syntactic CC scan stays silent *)
+      Some
+        ( map_action "recompute-routing"
+            (fun a -> { a with Ir.inputs = Ir.Private_info :: a.Ir.inputs })
+            ir,
+          g )
+  | "private-digest-channel" ->
+      (* same laundering, but through the bank-digest reporting channel *)
+      Some
+        ( map_action "report-digests"
+            (fun a -> { a with Ir.inputs = Ir.Private_info :: a.Ir.inputs })
+            ir,
+          g )
+  | "starve-checkpoint-evidence" ->
+      (* construction-1 keeps its DATA1 certifier, but both of the phase's
+         evidence sources are defanged: the cost announcement loses its
+         digest and the flood loses its enforcement rule — syntactically
+         legal (digests and rules are optional), statically fatal *)
+      Some
+        ( map_action "declare-cost"
+            (fun a -> { a with Ir.digested = false })
+            (map_action "flood-costs" (fun a -> { a with Ir.rules = [] }) ir),
+          g )
   | "dead-state" -> Some ({ ir with Ir.states = ir.Ir.states @ [ "limbo" ] }, g)
   | "loop-forever" ->
       (* suggested play at the halting state loops back into execution *)

@@ -24,6 +24,26 @@ val all_verify : (string * string) list
 val expected_verify : string -> string option
 (** The verify-layer finding id for a mutation, if the mutation exists. *)
 
+val all_analyze : (string * string) list
+(** [(mutation name, expected analyze finding id)] — the flow-sensitive or
+    frontier finding [Analyze.run] must produce. A *superset* of [all]'s
+    key set: the last entries are mutations invisible to the syntactic
+    checks (lint exits 0) that only the abstract interpreter catches —
+    private taint laundered through an intermediate computation
+    ([launder-private-taint]), a leak through the digest channel
+    ([private-digest-channel]), and a certifier stripped of every covered
+    evidence source ([starve-checkpoint-evidence]). *)
+
+val expected_analyze : string -> string option
+(** The analyze-layer finding id for a mutation, if the mutation exists. *)
+
+val names : string list
+(** Every mutation name, in [all_analyze] order — the full corpus the
+    three subcommands accept. *)
+
+val known : string -> bool
+(** Whether [apply] recognizes the name. *)
+
 val apply :
   string -> Ir.t * Damd_graph.Graph.t -> (Ir.t * Damd_graph.Graph.t) option
 (** Apply a named mutation to a (spec, lint topology) pair. [None] for an

@@ -1,0 +1,22 @@
+module Json = Damd_util.Json
+
+let finding_json (f : Check.finding) =
+  Json.Obj
+    [
+      ("id", Json.String f.Check.id);
+      ("severity", Json.String (Check.severity_to_string f.Check.severity));
+      ("location", Json.String f.Check.location);
+      ("explanation", Json.String f.Check.message);
+    ]
+
+let findings_json findings = Json.List (List.map finding_json findings)
+
+let provenance ~schema ~spec ~topology ~mutation ~errors =
+  [
+    ("schema", Json.String schema);
+    ("spec", Json.String spec);
+    ("topology", Json.String topology);
+    ( "mutation",
+      match mutation with None -> Json.Null | Some m -> Json.String m );
+    ("errors", Json.Int errors);
+  ]

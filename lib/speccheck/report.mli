@@ -1,0 +1,22 @@
+(** The shared findings-JSON emitter behind the three report schemas.
+
+    [damd-lint/1], [damd-verify/1], and [damd-analyze/1] documents all
+    carry the same provenance head (schema tag, spec, topology, applied
+    mutation, error count) and render findings with the same four-field
+    record; this module is the single implementation so the three
+    subcommands cannot drift apart. *)
+
+val finding_json : Check.finding -> Damd_util.Json.t
+(** One finding as the canonical [{id; severity; location; explanation}]
+    record. *)
+
+val findings_json : Check.finding list -> Damd_util.Json.t
+
+val provenance :
+  schema:string ->
+  spec:string ->
+  topology:string ->
+  mutation:string option ->
+  errors:int ->
+  (string * Damd_util.Json.t) list
+(** The common document head, in field order. *)

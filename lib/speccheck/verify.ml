@@ -27,7 +27,7 @@ let run ?adversary ?mutation ?bound ?obs ?por ?domains ?audit ~observed ~graph
             raise
               (Invalid_argument
                  (Printf.sprintf "unknown mutation %S (expected one of %s)" name
-                    (String.concat " | " (List.map fst Mutate.all)))))
+                    (String.concat " | " Mutate.names))))
   in
   let static = Check.check_ir ?adversary ir @ Check.check_topology graph in
   let flow_findings = Taint.check ir ~observed in
@@ -87,13 +87,9 @@ let verdict_json v =
 
 let to_json r =
   Json.Obj
-    [
-      ("schema", Json.String "damd-verify/1");
-      ("spec", Json.String r.spec);
-      ("topology", Json.String r.topology);
-      ( "mutation",
-        match r.mutation with None -> Json.Null | Some m -> Json.String m );
-      ("errors", Json.Int (error_count r));
+    (Report.provenance ~schema:"damd-verify/1" ~spec:r.spec
+       ~topology:r.topology ~mutation:r.mutation ~errors:(error_count r)
+    @ [
       ( "stats",
         Json.Obj
           [
@@ -146,17 +142,5 @@ let to_json r =
                    ("verdict", verdict_json v);
                  ])
              r.verdicts) );
-      ( "findings",
-        Json.List
-          (List.map
-             (fun (f : Check.finding) ->
-               Json.Obj
-                 [
-                   ("id", Json.String f.Check.id);
-                   ( "severity",
-                     Json.String (Check.severity_to_string f.Check.severity) );
-                   ("location", Json.String f.Check.location);
-                   ("explanation", Json.String f.Check.message);
-                 ])
-             r.findings) );
-    ]
+      ("findings", Report.findings_json r.findings);
+    ])

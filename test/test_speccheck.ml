@@ -18,6 +18,8 @@ module Taint = Damd_speccheck.Taint
 module Dev = Damd_speccheck.Dev
 module Explore = Damd_speccheck.Explore
 module Verify = Damd_speccheck.Verify
+module Absint = Damd_speccheck.Absint
+module Analyze = Damd_speccheck.Analyze
 module Adversary = Damd_faithful.Adversary
 module Flow = Damd_faithful.Flow
 
@@ -691,6 +693,175 @@ let test_verify_table_consistent () =
   check Alcotest.(option string) "unknown mutation" None
     (Mutate.expected_verify "no-such-mutation")
 
+(* --- the static analyzer (abstract interpretation) ---------------------- *)
+
+let analyze ?mutation ?(differential = false) () =
+  Analyze.run ~adversary:Adversary.all_labels ?mutation ~differential
+    ~graph:(fig1 ()) ~topology:"fig1" ir
+
+let test_analyze_stock () =
+  let r = analyze () in
+  check Alcotest.int "zero errors" 0 (Analyze.error_count r);
+  check Alcotest.int "exit 0" 0 (Analyze.exit_code r);
+  check (Alcotest.list Alcotest.string) "no findings" []
+    (finding_ids r.Analyze.findings);
+  check Alcotest.int "zero blind spots" 0 (Analyze.blind_spots r);
+  check Alcotest.(option bool) "no differential ran" None
+    (Analyze.frontier_sound r);
+  check Alcotest.int "one frontier entry per non-faithful label"
+    (List.length (List.filter (fun d -> d <> Dev.Faithful) Adversary.all_labels))
+    (List.length r.Analyze.result.Absint.frontier);
+  check Alcotest.bool "abstract states were explored" true
+    (r.Analyze.result.Absint.states_explored > 0);
+  (* the paper's by-design exemptions survive the abstraction, and every
+     other label gets a positive certified depth *)
+  List.iter
+    (fun (f : Absint.frontier) ->
+      match f.Absint.fr_verdict with
+      | Absint.Sexempt _ ->
+          check Alcotest.bool
+            (Dev.to_string f.Absint.fr_dev ^ ": exemption is by design")
+            true
+            (List.mem_assoc f.Absint.fr_dev Explore.exemptions)
+      | Absint.Scertified { depth; _ } ->
+          check Alcotest.bool
+            (Dev.to_string f.Absint.fr_dev ^ ": positive static depth")
+            true (depth > 0)
+      | Absint.Sblind _ | Absint.Struncated ->
+          Alcotest.failf "%s not statically certified"
+            (Dev.to_string f.Absint.fr_dev))
+    r.Analyze.result.Absint.frontier;
+  (* flow layer: the only private output on the stock spec is the
+     post-settlement payment report — everything pre-settlement is public *)
+  List.iter
+    (fun (s : Absint.summary) ->
+      let expected =
+        if s.Absint.sm_action = "report-payments" then Taint.Private
+        else Taint.Public
+      in
+      check Alcotest.bool
+        (s.Absint.sm_action ^ ": expected taint") true
+        (s.Absint.sm_out = expected))
+    r.Analyze.result.Absint.flows
+
+let test_analyze_differential_stock () =
+  let r = analyze ~differential:true () in
+  check Alcotest.(option bool) "frontier sound vs exploration" (Some true)
+    (Analyze.frontier_sound r);
+  check (Alcotest.list Alcotest.string) "no findings, no gaps" []
+    (finding_ids r.Analyze.findings);
+  (* the soundness inequality, label by label: static depth is a lower
+     bound on the measured BFS detection depth *)
+  let dyn = Lazy.force stock_outcome in
+  List.iter
+    (fun (f : Absint.frontier) ->
+      match
+        (f.Absint.fr_verdict, List.assoc_opt f.Absint.fr_dev dyn.Explore.verdicts)
+      with
+      | Absint.Scertified { depth = ds; _ }, Some (Explore.Detected { depth = dd; _ })
+        ->
+          check Alcotest.bool
+            (Printf.sprintf "%s: static %d <= dynamic %d"
+               (Dev.to_string f.Absint.fr_dev) ds dd)
+            true (ds <= dd)
+      | Absint.Sexempt _, Some (Explore.Exempt _) -> ()
+      | v, d ->
+          Alcotest.failf "%s: verdict kinds diverge (%s vs %s)"
+            (Dev.to_string f.Absint.fr_dev)
+            (match v with
+            | Absint.Scertified _ -> "certified"
+            | Absint.Sblind _ -> "blind"
+            | Absint.Sexempt _ -> "exempt"
+            | Absint.Struncated -> "truncated")
+            (match d with
+            | Some (Explore.Detected _) -> "detected"
+            | Some (Explore.Undetected _) -> "undetected"
+            | Some (Explore.Exempt _) -> "exempt"
+            | Some Explore.Truncated -> "truncated"
+            | None -> "absent"))
+    r.Analyze.result.Absint.frontier
+
+let test_analyze_mutations_fire () =
+  List.iter
+    (fun (name, analyze_id) ->
+      (* differential on: besides firing the expected static finding,
+         the frontier must stay sound against the measured exploration
+         of the same mutated spec — zero static-frontier-gap anywhere
+         in the corpus *)
+      let r = analyze ~mutation:name ~differential:true () in
+      let ids = finding_ids r.Analyze.findings in
+      check Alcotest.bool (name ^ ": static finding " ^ analyze_id) true
+        (List.mem analyze_id ids);
+      check Alcotest.int (name ^ ": exit 1") 1 (Analyze.exit_code r);
+      check Alcotest.bool (name ^ ": no static-frontier-gap") false
+        (List.mem "static-frontier-gap" ids);
+      check Alcotest.(option bool) (name ^ ": frontier sound") (Some true)
+        (Analyze.frontier_sound r))
+    Mutate.all_analyze
+
+let test_analyze_flow_only_mutations_invisible_to_lint () =
+  (* The whole point of the flow-sensitive upgrade: these three
+     mutations keep every syntactic declaration well-formed, so the
+     lint layer passes them — only the taint fixpoint sees the leak,
+     the laundering chain, or the starved evidence ledger. *)
+  List.iter
+    (fun name ->
+      let r =
+        Lint.run ~adversary:Adversary.all_labels ~mutation:name
+          ~graph:(fig1 ()) ~topology:"fig1" ir
+      in
+      check Alcotest.int (name ^ ": lint-clean") 0 (Lint.error_count r);
+      let a = analyze ~mutation:name () in
+      check Alcotest.int (name ^ ": analyze catches it") 1
+        (Analyze.exit_code a))
+    [ "launder-private-taint"; "private-digest-channel";
+      "starve-checkpoint-evidence" ]
+
+let test_analyze_table_consistent () =
+  check (Alcotest.list Alcotest.string) "names cover the analyze corpus"
+    (List.map fst Mutate.all_analyze)
+    Mutate.names;
+  List.iter
+    (fun (name, id) ->
+      check Alcotest.(option string) name (Some id)
+        (Mutate.expected_analyze name);
+      check Alcotest.bool (name ^ ": known") true (Mutate.known name))
+    Mutate.all_analyze;
+  check Alcotest.(option string) "unknown mutation" None
+    (Mutate.expected_analyze "no-such-mutation");
+  check Alcotest.bool "unknown mutation not known" false
+    (Mutate.known "no-such-mutation");
+  (* the lint/verify corpora are strict prefixes of the analyze corpus:
+     every behavioral mutation also has a static expectation *)
+  List.iter
+    (fun (name, _) ->
+      check Alcotest.bool (name ^ ": has analyze expectation") true
+        (Mutate.expected_analyze name <> None))
+    Mutate.all
+
+(* QCheck: the differential on randomly edited IRs. Whenever both engines
+   complete, the static frontier must stay sound — static depth a lower
+   bound wherever Explore detects, and [Sblind] (certifier-blind-spot)
+   exactly where Explore reports Undetected. [Absint.differential] is
+   that statement; an empty finding list is the pass. *)
+let prop_absint_frontier_sound =
+  QCheck.Test.make
+    ~name:"static frontier sound on edited IRs (differential empty)"
+    ~count:15
+    QCheck.(triple small_nat small_nat small_nat)
+    (fun triple ->
+      let edited = edited_ir triple in
+      let dyn = Explore.run ~bound:1500 ~graph:(fig1 ()) edited in
+      let st = Absint.run ~graph:(fig1 ()) edited in
+      if dyn.Explore.stats.Explore.truncated then true
+      else
+        match Absint.differential st dyn with
+        | [] -> true
+        | gaps ->
+            QCheck.Test.fail_reportf "frontier gaps: %s"
+              (String.concat "; "
+                 (List.map (fun f -> f.Check.message) gaps)))
+
 let suites =
   [
     ( "speccheck.check",
@@ -757,5 +928,18 @@ let suites =
           test_verify_mutations_fire;
         Alcotest.test_case "verify table consistent" `Quick
           test_verify_table_consistent;
+      ] );
+    ( "speccheck.analyze",
+      [
+        Alcotest.test_case "stock static report" `Quick test_analyze_stock;
+        Alcotest.test_case "differential sound on stock" `Quick
+          test_analyze_differential_stock;
+        Alcotest.test_case "mutations fire statically" `Quick
+          test_analyze_mutations_fire;
+        Alcotest.test_case "flow-only mutations invisible to lint" `Quick
+          test_analyze_flow_only_mutations_invisible_to_lint;
+        Alcotest.test_case "analyze table consistent" `Quick
+          test_analyze_table_consistent;
+        QCheck_alcotest.to_alcotest prop_absint_frontier_sound;
       ] );
   ]

@@ -1,0 +1,184 @@
+#!/usr/bin/env bash
+# srclint — the repo's determinism and hygiene source gate.
+#
+# Grown from test/check_float_compare.sh into the full rule table of
+# DESIGN.md §17. Every rule greps the OCaml sources for a construct that
+# silently breaks the repo's reproducibility or evidence-model contracts;
+# a same-line waiver comment (`poly-ok:` for the compare rules, the shared
+# `srclint-ok:` for everything else) documents an audited exception.
+#
+# Rule table:
+#   poly-compare   bare polymorphic `compare` as a sort comparator or on
+#                  record fields (floats order wrong on nan; the element
+#                  type is hidden from the reader)           [lib/]
+#   wallclock      Unix.gettimeofday / Sys.time outside lib/obs — every
+#                  timestamp must flow through Damd_obs.Clock so traces
+#                  and benches stay monotonic and mockable   [lib/ bin/]
+#   self-init      Random.self_init — unseeded randomness breaks replay
+#                  (gauntlet campaigns and QCheck shrinkers are seeds)
+#   poly-hash      Hashtbl.hash in lib/ — the polymorphic hash walks
+#                  structure (floats, cycles) and varies across OCaml
+#                  versions; state keys must use the typed Statepack /
+#                  string paths
+#   marshal        Marshal in lib/ bin/ — no closure/abstract-block
+#                  serialization in protocol or report paths; the JSON
+#                  schemas are the only wire formats
+#
+# Usage: srclint.sh LIB_DIR BIN_DIR
+#        srclint.sh --selftest   (seed one violation per rule in a temp
+#                                 tree and assert each one fails)
+set -u
+
+fail() {
+  echo "srclint: $1 (waive with a same-line '$2' comment):"
+  echo "  $3"
+}
+
+# scan DESCRIPTION WAIVER PATTERN DIR...
+# Greps .ml/.ml4/.ml5 sources under the given dirs; unwaived hits fail.
+scan() {
+  local descr="$1" waiver="$2" pat="$3"
+  shift 3
+  local status=0
+  while IFS= read -r hit; do
+    case "$hit" in
+    *"$waiver"*) ;;
+    *)
+      fail "$descr" "$waiver" "$hit"
+      status=1
+      ;;
+    esac
+  done < <(grep -rnE --include='*.ml' --include='*.ml4' --include='*.ml5' \
+    -e "$pat" "$@" 2>/dev/null)
+  return "$status"
+}
+
+run_rules() {
+  local lib_dir="$1" bin_dir="$2" status=0
+
+  # poly-compare (the original float-compare gate, verbatim patterns)
+  local pat1='(List|Array|Hashtbl)\.(stable_)?sort(_uniq)?[[:space:]]+compare([^_[:alnum:]]|$)'
+  local pat2='(^|[^._[:alnum:]])compare[[:space:]]+[a-z_][[:alnum:]_]*\.[a-z_]'
+  scan "bare polymorphic compare" "poly-ok:" "$pat1" "$lib_dir" || status=1
+  scan "bare polymorphic compare" "poly-ok:" "$pat2" "$lib_dir" || status=1
+
+  # wallclock: lib/ (minus lib/obs, which implements the clock) and bin/
+  local wall='Unix\.gettimeofday|Sys\.time[^r_[:alnum:]]|Sys\.time$'
+  local d
+  for d in "$lib_dir"/*/; do
+    case "$d" in
+    */obs/) ;;
+    *) scan "wall-clock read outside lib/obs" "srclint-ok:" "$wall" "$d" || status=1 ;;
+    esac
+  done
+  scan "wall-clock read outside lib/obs" "srclint-ok:" "$wall" "$bin_dir" || status=1
+
+  # self-init: everywhere we scan
+  scan "unseeded Random.self_init" "srclint-ok:" 'Random\.self_init' \
+    "$lib_dir" "$bin_dir" || status=1
+
+  # poly-hash: lib/ only (tests may hash scalars freely)
+  scan "polymorphic Hashtbl.hash" "srclint-ok:" 'Hashtbl\.hash' \
+    "$lib_dir" || status=1
+
+  # marshal: lib/ and bin/
+  scan "Marshal serialization" "srclint-ok:" 'Marshal\.' \
+    "$lib_dir" "$bin_dir" || status=1
+
+  return "$status"
+}
+
+selftest() {
+  local tmp
+  tmp="$(mktemp -d "${TMPDIR:-/tmp}/srclint-selftest.XXXXXX")" || exit 2
+  trap 'rm -rf "$tmp"' EXIT
+  mkdir -p "$tmp/lib/core" "$tmp/lib/obs" "$tmp/bin"
+
+  local failures=0
+
+  # expect_fail NAME FILE CONTENT
+  expect_fail() {
+    local name="$1" file="$2" content="$3"
+    printf '%s\n' "$content" >"$file"
+    if run_rules "$tmp/lib" "$tmp/bin" >/dev/null 2>&1; then
+      echo "selftest: seeded $name violation NOT caught"
+      failures=$((failures + 1))
+    else
+      echo "selftest: $name fires"
+    fi
+    rm -f "$file"
+  }
+
+  # clean tree passes
+  printf 'let t = Damd_obs.Clock.now_ns ()\n' >"$tmp/lib/core/ok.ml"
+  if ! run_rules "$tmp/lib" "$tmp/bin" >/dev/null 2>&1; then
+    echo "selftest: clean tree unexpectedly fails"
+    failures=$((failures + 1))
+  else
+    echo "selftest: clean tree passes"
+  fi
+
+  expect_fail poly-compare-sort "$tmp/lib/core/bad.ml" \
+    'let xs = List.sort compare ys'
+  expect_fail poly-compare-field "$tmp/lib/core/bad.ml" \
+    'let c = compare a.cost b.cost'
+  expect_fail wallclock-lib "$tmp/lib/core/bad.ml" \
+    'let t0 = Unix.gettimeofday ()'
+  expect_fail wallclock-systime "$tmp/lib/core/bad.ml" \
+    'let t0 = Sys.time ()'
+  expect_fail wallclock-bin "$tmp/bin/bad.ml" \
+    'let t0 = Unix.gettimeofday ()'
+  expect_fail self-init "$tmp/lib/core/bad.ml" \
+    'let () = Random.self_init ()'
+  expect_fail poly-hash "$tmp/lib/core/bad.ml" \
+    'let h = Hashtbl.hash key'
+  expect_fail marshal "$tmp/lib/core/bad.ml" \
+    'let s = Marshal.to_string v []'
+  expect_fail wallclock-ml5 "$tmp/lib/core/bad.ml5" \
+    'let t0 = Unix.gettimeofday ()'
+
+  # lib/obs is allowed to read the wall clock
+  printf 'let t0 = Unix.gettimeofday ()\n' >"$tmp/lib/obs/clock.ml"
+  if ! run_rules "$tmp/lib" "$tmp/bin" >/dev/null 2>&1; then
+    echo "selftest: lib/obs wallclock wrongly flagged"
+    failures=$((failures + 1))
+  else
+    echo "selftest: lib/obs wallclock exempt"
+  fi
+  rm -f "$tmp/lib/obs/clock.ml"
+
+  # waiver comments suppress
+  printf 'let xs = List.sort compare ys (* poly-ok: int pairs *)\n' \
+    >"$tmp/lib/core/waived.ml"
+  printf 'let h = Hashtbl.hash key (* srclint-ok: scalar ints only *)\n' \
+    >>"$tmp/lib/core/waived.ml"
+  if ! run_rules "$tmp/lib" "$tmp/bin" >/dev/null 2>&1; then
+    echo "selftest: waiver comments not honored"
+    failures=$((failures + 1))
+  else
+    echo "selftest: waivers honored"
+  fi
+
+  if [ "$failures" -eq 0 ]; then
+    echo "srclint selftest: all rules have teeth"
+    exit 0
+  else
+    echo "srclint selftest: $failures failure(s)"
+    exit 1
+  fi
+}
+
+case "${1:?usage: srclint.sh LIB_DIR BIN_DIR | --selftest}" in
+--selftest)
+  selftest
+  ;;
+*)
+  lib_dir="$1"
+  bin_dir="${2:?usage: srclint.sh LIB_DIR BIN_DIR}"
+  if run_rules "$lib_dir" "$bin_dir"; then
+    echo "srclint: clean"
+    exit 0
+  fi
+  exit 1
+  ;;
+esac

@@ -1,0 +1,375 @@
+(* srclint_mut — the race-discipline half of the source gate.
+   (DESIGN.md §17.)
+
+   [Pool.map] fans scenario jobs across OCaml 5 domains, and the whole
+   safety argument of pool_domains.ml5 is that workers only write
+   disjoint slots of one results array. That argument is void if any
+   code reachable from a worker closes over mutable *toplevel* state:
+   two domains would race on it with no happens-before edge, and the
+   repo's bit-for-bit reproducibility contract dies silently (only on
+   multicore runtimes, only under load — the worst kind of bug).
+
+   So this linter computes the module closure of the pool-reachable
+   seeds (pool_domains.ml5 itself plus explore.ml, whose scenario
+   closures are what [Pool.map] runs) and flags every toplevel binding
+   in that closure whose right-hand side allocates mutable state:
+
+     let cache = Hashtbl.create 16        (* flagged *)
+     let slot  = ref 0                    (* flagged *)
+     let make () = Hashtbl.create 16      (* fine: per-call *)
+     let seen = Hashtbl.create 16 (* domains-ok: guarded by M *)  (* waived *)
+
+   Closure resolution is deliberately syntactic, matching the repo's
+   conventions: an uppercase reference [Foo.x] resolves to the sibling
+   foo.ml; [module A = B] and [module A = Damd_x.Y] aliases are
+   followed; a direct [Damd_x.Y.z] resolves via lib/<x'>/y.ml where the
+   dune (name damd_<x'>) stanzas give the directory map. References
+   that resolve to no file (List, Array, Domain, ...) are stdlib and
+   skipped. Over-approximation is fine — an extra file in the closure
+   can only make the gate stricter.
+
+   Usage: srclint_mut ROOT SEED [SEED...]   (paths relative to ROOT)
+          srclint_mut --selftest *)
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+(* The dune (name damd_x) stanzas under ROOT/lib give the library-name
+   -> directory map used to resolve [Damd_x.Y] references. *)
+let lib_map root =
+  let map = Hashtbl.create 16 in
+  let libdir = Filename.concat root "lib" in
+  let entries = try Sys.readdir libdir with Sys_error _ -> [||] in
+  Array.iter
+    (fun d ->
+      let dune = Filename.concat (Filename.concat libdir d) "dune" in
+      if Sys.file_exists dune then
+        List.iter
+          (fun line ->
+            let line = String.trim line in
+            let pre = "(name " in
+            if String.length line > String.length pre
+               && String.sub line 0 (String.length pre) = pre
+            then begin
+              let rest =
+                String.sub line (String.length pre)
+                  (String.length line - String.length pre)
+              in
+              let stop = ref 0 in
+              while
+                !stop < String.length rest && is_ident_char rest.[!stop]
+              do
+                incr stop
+              done;
+              let name = String.sub rest 0 !stop in
+              if name <> "" then
+                Hashtbl.replace map
+                  (String.capitalize_ascii name)
+                  (Filename.concat libdir d)
+            end)
+          (read_lines dune))
+    entries;
+  map
+
+(* Module [Foo] in [dir] lives in foo.ml, or the ml5/ml4 variants the
+   dune rules copy into place. pool.ml itself is generated (from
+   pool_domains.ml5), so the variants are the real sources. *)
+let module_file dir name =
+  let base = Filename.concat dir (String.uncapitalize_ascii name) in
+  let candidates =
+    [ base ^ ".ml"; base ^ ".ml5"; base ^ ".ml4"; base ^ "_domains.ml5" ]
+  in
+  List.find_opt Sys.file_exists candidates
+
+(* Split a qualified module path "A.B.C" (already validated uppercase
+   heads) into components. *)
+let path_components s = String.split_on_char '.' s
+
+let resolve_path ~libs ~aliases ~dir comps =
+  match comps with
+  | [] -> None
+  | head :: rest -> (
+      match Hashtbl.find_opt aliases head with
+      | Some target -> target
+      | None -> (
+          match Hashtbl.find_opt libs head with
+          | Some libdir -> (
+              match rest with
+              | sub :: _ -> module_file libdir sub
+              | [] -> None (* bare library ref carries no file *))
+          | None -> module_file dir head))
+
+(* Scan one line for qualified uppercase references: maximal runs of
+   Ident(.Ident)* starting with an uppercase letter, each followed by a
+   '.' (i.e. actually used as a module path, not a constructor). *)
+let refs_of_line line =
+  let n = String.length line in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = line.[!i] in
+    if c >= 'A' && c <= 'Z'
+       && (!i = 0 || not (is_ident_char line.[!i - 1] || line.[!i - 1] = '.'))
+    then begin
+      (* read Ident(.Uppercase-Ident)* *)
+      let comps = ref [] in
+      let j = ref !i in
+      let continue = ref true in
+      while !continue do
+        let start = !j in
+        while !j < n && is_ident_char line.[!j] do
+          incr j
+        done;
+        comps := String.sub line start (!j - start) :: !comps;
+        if !j + 1 < n && line.[!j] = '.' && line.[!j + 1] >= 'A'
+           && line.[!j + 1] <= 'Z'
+        then incr j
+        else continue := false
+      done;
+      (* only count it as a module path when used qualified: Ident. *)
+      if !j < n && line.[!j] = '.' then
+        out := List.rev !comps :: !out;
+      i := !j
+    end
+    else incr i
+  done;
+  !out
+
+(* [module A = B.C] / [module A = Sibling] aliases, any indentation. *)
+let alias_of_line ~libs ~aliases ~dir line =
+  let t = String.trim line in
+  let pre = "module " in
+  if String.length t > String.length pre
+     && String.sub t 0 (String.length pre) = pre
+  then
+    match String.index_opt t '=' with
+    | None -> None
+    | Some eq ->
+        let name =
+          String.trim (String.sub t (String.length pre) (eq - String.length pre))
+        in
+        let rhs = String.trim (String.sub t (eq + 1) (String.length t - eq - 1)) in
+        if name <> ""
+           && name.[0] >= 'A' && name.[0] <= 'Z'
+           && rhs <> ""
+           && rhs.[0] >= 'A' && rhs.[0] <= 'Z'
+           && String.for_all (fun c -> is_ident_char c || c = '.') rhs
+        then
+          Some (name, resolve_path ~libs ~aliases ~dir (path_components rhs))
+        else None
+  else None
+
+let mutable_rhs_prefixes =
+  [
+    "ref ";
+    "ref(";
+    "Hashtbl.create";
+    "Array.make";
+    "Array.create_float";
+    "Bytes.create";
+    "Bytes.make";
+    "Buffer.create";
+    "Queue.create";
+    "Stack.create";
+    "Atomic.make" (* atomics are race-free but still shared state *);
+  ]
+
+let has_prefix s p =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* A column-0 [let name =] with no parameters whose RHS allocates
+   mutable state. Parameterised lets allocate per call and are fine. *)
+let mutable_toplevel line =
+  if not (has_prefix line "let ") then None
+  else if contains line "domains-ok:" then None
+  else begin
+    let n = String.length line in
+    let i = ref 4 in
+    let start = !i in
+    while !i < n && is_ident_char line.[!i] do
+      incr i
+    done;
+    let name = String.sub line start (!i - start) in
+    while !i < n && line.[!i] = ' ' do
+      incr i
+    done;
+    if name = "" || name = "_" || !i >= n || line.[!i] <> '=' then None
+    else begin
+      let rhs =
+        String.trim (String.sub line (!i + 1) (n - !i - 1))
+      in
+      if List.exists (has_prefix rhs) mutable_rhs_prefixes then Some name
+      else None
+    end
+  end
+
+type finding = { file : string; line : int; name : string; via : string }
+
+let check ~root ~seeds =
+  let libs = lib_map root in
+  let seen = Hashtbl.create 32 in
+  let queue = Queue.create () in
+  List.iter
+    (fun s ->
+      let p = Filename.concat root s in
+      if Sys.file_exists p then Queue.add (p, "seed") queue
+      else begin
+        Printf.eprintf "srclint_mut: seed %s not found\n" s;
+        exit 2
+      end)
+    seeds;
+  let findings = ref [] in
+  let files = ref 0 in
+  while not (Queue.is_empty queue) do
+    let file, via = Queue.pop queue in
+    if not (Hashtbl.mem seen file) then begin
+      Hashtbl.add seen file ();
+      incr files;
+      let dir = Filename.dirname file in
+      let aliases = Hashtbl.create 8 in
+      List.iteri
+        (fun idx line ->
+          (match mutable_toplevel line with
+          | Some name ->
+              findings :=
+                { file; line = idx + 1; name; via } :: !findings
+          | None -> ());
+          (match alias_of_line ~libs ~aliases ~dir line with
+          | Some (name, target) -> Hashtbl.replace aliases name target
+          | None -> ());
+          List.iter
+            (fun comps ->
+              match resolve_path ~libs ~aliases ~dir comps with
+              | Some target ->
+                  if not (Hashtbl.mem seen target) then
+                    Queue.add (target, Filename.basename file) queue
+              | None -> ())
+            (refs_of_line line))
+        (read_lines file)
+    end
+  done;
+  (List.rev !findings, !files)
+
+let run root seeds =
+  let findings, files = check ~root ~seeds in
+  match findings with
+  | [] ->
+      Printf.printf "srclint_mut: clean (%d files in pool closure)\n" files;
+      0
+  | fs ->
+      List.iter
+        (fun f ->
+          Printf.printf
+            "srclint_mut: mutable toplevel state in domain-pool closure \
+             (waive with a same-line 'domains-ok:' comment):\n\
+            \  %s:%d: let %s (reached via %s)\n"
+            f.file f.line f.name f.via)
+        fs;
+      1
+
+(* --selftest: seed violations in a temp tree and assert each is
+   caught, the waiver works, and unreachable files stay unflagged. *)
+let selftest () =
+  let tmp =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "srclint-mut-%d" (Unix.getpid ()))
+  in
+  let mkdir_p d =
+    let rec go d =
+      if not (Sys.file_exists d) then begin
+        go (Filename.dirname d);
+        Unix.mkdir d 0o755
+      end
+    in
+    go d
+  in
+  let write path content =
+    mkdir_p (Filename.dirname path);
+    let oc = open_out path in
+    output_string oc content;
+    close_out oc
+  in
+  let failures = ref 0 in
+  let expect what cond =
+    if cond then Printf.printf "selftest: %s\n" what
+    else begin
+      Printf.printf "selftest: FAIL %s\n" what;
+      incr failures
+    end
+  in
+  let p rel = Filename.concat tmp rel in
+  write (p "lib/a/dune") "(library\n (name damd_a))\n";
+  write (p "lib/b/dune") "(library\n (name damd_b))\n";
+  (* seed -> sibling Helper, alias H -> Damd_b.Util, direct Damd_b.Deep *)
+  write (p "lib/a/seed.ml")
+    "module H = Damd_b.Util\n\
+     let go () = Helper.f () + H.x + Damd_b.Deep.y\n";
+  write (p "lib/a/helper.ml") "let cache = Hashtbl.create 16\nlet f () = 1\n";
+  write (p "lib/b/util.ml") "let slot = ref 0\nlet x = !slot\n";
+  write (p "lib/b/deep.ml") "let y = 2\nlet buf = Buffer.create 64\n";
+  (* not referenced anywhere: must stay out of the closure *)
+  write (p "lib/b/orphan.ml") "let evil = ref 0\n";
+  let findings, files = check ~root:tmp ~seeds:[ "lib/a/seed.ml" ] in
+  let hits name = List.exists (fun f -> f.name = name) findings in
+  expect "sibling module flagged" (hits "cache");
+  expect "aliased cross-lib module flagged" (hits "slot");
+  expect "direct Damd_x.Y module flagged" (hits "buf");
+  expect "unreachable file not flagged" (not (hits "evil"));
+  expect "closure size is the four reachable files" (files = 4);
+  (* waiver + per-call allocation are both clean *)
+  write (p "lib/a/helper.ml")
+    "let cache = Hashtbl.create 16 (* domains-ok: rebuilt per run *)\n\
+     let make () = Hashtbl.create 16\n\
+     let f () = 1\n";
+  write (p "lib/b/util.ml") "let x = 1\n";
+  write (p "lib/b/deep.ml") "let y = 2\n";
+  let findings, _ = check ~root:tmp ~seeds:[ "lib/a/seed.ml" ] in
+  expect "waiver and per-call allocation pass" (findings = []);
+  (* missing-seed guard exercised via module_file on a bogus ref *)
+  write (p "lib/a/seed.ml") "let go () = Nosuchmodule.f ()\n";
+  let findings, files = check ~root:tmp ~seeds:[ "lib/a/seed.ml" ] in
+  expect "unresolvable refs are skipped as stdlib"
+    (findings = [] && files = 1);
+  let rec rm d =
+    if Sys.is_directory d then begin
+      Array.iter (fun e -> rm (Filename.concat d e)) (Sys.readdir d);
+      Unix.rmdir d
+    end
+    else Sys.remove d
+  in
+  rm tmp;
+  if !failures = 0 then begin
+    Printf.printf "srclint_mut selftest: all rules have teeth\n";
+    0
+  end
+  else begin
+    Printf.printf "srclint_mut selftest: %d failure(s)\n" !failures;
+    1
+  end
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [ "--selftest" ] -> exit (selftest ())
+  | _ :: root :: (_ :: _ as seeds) -> exit (run root seeds)
+  | _ ->
+      prerr_endline "usage: srclint_mut ROOT SEED [SEED...] | --selftest";
+      exit 2
